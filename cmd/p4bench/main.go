@@ -1,0 +1,47 @@
+// Command p4bench regenerates the paper's evaluation artifacts:
+//
+//	p4bench -table1        Table 1 (typechecking time, baseline vs P4BID)
+//	p4bench -matrix        Section 5 case-study accept/reject matrix
+//	p4bench -scaling       extension: checker time vs program size and
+//	                       lattice height
+//	p4bench -all           everything
+//
+// See EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	table1 := flag.Bool("table1", false, "reproduce Table 1")
+	matrix := flag.Bool("matrix", false, "reproduce the Section 5 case-study matrix")
+	scaling := flag.Bool("scaling", false, "run the scaling sweeps")
+	all := flag.Bool("all", false, "run everything")
+	reps := flag.Int("reps", 50, "repetitions per timing measurement")
+	flag.Parse()
+	if *all {
+		*table1, *matrix, *scaling = true, true, true
+	}
+	if !*table1 && !*matrix && !*scaling {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *table1 {
+		fmt.Print(bench.FormatTable1(bench.Table1(*reps)))
+		fmt.Println()
+	}
+	if *matrix {
+		fmt.Print(bench.FormatMatrix(bench.Matrix()))
+		fmt.Println()
+	}
+	if *scaling {
+		size := bench.ScalingBySize([]int{1, 2, 4, 8, 16, 32, 64}, *reps/5+1)
+		lat := bench.ScalingByLattice([]int{2, 4, 8, 16, 32}, *reps)
+		fmt.Print(bench.FormatScaling(size, lat))
+	}
+}

@@ -1,0 +1,93 @@
+// Command p4run interprets a P4 program against a control-plane
+// configuration, printing the final parameter state as JSON.
+//
+// Usage:
+//
+//	p4run [-config run.json] [-check] file.p4
+//
+// The configuration file (see internal/config) supplies table entries and
+// initial parameter values; without one the program runs on zero-valued
+// inputs with every table missing. With -check the program is first
+// typechecked with P4BID (two-point lattice) and the run is refused if it
+// is insecure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/config"
+	"repro/internal/eval"
+)
+
+func main() {
+	cfgPath := flag.String("config", "", "JSON run configuration (tables + inputs)")
+	check := flag.Bool("check", false, "refuse to run programs rejected by the P4BID checker")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: p4run [flags] file.p4\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *cfgPath, *check); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(file, cfgPath string, check bool) error {
+	src, err := os.ReadFile(file)
+	if err != nil {
+		return err
+	}
+	prog, err := repro.Parse(file, string(src))
+	if err != nil {
+		return err
+	}
+	if check {
+		if res := repro.Check(prog, repro.TwoPoint()); !res.OK {
+			return fmt.Errorf("refusing to run: program is insecure:\n%v", res.Err())
+		}
+	}
+	cfg := &config.Config{}
+	if cfgPath != "" {
+		data, err := os.ReadFile(cfgPath)
+		if err != nil {
+			return err
+		}
+		cfg, err = config.Parse(data)
+		if err != nil {
+			return err
+		}
+	}
+	in, err := eval.New(prog, nil)
+	if err != nil {
+		return err
+	}
+	if err := cfg.Install(in); err != nil {
+		return err
+	}
+	inputs, err := cfg.BuildInputs(in)
+	if err != nil {
+		return err
+	}
+	out, sig, err := in.RunControl(cfg.Control, inputs)
+	if err != nil {
+		return err
+	}
+	result := map[string]any{"signal": sig.String()}
+	params := map[string]any{}
+	for name, v := range out {
+		params[name] = config.EncodeValue(v)
+	}
+	result["outputs"] = params
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(result)
+}

@@ -1,0 +1,95 @@
+// Isolation: the paper's Section 5.4 case study. Two tenants, Alice and
+// Bob, program switches that share packet headers; the operator carries
+// write-only telemetry alongside. Under the four-point diamond lattice of
+// Figure 8b (bot ⊑ A, B ⊑ top) with Alice's control checked at pc = A and
+// Bob's at pc = B, P4BID proves that neither tenant can touch the other's
+// fields or read the telemetry.
+//
+// The example checks the paper's buggy Listing 6 (rejected, two distinct
+// violations) and the repaired Listing 7 (accepted), then demonstrates the
+// guarantee dynamically: an interference experiment at observer B finds a
+// concrete witness against buggy Alice and none against fixed Alice.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/eval"
+)
+
+func main() {
+	study, ok := repro.CaseStudyByName("Lattice")
+	if !ok {
+		log.Fatal("Lattice case study missing")
+	}
+	lat := study.Lattice()
+
+	fmt.Println("== Buggy Listing 6 (Alice writes Bob's field, keys on telemetry) ==")
+	buggy := repro.MustParse("listing6.p4", study.Source(repro.Buggy))
+	res := repro.Check(buggy, lat)
+	fmt.Println("accepted:", res.OK)
+	for _, d := range res.Diags {
+		fmt.Println("  ", d)
+	}
+
+	fmt.Println()
+	fmt.Println("== Fixed Listing 7 ==")
+	fixed := repro.MustParse("listing7.p4", study.Source(repro.Fixed))
+	res = repro.Check(fixed, lat)
+	fmt.Println("accepted:", res.OK)
+	if !res.OK {
+		log.Fatal(res.Err())
+	}
+	for name, pc := range res.ControlPC {
+		fmt.Printf("   control %-14s checked at pc = %s\n", name, pc)
+	}
+
+	// Dynamic confirmation at observer B: Bob must not see anything that
+	// depends on data above B (Alice's data, telemetry).
+	obsB, _ := lat.Lookup("B")
+	cp := repro.NewControlPlane()
+	cp.DeclareTable("update_by_alice", []string{"exact"})
+	cp.DeclareTable("update_by_bob", []string{"exact"})
+	if err := cp.Install("update_by_alice", repro.Entry{
+		Patterns: []repro.Pattern{repro.Exact(32, 21)},
+		Action:   "set_by_alice", Args: []uint64{11},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Println("== Two-run interference experiments at observer B ==")
+	for _, tc := range []struct {
+		name string
+		prog *repro.Program
+	}{{"buggy", buggy}, {"fixed", fixed}} {
+		e := &repro.NIExperiment{
+			Prog: prog(tc.prog), Lat: lat, Control: "Alice_Ingress", Observer: obsB, CP: cp,
+			// Steer the first run onto the installed telemetry key so the
+			// buggy table hits; the second run re-randomizes the
+			// (above-B) telemetry and misses, exposing the write to
+			// Bob's field.
+			FixInputs: func(in map[string]eval.Value) {
+				hdr := in["hdr"].(*eval.RecordVal)
+				for _, f := range hdr.Fields {
+					if f.Name == "telem" {
+						f.Val.(*eval.HeaderVal).Fields[0].Val = eval.NewBit(32, 21)
+					}
+				}
+			},
+		}
+		vs, err := e.Run(200, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(vs) == 0 {
+			fmt.Printf("%s Alice: no witness in 200 trials — isolation holds\n", tc.name)
+		} else {
+			fmt.Printf("%s Alice: %d witnesses, e.g. %s\n", tc.name, len(vs), vs[0])
+		}
+	}
+}
+
+func prog(p *repro.Program) *repro.Program { return p }

@@ -1,0 +1,156 @@
+package basecheck_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/basecheck"
+	"repro/internal/parser"
+)
+
+func check(t *testing.T, src string) *basecheck.Result {
+	t.Helper()
+	prog, err := parser.Parse("test.p4", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return basecheck.Check(prog)
+}
+
+func wrap(body string) string {
+	return `
+header h_t {
+    bit<8> a;
+    bit<16> w;
+    bool b;
+    bit<8> arr[4];
+}
+struct headers { h_t h; }
+control Main(inout headers hdr, inout standard_metadata_t standard_metadata) {
+` + body + `
+}
+`
+}
+
+func TestAcceptsBasics(t *testing.T) {
+	res := check(t, wrap(`
+    action f(bit<8> x) { hdr.h.a = x; }
+    table tb { key = { hdr.h.a: exact; } actions = { f; NoAction; } }
+    apply {
+        hdr.h.a = hdr.h.a + 1;
+        hdr.h.b = hdr.h.a == 3;
+        hdr.h.arr[1] = hdr.h.arr[0];
+        if (hdr.h.b) { tb.apply(); } else { exit; }
+        mark_to_drop(standard_metadata);
+    }`))
+	if !res.OK {
+		t.Fatalf("rejected:\n%v", res.Err())
+	}
+}
+
+func TestIgnoresLabels(t *testing.T) {
+	// The base checker accepts flow violations; that is its role as the
+	// Table 1 baseline.
+	res := check(t, `
+header h_t { <bit<8>, low> lo; <bit<8>, high> hi; }
+struct headers { h_t h; }
+control Main(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    apply { hdr.h.lo = hdr.h.hi; }
+}
+`)
+	if !res.OK {
+		t.Fatalf("base checker rejected a flow-only violation:\n%v", res.Err())
+	}
+}
+
+func TestIgnoresUnknownLabelNames(t *testing.T) {
+	// Any label name is tolerated: the baseline knows nothing of lattices.
+	res := check(t, `
+header h_t { <bit<8>, whatever> x; }
+struct headers { h_t h; }
+control Main(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    apply { }
+}
+`)
+	if !res.OK {
+		t.Fatalf("rejected:\n%v", res.Err())
+	}
+}
+
+func TestRejectsTypeErrors(t *testing.T) {
+	cases := []struct{ name, body, want string }{
+		{"undeclared", `apply { ghost = 1; }`, "undeclared"},
+		{"bad-field", `apply { hdr.h.zzz = 1; }`, "no field"},
+		{"bool-plus", `apply { hdr.h.a = hdr.h.b + 1; }`, "not defined"},
+		{"width-mismatch", `apply { hdr.h.a = hdr.h.w; }`, "differ"},
+		{"if-not-bool", `apply { if (hdr.h.a) { } }`, "must be bool"},
+		{"not-a-table", `apply { hdr.apply(); }`, "not a table"},
+		{"call-arity", `
+            action f(bit<8> x) { }
+            apply { f(1, 2); }`, "takes 1 arguments"},
+		{"arg-type", `
+            action f(bool x) { }
+            apply { f(hdr.h.a); }`, "does not match"},
+		{"inout-not-lvalue", `
+            action f(inout bit<8> x) { x = 1; }
+            apply { f(hdr.h.a + 1); }`, "l-value"},
+		{"index-non-stack", `apply { hdr.h.a[0] = 1; }`, "not indexable"},
+		{"bad-index-type", `apply { hdr.h.arr[hdr.h.b] = 1; }`, "numeric"},
+		{"unknown-matchkind", `
+            action f() { }
+            table tb { key = { hdr.h.a: fuzzy; } actions = { f; } }
+            apply { tb.apply(); }`, "match kind"},
+		{"undeclared-action", `
+            table tb { key = { hdr.h.a: exact; } actions = { ghost; } }
+            apply { tb.apply(); }`, "undeclared action"},
+		{"return-type", `
+            function bit<8> f() { return true; }
+            apply { hdr.h.a = f(); }`, "cannot return"},
+		{"redeclared", `
+            apply { bit<8> x; bit<8> x; }`, "redeclared"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res := check(t, wrap(c.body))
+			if res.OK {
+				t.Fatalf("accepted, want rejection mentioning %q", c.want)
+			}
+			if !strings.Contains(res.Err().Error(), c.want) {
+				t.Fatalf("diagnostics %q do not mention %q", res.Err(), c.want)
+			}
+		})
+	}
+}
+
+func TestNoControl(t *testing.T) {
+	res := check(t, `typedef bit<8> t_t;`)
+	if res.OK {
+		t.Error("program without a control block accepted")
+	}
+}
+
+func TestIntLiteralCoercion(t *testing.T) {
+	res := check(t, wrap(`
+    function bit<8> f(in bit<8> x) { return 255; }
+    apply {
+        hdr.h.a = 200;
+        hdr.h.w = 40000;
+        hdr.h.a = f(7);
+    }`))
+	if !res.OK {
+		t.Fatalf("literal coercion rejected:\n%v", res.Err())
+	}
+}
+
+func TestActionWithReturnTypeRejected(t *testing.T) {
+	// Surface restriction: actions have no return type; only functions do.
+	prog, err := parser.Parse("t.p4", wrap(`
+    function void g() { return; }
+    apply { g(); }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := basecheck.Check(prog); !res.OK {
+		t.Fatalf("void function rejected:\n%v", res.Err())
+	}
+}

@@ -1,0 +1,236 @@
+// Package bench implements the measurement harnesses behind the paper's
+// evaluation artifacts, shared by cmd/p4bench and the root bench_test.go:
+//
+//   - Table1 reproduces Table 1 (typechecking time in milliseconds for the
+//     five case-study programs, baseline vs P4BID);
+//   - Matrix reproduces the Section 5 case-study results (buggy rejected,
+//     fixed accepted, with the rules cited);
+//   - Scaling extends the evaluation with checker time vs program size and
+//     vs lattice height.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/basecheck"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/lattice"
+	"repro/internal/parser"
+	"repro/internal/progs"
+)
+
+// Table1Row is one measured row of Table 1.
+type Table1Row struct {
+	Program     string
+	BaseMs      float64 // unannotated program through the base checker
+	P4BIDMs     float64 // annotated program through the IFC checker
+	OverheadPct float64
+}
+
+// Table1 measures all five Table 1 programs, repeating each measurement
+// reps times and keeping the per-run average. The final row is the
+// average, as in the paper.
+func Table1(reps int) []Table1Row {
+	if reps < 1 {
+		reps = 1
+	}
+	rows := make([]Table1Row, 0, 6)
+	var sumBase, sumIFC float64
+	for _, p := range progs.All() {
+		if p.Name == "NetChain" || p.Name == "Stateful" {
+			continue // not in Table 1
+		}
+		lat := p.Lattice()
+		unannotated := p.Source(progs.Unannotated)
+		annotated := p.Source(progs.Fixed)
+		baseMs := measure(reps, func() {
+			prog := parser.MustParse("bench.p4", unannotated)
+			if res := basecheck.Check(prog); !res.OK {
+				panic("unannotated " + p.Name + " failed base checking: " + res.Err().Error())
+			}
+		})
+		ifcMs := measure(reps, func() {
+			prog := parser.MustParse("bench.p4", annotated)
+			if res := core.Check(prog, lat); !res.OK {
+				panic("annotated " + p.Name + " failed IFC checking: " + res.Err().Error())
+			}
+		})
+		rows = append(rows, Table1Row{
+			Program:     p.Name,
+			BaseMs:      baseMs,
+			P4BIDMs:     ifcMs,
+			OverheadPct: 100 * (ifcMs - baseMs) / baseMs,
+		})
+		sumBase += baseMs
+		sumIFC += ifcMs
+	}
+	n := float64(len(rows))
+	rows = append(rows, Table1Row{
+		Program:     "Average",
+		BaseMs:      sumBase / n,
+		P4BIDMs:     sumIFC / n,
+		OverheadPct: 100 * (sumIFC - sumBase) / sumBase,
+	})
+	// Paper order: D2R, App, Lattice, Topology, Cache, Average.
+	order := map[string]int{"D2R": 0, "App": 1, "Lattice": 2, "Topology": 3, "Cache": 4, "Average": 5}
+	sort.SliceStable(rows, func(i, j int) bool { return order[rows[i].Program] < order[rows[j].Program] })
+	return rows
+}
+
+func measure(reps int, f func()) float64 {
+	// Warm-up run outside the timed region.
+	f()
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		f()
+	}
+	return float64(time.Since(start).Microseconds()) / float64(reps) / 1000.0
+}
+
+// FormatTable1 renders rows in the paper's layout.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	b.WriteString("Table 1: Typechecking time in milliseconds.\n")
+	fmt.Fprintf(&b, "%-10s %18s %18s %10s\n", "Program", "Unannotated, base", "Annotated, P4BID", "Overhead")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %18.3f %18.3f %+9.1f%%\n", r.Program, r.BaseMs, r.P4BIDMs, r.OverheadPct)
+	}
+	return b.String()
+}
+
+// MatrixRow is one case study's accept/reject outcome.
+type MatrixRow struct {
+	Program  string
+	Property string
+	// BuggyRejected and FixedAccepted are the paper's claims; RulesCited
+	// lists the typing rules the buggy variant's diagnostics cite.
+	BuggyRejected bool
+	FixedAccepted bool
+	RulesCited    []string
+	FirstError    string
+}
+
+// Matrix checks every case study's buggy and fixed variants.
+func Matrix() []MatrixRow {
+	var rows []MatrixRow
+	for _, p := range progs.All() {
+		lat := p.Lattice()
+		buggy := core.Check(parser.MustParse(p.FileName(progs.Buggy), p.Source(progs.Buggy)), lat)
+		fixed := core.Check(parser.MustParse(p.FileName(progs.Fixed), p.Source(progs.Fixed)), lat)
+		seen := map[string]bool{}
+		var rules []string
+		first := ""
+		for _, d := range buggy.Diags {
+			if d.Rule != "" && !seen[d.Rule] {
+				seen[d.Rule] = true
+				rules = append(rules, d.Rule)
+			}
+			if first == "" {
+				first = d.Error()
+			}
+		}
+		sort.Strings(rules)
+		rows = append(rows, MatrixRow{
+			Program:       p.Name,
+			Property:      p.Property,
+			BuggyRejected: !buggy.OK,
+			FixedAccepted: fixed.OK,
+			RulesCited:    rules,
+			FirstError:    first,
+		})
+	}
+	return rows
+}
+
+// FormatMatrix renders the case-study matrix.
+func FormatMatrix(rows []MatrixRow) string {
+	var b strings.Builder
+	b.WriteString("Section 5 case studies: P4BID verdicts.\n")
+	fmt.Fprintf(&b, "%-10s %-8s %-8s %s\n", "Program", "Buggy", "Fixed", "Rules cited on buggy variant")
+	for _, r := range rows {
+		buggy := "ACCEPT"
+		if r.BuggyRejected {
+			buggy = "reject"
+		}
+		fixed := "REJECT"
+		if r.FixedAccepted {
+			fixed = "accept"
+		}
+		fmt.Fprintf(&b, "%-10s %-8s %-8s %s\n", r.Program, buggy, fixed, strings.Join(r.RulesCited, ", "))
+	}
+	return b.String()
+}
+
+// ScalingRow is one point of the size-scaling sweep.
+type ScalingRow struct {
+	Tables  int
+	SrcKB   float64
+	BaseMs  float64
+	P4BIDMs float64
+}
+
+// ScalingBySize sweeps synthetic programs with growing table counts.
+func ScalingBySize(tableCounts []int, reps int) []ScalingRow {
+	lat := lattice.TwoPoint()
+	var rows []ScalingRow
+	for _, n := range tableCounts {
+		src := gen.Synth(n, 4, 8)
+		baseMs := measure(reps, func() {
+			prog := parser.MustParse("synth.p4", progs.StripAnnotations(src))
+			if res := basecheck.Check(prog); !res.OK {
+				panic(res.Err())
+			}
+		})
+		ifcMs := measure(reps, func() {
+			prog := parser.MustParse("synth.p4", src)
+			if res := core.Check(prog, lat); !res.OK {
+				panic(res.Err())
+			}
+		})
+		rows = append(rows, ScalingRow{Tables: n, SrcKB: float64(len(src)) / 1024, BaseMs: baseMs, P4BIDMs: ifcMs})
+	}
+	return rows
+}
+
+// LatticeRow is one point of the lattice-height sweep.
+type LatticeRow struct {
+	Height  int
+	P4BIDMs float64
+}
+
+// ScalingByLattice sweeps chain lattices of growing height.
+func ScalingByLattice(heights []int, reps int) []LatticeRow {
+	var rows []LatticeRow
+	for _, h := range heights {
+		lat := lattice.Chain(h)
+		src := gen.SynthChainLabels(h)
+		ms := measure(reps, func() {
+			prog := parser.MustParse("chain.p4", src)
+			if res := core.Check(prog, lat); !res.OK {
+				panic(res.Err())
+			}
+		})
+		rows = append(rows, LatticeRow{Height: h, P4BIDMs: ms})
+	}
+	return rows
+}
+
+// FormatScaling renders both sweeps.
+func FormatScaling(size []ScalingRow, lat []LatticeRow) string {
+	var b strings.Builder
+	b.WriteString("Scaling: checker time vs program size (synthetic programs).\n")
+	fmt.Fprintf(&b, "%8s %10s %12s %12s\n", "tables", "src KB", "base ms", "P4BID ms")
+	for _, r := range size {
+		fmt.Fprintf(&b, "%8d %10.1f %12.3f %12.3f\n", r.Tables, r.SrcKB, r.BaseMs, r.P4BIDMs)
+	}
+	b.WriteString("\nScaling: checker time vs lattice height (chain lattices).\n")
+	fmt.Fprintf(&b, "%8s %12s\n", "height", "P4BID ms")
+	for _, r := range lat {
+		fmt.Fprintf(&b, "%8d %12.3f\n", r.Height, r.P4BIDMs)
+	}
+	return b.String()
+}

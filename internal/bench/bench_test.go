@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1Shape(t *testing.T) {
+	rows := Table1(3)
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 5 programs + average", len(rows))
+	}
+	order := []string{"D2R", "App", "Lattice", "Topology", "Cache", "Average"}
+	for i, want := range order {
+		if rows[i].Program != want {
+			t.Errorf("row %d = %s, want %s", i, rows[i].Program, want)
+		}
+		if rows[i].BaseMs <= 0 || rows[i].P4BIDMs <= 0 {
+			t.Errorf("row %s has non-positive timing", rows[i].Program)
+		}
+	}
+	out := FormatTable1(rows)
+	for _, want := range append(order, "Typechecking time") {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q", want)
+		}
+	}
+}
+
+func TestMatrixReproducesPaper(t *testing.T) {
+	rows := Matrix()
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.BuggyRejected {
+			t.Errorf("%s: buggy variant not rejected", r.Program)
+		}
+		if !r.FixedAccepted {
+			t.Errorf("%s: fixed variant not accepted", r.Program)
+		}
+		if len(r.RulesCited) == 0 {
+			t.Errorf("%s: no rules cited", r.Program)
+		}
+		if r.FirstError == "" {
+			t.Errorf("%s: no first error recorded", r.Program)
+		}
+	}
+	out := FormatMatrix(rows)
+	if !strings.Contains(out, "reject") || !strings.Contains(out, "accept") {
+		t.Errorf("formatted matrix:\n%s", out)
+	}
+}
+
+func TestScalingSweepsRun(t *testing.T) {
+	size := ScalingBySize([]int{1, 2}, 1)
+	if len(size) != 2 || size[1].SrcKB <= size[0].SrcKB {
+		t.Errorf("size sweep: %+v", size)
+	}
+	lat := ScalingByLattice([]int{2, 4}, 1)
+	if len(lat) != 2 || lat[0].P4BIDMs <= 0 {
+		t.Errorf("lattice sweep: %+v", lat)
+	}
+	out := FormatScaling(size, lat)
+	if !strings.Contains(out, "program size") || !strings.Contains(out, "lattice height") {
+		t.Errorf("formatted scaling:\n%s", out)
+	}
+}

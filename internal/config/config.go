@@ -1,0 +1,263 @@
+// Package config loads run configurations for the p4run tool: control-plane
+// table entries plus initial values for a control's parameters, from a JSON
+// document:
+//
+//	{
+//	  "control": "Cache_Ingress",
+//	  "tables": [
+//	    {
+//	      "name": "fetch_from_cache",
+//	      "entries": [
+//	        {
+//	          "patterns": [{"kind": "exact", "width": 8, "value": 42}],
+//	          "action": "cache_hit",
+//	          "args": [777]
+//	        }
+//	      ],
+//	      "default": {"action": "cache_miss"}
+//	    }
+//	  ],
+//	  "inputs": {
+//	    "hdr": {"req": {"query": 42}, "resp": {"hit": false, "value": 0}}
+//	  }
+//	}
+//
+// Input values are matched against the control's resolved parameter types:
+// numbers fill bit<n>/int fields, booleans fill bool fields, and nested
+// objects fill structs and headers. Omitted fields default to zero.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/controlplane"
+	"repro/internal/eval"
+	"repro/internal/types"
+)
+
+// Pattern mirrors controlplane.Pattern in JSON form.
+type Pattern struct {
+	Kind      string `json:"kind"`
+	Width     int    `json:"width"`
+	Value     uint64 `json:"value"`
+	PrefixLen int    `json:"prefix_len,omitempty"`
+	Mask      uint64 `json:"mask,omitempty"`
+}
+
+// Entry mirrors controlplane.Entry.
+type Entry struct {
+	Patterns []Pattern `json:"patterns"`
+	Action   string    `json:"action"`
+	Args     []uint64  `json:"args,omitempty"`
+	Priority int       `json:"priority,omitempty"`
+}
+
+// Default is a table's default action.
+type Default struct {
+	Action string   `json:"action"`
+	Args   []uint64 `json:"args,omitempty"`
+}
+
+// Table is the installed state of one table.
+type Table struct {
+	Name    string   `json:"name"`
+	Entries []Entry  `json:"entries,omitempty"`
+	Default *Default `json:"default,omitempty"`
+}
+
+// Config is a full run configuration.
+type Config struct {
+	// Control names the control block to run ("" = first).
+	Control string `json:"control,omitempty"`
+	// Tables lists control-plane entries to install.
+	Tables []Table `json:"tables,omitempty"`
+	// Inputs maps parameter names to JSON values.
+	Inputs map[string]json.RawMessage `json:"inputs,omitempty"`
+}
+
+// Parse decodes a JSON configuration.
+func Parse(data []byte) (*Config, error) {
+	var c Config
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("config: %v", err)
+	}
+	return &c, nil
+}
+
+// Install applies the configuration's table entries to the interpreter's
+// control plane.
+func (c *Config) Install(in *eval.Interp) error {
+	cp := in.ControlPlane()
+	for _, t := range c.Tables {
+		if cp.Table(t.Name) == nil {
+			return fmt.Errorf("config: program declares no table %q", t.Name)
+		}
+		for _, e := range t.Entries {
+			ps := make([]controlplane.Pattern, len(e.Patterns))
+			for i, p := range e.Patterns {
+				ps[i] = controlplane.Pattern{
+					Kind: p.Kind, Value: p.Value, PrefixLen: p.PrefixLen,
+					Mask: p.Mask, Width: p.Width,
+				}
+				if p.Kind == "ternary" && p.Mask == 0 && p.Value != 0 {
+					return fmt.Errorf("config: table %q: ternary pattern with zero mask but nonzero value never constrains", t.Name)
+				}
+			}
+			if err := cp.Install(t.Name, controlplane.Entry{
+				Patterns: ps, Action: e.Action, Args: e.Args, Priority: e.Priority,
+			}); err != nil {
+				return err
+			}
+		}
+		if t.Default != nil {
+			if err := cp.SetDefault(t.Name, t.Default.Action, t.Default.Args...); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// BuildInputs converts the configuration's JSON inputs to runtime values
+// using the control's parameter types.
+func (c *Config) BuildInputs(in *eval.Interp) (map[string]eval.Value, error) {
+	out := map[string]eval.Value{}
+	for name, raw := range c.Inputs {
+		st, err := in.ParamType(c.Control, name)
+		if err != nil {
+			return nil, err
+		}
+		v, err := decodeValue(raw, st.T)
+		if err != nil {
+			return nil, fmt.Errorf("config: input %q: %v", name, err)
+		}
+		out[name] = v
+	}
+	return out, nil
+}
+
+func decodeValue(raw json.RawMessage, t types.Type) (eval.Value, error) {
+	switch t := t.(type) {
+	case types.Bool:
+		var b bool
+		if err := json.Unmarshal(raw, &b); err != nil {
+			return nil, fmt.Errorf("want bool: %v", err)
+		}
+		return eval.BoolVal(b), nil
+	case types.Int:
+		var n int64
+		if err := json.Unmarshal(raw, &n); err != nil {
+			return nil, fmt.Errorf("want integer: %v", err)
+		}
+		return eval.IntVal(n), nil
+	case types.Bit:
+		var f float64
+		if err := json.Unmarshal(raw, &f); err != nil {
+			return nil, fmt.Errorf("want number: %v", err)
+		}
+		if f < 0 || f != math.Trunc(f) {
+			return nil, fmt.Errorf("bit<%d> value must be a nonnegative integer, got %v", t.W, f)
+		}
+		return eval.NewBit(t.W, uint64(f)), nil
+	case *types.Record:
+		return decodeFields(raw, t.Fields, false)
+	case *types.Header:
+		return decodeFields(raw, t.Fields, true)
+	case *types.Stack:
+		var elems []json.RawMessage
+		if err := json.Unmarshal(raw, &elems); err != nil {
+			return nil, fmt.Errorf("want array: %v", err)
+		}
+		if len(elems) > t.Size {
+			return nil, fmt.Errorf("stack of size %d given %d elements", t.Size, len(elems))
+		}
+		es := make([]eval.Value, t.Size)
+		for i := range es {
+			if i < len(elems) {
+				v, err := decodeValue(elems[i], t.Elem.T)
+				if err != nil {
+					return nil, fmt.Errorf("[%d]: %v", i, err)
+				}
+				es[i] = v
+			} else {
+				es[i] = eval.Zero(t.Elem.T)
+			}
+		}
+		return &eval.StackVal{Elems: es}, nil
+	default:
+		return nil, fmt.Errorf("cannot decode a value of type %s", t)
+	}
+}
+
+func decodeFields(raw json.RawMessage, fields []types.Field, header bool) (eval.Value, error) {
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("want object: %v", err)
+	}
+	for k := range m {
+		found := false
+		for _, f := range fields {
+			if f.Name == k {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown field %q", k)
+		}
+	}
+	fs := make([]eval.NamedValue, len(fields))
+	for i, f := range fields {
+		if raw, ok := m[f.Name]; ok {
+			v, err := decodeValue(raw, f.Type.T)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %v", f.Name, err)
+			}
+			fs[i] = eval.NamedValue{Name: f.Name, Val: v}
+		} else {
+			fs[i] = eval.NamedValue{Name: f.Name, Val: eval.Zero(f.Type.T)}
+		}
+	}
+	if header {
+		return &eval.HeaderVal{Valid: true, Fields: fs}, nil
+	}
+	return &eval.RecordVal{Fields: fs}, nil
+}
+
+// EncodeValue renders a runtime value as JSON-compatible data for output.
+func EncodeValue(v eval.Value) any {
+	switch v := v.(type) {
+	case eval.BoolVal:
+		return bool(v)
+	case eval.IntVal:
+		return int64(v)
+	case eval.BitVal:
+		return v.V
+	case eval.UnitVal:
+		return nil
+	case eval.MatchKindVal:
+		return string(v)
+	case *eval.RecordVal:
+		m := map[string]any{}
+		for _, f := range v.Fields {
+			m[f.Name] = EncodeValue(f.Val)
+		}
+		return m
+	case *eval.HeaderVal:
+		m := map[string]any{"_valid": v.Valid}
+		for _, f := range v.Fields {
+			m[f.Name] = EncodeValue(f.Val)
+		}
+		return m
+	case *eval.StackVal:
+		out := make([]any, len(v.Elems))
+		for i, e := range v.Elems {
+			out[i] = EncodeValue(e)
+		}
+		return out
+	default:
+		return v.String()
+	}
+}

@@ -1,0 +1,172 @@
+package config_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/eval"
+	"repro/internal/parser"
+	"repro/internal/progs"
+)
+
+const cacheCfg = `
+{
+  "control": "Cache_Ingress",
+  "tables": [
+    {
+      "name": "fetch_from_cache",
+      "entries": [
+        {
+          "patterns": [{"kind": "exact", "width": 8, "value": 42}],
+          "action": "cache_hit",
+          "args": [777]
+        }
+      ],
+      "default": {"action": "cache_miss"}
+    }
+  ],
+  "inputs": {
+    "hdr": {"req": {"query": 42}}
+  }
+}
+`
+
+func cacheInterp(t *testing.T) *eval.Interp {
+	t.Helper()
+	p, _ := progs.ByName("Cache")
+	prog := parser.MustParse("cache.p4", p.Source(progs.Fixed))
+	in, err := eval.New(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestEndToEndConfig(t *testing.T) {
+	cfg, err := config.Parse([]byte(cacheCfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := cacheInterp(t)
+	if err := cfg.Install(in); err != nil {
+		t.Fatal(err)
+	}
+	inputs, err := cfg.BuildInputs(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, sig, err := in.RunControl(cfg.Control, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig.Kind != eval.SigCont {
+		t.Fatalf("signal %s", sig)
+	}
+	enc := config.EncodeValue(out["hdr"]).(map[string]any)
+	resp := enc["resp"].(map[string]any)
+	if resp["hit"] != true {
+		t.Errorf("hit = %v, want true (query 42 is cached)", resp["hit"])
+	}
+	if resp["value"] != uint64(777) {
+		t.Errorf("value = %v (%T), want 777", resp["value"], resp["value"])
+	}
+}
+
+func TestDefaultActionViaConfig(t *testing.T) {
+	cfg, err := config.Parse([]byte(strings.Replace(cacheCfg, `"query": 42`, `"query": 9`, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := cacheInterp(t)
+	if err := cfg.Install(in); err != nil {
+		t.Fatal(err)
+	}
+	inputs, err := cfg.BuildInputs(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := in.RunControl(cfg.Control, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := config.EncodeValue(out["hdr"]).(map[string]any)["resp"].(map[string]any)
+	if resp["hit"] != false {
+		t.Errorf("hit = %v, want false (miss -> default cache_miss)", resp["hit"])
+	}
+}
+
+func TestBadConfigs(t *testing.T) {
+	cases := []struct{ name, cfg, want string }{
+		{"bad-json", `{`, "config"},
+		{"unknown-table", `{"tables":[{"name":"ghost"}]}`, "no table"},
+		{"unknown-input-field", `{"inputs":{"hdr":{"req":{"zzz":1}}}}`, "unknown field"},
+		{"bad-bit-value", `{"inputs":{"hdr":{"req":{"query":-1}}}}`, "nonnegative"},
+		{"fractional", `{"inputs":{"hdr":{"req":{"query":1.5}}}}`, "nonnegative integer"},
+		{"bool-for-bit", `{"inputs":{"hdr":{"req":{"query":true}}}}`, "number"},
+		{"unknown-param", `{"inputs":{"ghost":{}}}`, "no parameter"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cfg, err := config.Parse([]byte(c.cfg))
+			if err != nil {
+				if !strings.Contains(err.Error(), c.want) {
+					t.Fatalf("parse error %q does not contain %q", err, c.want)
+				}
+				return
+			}
+			in := cacheInterp(t)
+			err = cfg.Install(in)
+			if err == nil {
+				_, err = cfg.BuildInputs(in)
+			}
+			if err == nil {
+				t.Fatalf("config accepted, want error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestEncodeValueShapes(t *testing.T) {
+	v := &eval.RecordVal{Fields: []eval.NamedValue{
+		{Name: "h", Val: &eval.HeaderVal{Valid: true, Fields: []eval.NamedValue{
+			{Name: "x", Val: eval.NewBit(8, 5)},
+			{Name: "b", Val: eval.BoolVal(true)},
+		}}},
+		{Name: "s", Val: &eval.StackVal{Elems: []eval.Value{eval.NewBit(4, 1), eval.NewBit(4, 2)}}},
+		{Name: "n", Val: eval.IntVal(-3)},
+		{Name: "u", Val: eval.UnitVal{}},
+		{Name: "m", Val: eval.MatchKindVal("exact")},
+	}}
+	enc := config.EncodeValue(v).(map[string]any)
+	h := enc["h"].(map[string]any)
+	if h["_valid"] != true || h["x"] != uint64(5) || h["b"] != true {
+		t.Errorf("header encoded wrong: %v", h)
+	}
+	s := enc["s"].([]any)
+	if len(s) != 2 || s[1] != uint64(2) {
+		t.Errorf("stack encoded wrong: %v", s)
+	}
+	if enc["n"] != int64(-3) || enc["u"] != nil || enc["m"] != "exact" {
+		t.Errorf("scalars encoded wrong: %v", enc)
+	}
+}
+
+func TestOmittedFieldsAreZero(t *testing.T) {
+	cfg, err := config.Parse([]byte(`{"inputs":{"hdr":{}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := cacheInterp(t)
+	inputs, err := cfg.BuildInputs(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := config.EncodeValue(inputs["hdr"]).(map[string]any)
+	if enc["req"].(map[string]any)["query"] != uint64(0) {
+		t.Errorf("omitted field not zero: %v", enc)
+	}
+}

@@ -1,0 +1,263 @@
+// Package controlplane simulates the control plane C of the Core P4
+// semantics: the partial map from (table, key values, partial action
+// references) to fully-applied action references.
+//
+// A switch program declares tables; the control plane installs entries in
+// them at run time. An entry pairs match patterns (one per table key, each
+// using the key's match kind) with the name of one of the table's actions
+// and the values of the action's control-plane-supplied (directionless)
+// parameters. Lookup implements the three match kinds of the paper's
+// examples:
+//
+//	exact   — the key must equal the pattern value;
+//	lpm     — longest-prefix match: the entry whose prefix is longest
+//	          among those whose prefix bits equal the key's wins;
+//	ternary — masked match (key & mask == value & mask), disambiguated
+//	          by entry priority (higher wins).
+//
+// The non-interference theorem's control-plane assumption (Definition C.8:
+// both runs see the same entries, and installed arguments are well-typed)
+// corresponds here to using one ControlPlane instance for both runs and to
+// Install validating widths.
+package controlplane
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Pattern matches a single key value.
+type Pattern struct {
+	// Kind is "exact", "lpm", or "ternary".
+	Kind string
+	// Value is the pattern value (exact), prefix (lpm), or value (ternary).
+	Value uint64
+	// PrefixLen is the number of significant leading bits for lpm.
+	PrefixLen int
+	// Mask is the ternary mask (ignored bits are 0).
+	Mask uint64
+	// Width is the key width in bits (1..64); used to position lpm
+	// prefixes.
+	Width int
+}
+
+// Exact returns an exact-match pattern for a w-bit key.
+func Exact(w int, v uint64) Pattern { return Pattern{Kind: "exact", Value: v, Width: w} }
+
+// LPM returns a longest-prefix-match pattern matching the top plen bits of
+// a w-bit key against the top plen bits of prefix.
+func LPM(w int, prefix uint64, plen int) Pattern {
+	return Pattern{Kind: "lpm", Value: prefix, PrefixLen: plen, Width: w}
+}
+
+// Ternary returns a masked pattern for a w-bit key.
+func Ternary(w int, v, mask uint64) Pattern {
+	return Pattern{Kind: "ternary", Value: v, Mask: mask, Width: w}
+}
+
+// Wildcard returns a ternary pattern matching any w-bit key.
+func Wildcard(w int) Pattern { return Ternary(w, 0, 0) }
+
+// matches reports whether the pattern accepts key.
+func (p Pattern) matches(key uint64) bool {
+	switch p.Kind {
+	case "exact":
+		return key == p.Value
+	case "lpm":
+		if p.PrefixLen <= 0 {
+			return true
+		}
+		shift := uint(p.Width - p.PrefixLen)
+		return key>>shift == p.Value>>shift
+	case "ternary":
+		return key&p.Mask == p.Value&p.Mask
+	default:
+		return false
+	}
+}
+
+// String renders the pattern.
+func (p Pattern) String() string {
+	switch p.Kind {
+	case "exact":
+		return fmt.Sprintf("%d", p.Value)
+	case "lpm":
+		return fmt.Sprintf("%d/%d", p.Value, p.PrefixLen)
+	case "ternary":
+		return fmt.Sprintf("%d &&& %#x", p.Value, p.Mask)
+	default:
+		return "?"
+	}
+}
+
+// Entry is one installed table entry.
+type Entry struct {
+	Patterns []Pattern
+	// Action names one of the table's declared actions.
+	Action string
+	// Args are the control-plane-supplied argument values for the
+	// action's directionless parameters, in declaration order.
+	Args []uint64
+	// Priority breaks ties among matching ternary entries; higher wins.
+	Priority int
+}
+
+// ActionCall is a fully-applied action reference returned by Lookup.
+type ActionCall struct {
+	Action string
+	Args   []uint64
+}
+
+// Table is the installed state of one match-action table.
+type Table struct {
+	Name    string
+	Entries []Entry
+	// Default, if non-nil, is invoked when no entry matches.
+	Default *ActionCall
+	// KeyKinds are the declared match kinds of the table's keys, fixed at
+	// install time and validated on every Install.
+	KeyKinds []string
+}
+
+// ControlPlane holds installed entries for all tables of a program.
+type ControlPlane struct {
+	tables map[string]*Table
+}
+
+// New returns an empty control plane.
+func New() *ControlPlane { return &ControlPlane{tables: map[string]*Table{}} }
+
+// DeclareTable registers a table and its key match kinds. Re-declaring a
+// table resets its entries.
+func (cp *ControlPlane) DeclareTable(name string, keyKinds []string) {
+	cp.tables[name] = &Table{Name: name, KeyKinds: append([]string(nil), keyKinds...)}
+}
+
+// Table returns the named table, or nil.
+func (cp *ControlPlane) Table(name string) *Table {
+	return cp.tables[name]
+}
+
+// Install adds an entry to the named table, validating pattern count and
+// kinds against the declaration.
+func (cp *ControlPlane) Install(table string, e Entry) error {
+	t, ok := cp.tables[table]
+	if !ok {
+		return fmt.Errorf("controlplane: no table %q declared", table)
+	}
+	if len(e.Patterns) != len(t.KeyKinds) {
+		return fmt.Errorf("controlplane: table %q has %d keys, entry has %d patterns",
+			table, len(t.KeyKinds), len(e.Patterns))
+	}
+	for i, p := range e.Patterns {
+		if p.Kind != t.KeyKinds[i] {
+			return fmt.Errorf("controlplane: table %q key %d is %s, entry pattern is %s",
+				table, i, t.KeyKinds[i], p.Kind)
+		}
+		if p.Width < 1 || p.Width > 64 {
+			return fmt.Errorf("controlplane: table %q key %d: bad width %d", table, i, p.Width)
+		}
+		if p.Kind == "lpm" && (p.PrefixLen < 0 || p.PrefixLen > p.Width) {
+			return fmt.Errorf("controlplane: table %q key %d: bad prefix length %d",
+				table, i, p.PrefixLen)
+		}
+	}
+	t.Entries = append(t.Entries, e)
+	return nil
+}
+
+// SetDefault installs the default action for a table.
+func (cp *ControlPlane) SetDefault(table, action string, args ...uint64) error {
+	t, ok := cp.tables[table]
+	if !ok {
+		return fmt.Errorf("controlplane: no table %q declared", table)
+	}
+	t.Default = &ActionCall{Action: action, Args: args}
+	return nil
+}
+
+// Lookup matches keys against the named table's entries and returns the
+// fully-applied action call, or (nil, false) on a miss with no default.
+// Selection rule: among matching entries, the one with the longest total
+// lpm prefix wins; remaining ties go to the highest Priority, then to the
+// earliest installed entry (deterministic).
+func (cp *ControlPlane) Lookup(table string, keys []uint64) (*ActionCall, bool) {
+	t, ok := cp.tables[table]
+	if !ok {
+		return nil, false
+	}
+	type cand struct {
+		idx    int
+		prefix int
+		prio   int
+	}
+	var cands []cand
+	for i, e := range t.Entries {
+		if len(e.Patterns) != len(keys) {
+			continue
+		}
+		all := true
+		totalPrefix := 0
+		for j, p := range e.Patterns {
+			if !p.matches(keys[j]) {
+				all = false
+				break
+			}
+			if p.Kind == "lpm" {
+				totalPrefix += p.PrefixLen
+			}
+		}
+		if all {
+			cands = append(cands, cand{i, totalPrefix, e.Priority})
+		}
+	}
+	if len(cands) == 0 {
+		if t.Default != nil {
+			return t.Default, true
+		}
+		return nil, false
+	}
+	sort.SliceStable(cands, func(a, b int) bool {
+		if cands[a].prefix != cands[b].prefix {
+			return cands[a].prefix > cands[b].prefix
+		}
+		return cands[a].prio > cands[b].prio
+	})
+	e := t.Entries[cands[0].idx]
+	return &ActionCall{Action: e.Action, Args: e.Args}, true
+}
+
+// Tables returns the declared table names in sorted order.
+func (cp *ControlPlane) Tables() []string {
+	out := make([]string, 0, len(cp.tables))
+	for n := range cp.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a deep copy of the control plane (used to hand identical
+// entries to the two runs of a non-interference experiment).
+func (cp *ControlPlane) Clone() *ControlPlane {
+	out := New()
+	for name, t := range cp.tables {
+		nt := &Table{Name: t.Name, KeyKinds: append([]string(nil), t.KeyKinds...)}
+		for _, e := range t.Entries {
+			ne := Entry{
+				Patterns: append([]Pattern(nil), e.Patterns...),
+				Action:   e.Action,
+				Args:     append([]uint64(nil), e.Args...),
+				Priority: e.Priority,
+			}
+			nt.Entries = append(nt.Entries, ne)
+		}
+		if t.Default != nil {
+			d := *t.Default
+			d.Args = append([]uint64(nil), t.Default.Args...)
+			nt.Default = &d
+		}
+		out.tables[name] = nt
+	}
+	return out
+}

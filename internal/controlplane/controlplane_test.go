@@ -1,0 +1,245 @@
+package controlplane
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactMatch(t *testing.T) {
+	cp := New()
+	cp.DeclareTable("t", []string{"exact"})
+	if err := cp.Install("t", Entry{
+		Patterns: []Pattern{Exact(8, 42)}, Action: "hit", Args: []uint64{1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if call, ok := cp.Lookup("t", []uint64{42}); !ok || call.Action != "hit" {
+		t.Errorf("Lookup(42) = %v, %t", call, ok)
+	}
+	if _, ok := cp.Lookup("t", []uint64{41}); ok {
+		t.Error("Lookup(41) matched")
+	}
+}
+
+func TestDefaultAction(t *testing.T) {
+	cp := New()
+	cp.DeclareTable("t", []string{"exact"})
+	if err := cp.SetDefault("t", "miss", 9); err != nil {
+		t.Fatal(err)
+	}
+	call, ok := cp.Lookup("t", []uint64{0})
+	if !ok || call.Action != "miss" || len(call.Args) != 1 || call.Args[0] != 9 {
+		t.Errorf("default = %v, %t", call, ok)
+	}
+}
+
+func TestLongestPrefixWins(t *testing.T) {
+	cp := New()
+	cp.DeclareTable("r", []string{"lpm"})
+	entries := []struct {
+		prefix uint64
+		plen   int
+		action string
+	}{
+		{0, 0, "any"},
+		{0x0A000000, 8, "ten"},
+		{0x0A010000, 16, "ten-one"},
+		{0x0A010200, 24, "ten-one-two"},
+	}
+	for _, e := range entries {
+		if err := cp.Install("r", Entry{
+			Patterns: []Pattern{LPM(32, e.prefix, e.plen)}, Action: e.action,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := map[uint64]string{
+		0x0B000001: "any",
+		0x0A330001: "ten",
+		0x0A010501: "ten-one",
+		0x0A010203: "ten-one-two",
+	}
+	for key, want := range cases {
+		call, ok := cp.Lookup("r", []uint64{key})
+		if !ok || call.Action != want {
+			t.Errorf("Lookup(%#x) = %v, want %s", key, call, want)
+		}
+	}
+}
+
+func TestTernaryPriority(t *testing.T) {
+	cp := New()
+	cp.DeclareTable("t", []string{"ternary"})
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(cp.Install("t", Entry{Patterns: []Pattern{Ternary(8, 0x00, 0x0F)}, Action: "lownib", Priority: 1}))
+	must(cp.Install("t", Entry{Patterns: []Pattern{Ternary(8, 0x00, 0xF0)}, Action: "highnib", Priority: 2}))
+	// 0x00 matches both; priority 2 wins.
+	call, ok := cp.Lookup("t", []uint64{0x00})
+	if !ok || call.Action != "highnib" {
+		t.Errorf("priority resolution: %v", call)
+	}
+	// 0x30 matches only the low-nibble pattern.
+	call, ok = cp.Lookup("t", []uint64{0x30})
+	if !ok || call.Action != "lownib" {
+		t.Errorf("0x30: %v", call)
+	}
+	// 0x03 matches only the high-nibble pattern.
+	call, ok = cp.Lookup("t", []uint64{0x03})
+	if !ok || call.Action != "highnib" {
+		t.Errorf("0x03: %v", call)
+	}
+}
+
+func TestMultiKey(t *testing.T) {
+	cp := New()
+	cp.DeclareTable("t", []string{"exact", "ternary"})
+	if err := cp.Install("t", Entry{
+		Patterns: []Pattern{Exact(32, 5), Wildcard(32)}, Action: "go",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cp.Lookup("t", []uint64{5, 12345}); !ok {
+		t.Error("multi-key match failed")
+	}
+	if _, ok := cp.Lookup("t", []uint64{6, 12345}); ok {
+		t.Error("multi-key matched wrong first key")
+	}
+}
+
+func TestInstallValidation(t *testing.T) {
+	cp := New()
+	cp.DeclareTable("t", []string{"exact"})
+	cases := []Entry{
+		{Patterns: []Pattern{Exact(8, 1), Exact(8, 2)}, Action: "a"}, // arity
+		{Patterns: []Pattern{LPM(8, 1, 4)}, Action: "a"},             // kind mismatch
+		{Patterns: []Pattern{Exact(0, 1)}, Action: "a"},              // width 0
+		{Patterns: []Pattern{Exact(65, 1)}, Action: "a"},             // width 65
+	}
+	for i, e := range cases {
+		if err := cp.Install("t", e); err == nil {
+			t.Errorf("entry %d installed, want error", i)
+		}
+	}
+	if err := cp.Install("nosuch", Entry{}); err == nil {
+		t.Error("install into undeclared table succeeded")
+	}
+	if err := cp.SetDefault("nosuch", "a"); err == nil {
+		t.Error("default on undeclared table succeeded")
+	}
+	cp2 := New()
+	cp2.DeclareTable("l", []string{"lpm"})
+	if err := cp2.Install("l", Entry{Patterns: []Pattern{LPM(8, 0, 9)}, Action: "a"}); err == nil {
+		t.Error("prefix longer than width accepted")
+	}
+}
+
+func TestLookupUndeclared(t *testing.T) {
+	cp := New()
+	if _, ok := cp.Lookup("ghost", []uint64{1}); ok {
+		t.Error("lookup on undeclared table matched")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	cp := New()
+	cp.DeclareTable("t", []string{"exact"})
+	if err := cp.Install("t", Entry{Patterns: []Pattern{Exact(8, 1)}, Action: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.SetDefault("t", "d"); err != nil {
+		t.Fatal(err)
+	}
+	clone := cp.Clone()
+	// Mutate the clone; the original must be unaffected.
+	if err := clone.Install("t", Entry{Patterns: []Pattern{Exact(8, 2)}, Action: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := clone.SetDefault("t", "d2"); err != nil {
+		t.Fatal(err)
+	}
+	if call, _ := cp.Lookup("t", []uint64{2}); call.Action == "b" {
+		t.Error("clone mutation leaked into original")
+	}
+	call, _ := cp.Lookup("t", []uint64{99})
+	if call.Action != "d" {
+		t.Errorf("original default changed to %v", call)
+	}
+	if got := len(cp.Tables()); got != 1 {
+		t.Errorf("Tables() = %d", got)
+	}
+}
+
+func TestDeterministicLookup(t *testing.T) {
+	// With equal priorities and prefix lengths, the earliest installed
+	// entry wins, and repeated lookups agree (determinism matters for the
+	// non-interference harness, which reuses one CP across two runs).
+	cp := New()
+	cp.DeclareTable("t", []string{"ternary"})
+	for i, a := range []string{"first", "second", "third"} {
+		if err := cp.Install("t", Entry{Patterns: []Pattern{Wildcard(8)}, Action: a, Priority: 0}); err != nil {
+			t.Fatal(err)
+		}
+		_ = i
+	}
+	for i := 0; i < 10; i++ {
+		call, ok := cp.Lookup("t", []uint64{uint64(i)})
+		if !ok || call.Action != "first" {
+			t.Fatalf("lookup %d = %v", i, call)
+		}
+	}
+}
+
+// TestLPMPropertyAgainstReference cross-checks pattern matching against a
+// straightforward reference implementation on random keys.
+func TestLPMPropertyAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(prefixSeed uint64, plen8 uint8, keySeed uint64) bool {
+		w := 32
+		plen := int(plen8) % (w + 1)
+		prefix := prefixSeed & 0xFFFFFFFF
+		key := keySeed & 0xFFFFFFFF
+		p := LPM(w, prefix, plen)
+		want := true
+		for b := 0; b < plen; b++ {
+			bit := uint(w - 1 - b)
+			if (prefix>>bit)&1 != (key>>bit)&1 {
+				want = false
+				break
+			}
+		}
+		return p.matches(key) == want
+	}
+	cfg := &quick.Config{MaxCount: 3000, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTernaryPropertyAgainstReference does the same for ternary patterns.
+func TestTernaryPropertyAgainstReference(t *testing.T) {
+	f := func(v, mask, key uint64) bool {
+		p := Ternary(64, v, mask)
+		want := (key & mask) == (v & mask)
+		return p.matches(key) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPatternStrings(t *testing.T) {
+	if got := Exact(8, 5).String(); got != "5" {
+		t.Errorf("exact renders %q", got)
+	}
+	if got := LPM(32, 10, 8).String(); got != "10/8" {
+		t.Errorf("lpm renders %q", got)
+	}
+	if got := Ternary(8, 1, 0xF).String(); got != "1 &&& 0xf" {
+		t.Errorf("ternary renders %q", got)
+	}
+}

@@ -1,0 +1,502 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/basecheck"
+	"repro/internal/core"
+	"repro/internal/lattice"
+	"repro/internal/parser"
+	"repro/internal/progs"
+)
+
+// checkSrc parses and IFC-checks src under lat (default two-point).
+func checkSrc(t *testing.T, lat lattice.Lattice, src string) *core.Result {
+	t.Helper()
+	if lat == nil {
+		lat = lattice.TwoPoint()
+	}
+	prog, err := parser.Parse("test.p4", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return core.Check(prog, lat)
+}
+
+// mustReject asserts the program is rejected and that some diagnostic cites
+// the given rule.
+func mustReject(t *testing.T, lat lattice.Lattice, src, rule string) {
+	t.Helper()
+	res := checkSrc(t, lat, src)
+	if res.OK {
+		t.Fatalf("program accepted, want rejection by %s", rule)
+	}
+	if rule == "" {
+		return
+	}
+	for _, d := range res.Diags {
+		if d.Rule == rule {
+			return
+		}
+	}
+	t.Fatalf("no diagnostic cites %s; got:\n%v", rule, res.Err())
+}
+
+func mustAccept(t *testing.T, lat lattice.Lattice, src string) *core.Result {
+	t.Helper()
+	res := checkSrc(t, lat, src)
+	if !res.OK {
+		t.Fatalf("program rejected:\n%v", res.Err())
+	}
+	return res
+}
+
+// wrap builds a minimal program around a control body.
+func wrap(body string) string {
+	return `
+header h_t {
+    <bit<8>, low> lo;
+    <bit<8>, high> hi;
+    <bool, low> blo;
+    <bool, high> bhi;
+}
+struct headers { h_t h; }
+control Main(inout headers hdr, inout standard_metadata_t standard_metadata) {
+` + body + `
+}
+`
+}
+
+// ---------------------------------------------------------------------------
+// Section 5 case-study matrix: buggy variants rejected, fixed accepted,
+// unannotated accepted by both the base checker and (trivially, all-low)
+// the IFC checker.
+
+func TestCaseStudyMatrix(t *testing.T) {
+	for _, p := range progs.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			lat := p.Lattice()
+
+			buggy := parser.MustParse(p.FileName(progs.Buggy), p.Source(progs.Buggy))
+			if res := core.Check(buggy, lat); res.OK {
+				t.Errorf("%s buggy variant accepted by P4BID, want rejection", p.Name)
+			}
+
+			fixed := parser.MustParse(p.FileName(progs.Fixed), p.Source(progs.Fixed))
+			if res := core.Check(fixed, lat); !res.OK {
+				t.Errorf("%s fixed variant rejected by P4BID:\n%v", p.Name, res.Err())
+			}
+
+			// The buggy variant is a type-correct P4 program: the base
+			// checker (p4c stand-in) accepts it — that is the paper's
+			// point.
+			if res := basecheck.Check(buggy); !res.OK {
+				t.Errorf("%s buggy variant rejected by base checker:\n%v", p.Name, res.Err())
+			}
+
+			un := parser.MustParse(p.FileName(progs.Unannotated), p.Source(progs.Unannotated))
+			if res := basecheck.Check(un); !res.OK {
+				t.Errorf("%s unannotated variant rejected by base checker:\n%v", p.Name, res.Err())
+			}
+			// With no annotations everything is ⊥, so the IFC checker
+			// accepts too.
+			if res := core.Check(un, lat); !res.OK {
+				t.Errorf("%s unannotated variant rejected by P4BID:\n%v", p.Name, res.Err())
+			}
+		})
+	}
+}
+
+func TestCaseStudyRuleCited(t *testing.T) {
+	wantRule := map[string]string{
+		"Topology": "T-Assign",  // explicit flow low <- high
+		"D2R":      "T-Assign",  // implicit flow under high guard
+		"Cache":    "T-TblDecl", // high key, low-writing actions
+		"App":      "T-TblDecl", // untrusted key, trusted writes
+		"Lattice":  "T-Assign",  // Alice writes Bob's field
+		"NetChain": "T-Assign",  // implicit flow under role guard
+		"Stateful": "T-Index",   // secret index into low register array
+	}
+	for _, p := range progs.All() {
+		rule := wantRule[p.Name]
+		prog := parser.MustParse(p.FileName(progs.Buggy), p.Source(progs.Buggy))
+		res := core.Check(prog, p.Lattice())
+		found := false
+		for _, d := range res.Diags {
+			if d.Rule == rule {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: no diagnostic cites %s; diagnostics:\n%v", p.Name, rule, res.Err())
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Targeted rule tests (Figures 5-7)
+
+func TestAssignExplicitFlow(t *testing.T) {
+	mustReject(t, nil, wrap(`apply { hdr.h.lo = hdr.h.hi; }`), "T-Assign")
+	mustAccept(t, nil, wrap(`apply { hdr.h.hi = hdr.h.lo; }`)) // up is fine
+	mustAccept(t, nil, wrap(`apply { hdr.h.lo = hdr.h.lo; }`))
+	mustAccept(t, nil, wrap(`apply { hdr.h.hi = hdr.h.hi; }`))
+}
+
+func TestAssignImplicitFlow(t *testing.T) {
+	mustReject(t, nil, wrap(`apply { if (hdr.h.bhi) { hdr.h.lo = 1; } }`), "T-Assign")
+	mustAccept(t, nil, wrap(`apply { if (hdr.h.bhi) { hdr.h.hi = 1; } }`))
+	mustAccept(t, nil, wrap(`apply { if (hdr.h.blo) { hdr.h.lo = 1; } }`))
+	// Nested: low guard outside, high inside.
+	mustReject(t, nil, wrap(`apply { if (hdr.h.blo) { if (hdr.h.bhi) { hdr.h.lo = 1; } } }`), "T-Assign")
+	// Else branch leaks too.
+	mustReject(t, nil, wrap(`apply { if (hdr.h.bhi) { hdr.h.hi = 1; } else { hdr.h.lo = 1; } }`), "T-Assign")
+}
+
+func TestGuardJoin(t *testing.T) {
+	// Guard joining low and high data is high.
+	mustReject(t, nil, wrap(`apply { if (hdr.h.hi == hdr.h.lo) { hdr.h.lo = 1; } }`), "T-Assign")
+}
+
+func TestBinOpLabelJoin(t *testing.T) {
+	mustReject(t, nil, wrap(`apply { hdr.h.lo = hdr.h.lo + hdr.h.hi; }`), "T-Assign")
+	mustAccept(t, nil, wrap(`apply { hdr.h.hi = hdr.h.lo + hdr.h.hi; }`))
+}
+
+func TestExitInHighContext(t *testing.T) {
+	mustReject(t, nil, wrap(`apply { if (hdr.h.bhi) { exit; } }`), "T-Exit")
+	mustAccept(t, nil, wrap(`apply { if (hdr.h.blo) { exit; } }`))
+	mustAccept(t, nil, wrap(`apply { exit; }`))
+}
+
+func TestReturnInHighContext(t *testing.T) {
+	mustReject(t, nil, wrap(`
+    function <bit<8>, low> f(in <bool, high> b) {
+        if (b) { return 1; }
+        return 0;
+    }
+    apply { hdr.h.lo = f(hdr.h.bhi); }`), "T-Return")
+	mustAccept(t, nil, wrap(`
+    function <bit<8>, low> f(in <bool, low> b) {
+        if (b) { return 1; }
+        return 0;
+    }
+    apply { hdr.h.lo = f(hdr.h.blo); }`))
+}
+
+func TestReturnLabelFlow(t *testing.T) {
+	// Returning a high value from a low-returning function is rejected.
+	mustReject(t, nil, wrap(`
+    function <bit<8>, low> f(in <bit<8>, high> x) {
+        return x;
+    }
+    apply { hdr.h.lo = f(hdr.h.hi); }`), "T-Return")
+	// High return type accepts low values by subtyping.
+	mustAccept(t, nil, wrap(`
+    function <bit<8>, high> f(in <bit<8>, low> x) {
+        return x;
+    }
+    apply { hdr.h.hi = f(hdr.h.lo); }`))
+}
+
+func TestFnCallPCConstraint(t *testing.T) {
+	// A function that writes low cannot be called under a high guard
+	// (T-Call: pc ⊑ pc_fn).
+	mustReject(t, nil, wrap(`
+    action set_lo() { hdr.h.lo = 1; }
+    apply { if (hdr.h.bhi) { set_lo(); } }`), "T-Call")
+	mustAccept(t, nil, wrap(`
+    action set_hi() { hdr.h.hi = 1; }
+    apply { if (hdr.h.bhi) { set_hi(); } }`))
+}
+
+func TestInferredPCFn(t *testing.T) {
+	res := mustAccept(t, nil, wrap(`
+    action writes_low() { hdr.h.lo = 1; }
+    action writes_high() { hdr.h.hi = 1; }
+    action writes_both() { hdr.h.lo = 1; hdr.h.hi = 2; }
+    action writes_nothing() { }
+    apply { writes_low(); }`))
+	want := map[string]string{
+		"Main.writes_low":     "low",
+		"Main.writes_high":    "high",
+		"Main.writes_both":    "low",
+		"Main.writes_nothing": "high", // ⊤: callable anywhere
+	}
+	for name, lbl := range want {
+		got, ok := res.FuncPC[name]
+		if !ok {
+			t.Fatalf("no inferred pc_fn for %s", name)
+		}
+		if got.Name() != lbl {
+			t.Errorf("pc_fn(%s) = %s, want %s", name, got, lbl)
+		}
+	}
+}
+
+func TestSubtypeInArguments(t *testing.T) {
+	// A low argument can be passed to a high in-parameter (T-SubType-In).
+	mustAccept(t, nil, wrap(`
+    action f(in <bit<8>, high> x) { hdr.h.hi = x; }
+    apply { f(hdr.h.lo); }`))
+	// But a high argument cannot be passed to a low in-parameter.
+	mustReject(t, nil, wrap(`
+    action f(in <bit<8>, low> x) { hdr.h.hi = x; }
+    apply { f(hdr.h.hi); }`), "T-Call")
+}
+
+func TestNoSubtypeForInout(t *testing.T) {
+	// Section 4.2's write_to_high example: passing a low variable to an
+	// inout high parameter must be rejected.
+	mustReject(t, nil, wrap(`
+    action write_to_high(inout <bool, high> b) { b = true; }
+    apply { write_to_high(hdr.h.blo); }`), "T-Call")
+	mustAccept(t, nil, wrap(`
+    action write_to_high(inout <bool, high> b) { b = true; }
+    apply { write_to_high(hdr.h.bhi); }`))
+	// And the dual: high into a low inout parameter is also rejected.
+	mustReject(t, nil, wrap(`
+    action f(inout <bool, low> b) { b = true; }
+    apply { f(hdr.h.bhi); }`), "T-Call")
+}
+
+func TestInoutArgMustBeLValue(t *testing.T) {
+	mustReject(t, nil, wrap(`
+    action f(inout <bit<8>, low> x) { x = 1; }
+    apply { f(hdr.h.lo + 1); }`), "T-Call")
+}
+
+func TestTableKeyLeak(t *testing.T) {
+	// High key with low-writing action: rejected at declaration.
+	mustReject(t, nil, wrap(`
+    action set_lo() { hdr.h.lo = 1; }
+    table t {
+        key = { hdr.h.hi: exact; }
+        actions = { set_lo; }
+    }
+    apply { t.apply(); }`), "T-TblDecl")
+	// High key with high-writing action: fine.
+	mustAccept(t, nil, wrap(`
+    action set_hi() { hdr.h.hi = 1; }
+    table t {
+        key = { hdr.h.hi: exact; }
+        actions = { set_hi; }
+    }
+    apply { t.apply(); }`))
+	// Join of keys matters: one low and one high key still leaks.
+	mustReject(t, nil, wrap(`
+    action set_lo() { hdr.h.lo = 1; }
+    table t {
+        key = { hdr.h.lo: exact; hdr.h.hi: ternary; }
+        actions = { set_lo; }
+    }
+    apply { t.apply(); }`), "T-TblDecl")
+}
+
+func TestTableCallPCConstraint(t *testing.T) {
+	// Applying a low-writing table under a high guard leaks (T-TblCall).
+	mustReject(t, nil, wrap(`
+    action set_lo() { hdr.h.lo = 1; }
+    table t {
+        key = { hdr.h.lo: exact; }
+        actions = { set_lo; }
+    }
+    apply { if (hdr.h.bhi) { t.apply(); } }`), "T-TblCall")
+	mustAccept(t, nil, wrap(`
+    action set_hi() { hdr.h.hi = 1; }
+    table t {
+        key = { hdr.h.lo: exact; }
+        actions = { set_hi; }
+    }
+    apply { if (hdr.h.bhi) { t.apply(); } }`))
+}
+
+func TestTableBoundArguments(t *testing.T) {
+	// Bound argument flows into the action parameter: high arg into a low
+	// in-parameter rejected.
+	mustReject(t, nil, wrap(`
+    action f(in <bit<8>, low> x) { hdr.h.lo = x; }
+    table t {
+        key = { hdr.h.lo: exact; }
+        actions = { f(hdr.h.hi); }
+    }
+    apply { t.apply(); }`), "T-Call")
+	// Trailing non-control-plane parameter unbound: rejected.
+	mustReject(t, nil, wrap(`
+    action f(in <bit<8>, low> x) { hdr.h.lo = x; }
+    table t {
+        key = { hdr.h.lo: exact; }
+        actions = { f; }
+    }
+    apply { t.apply(); }`), "T-TblDecl")
+	// Control-plane (directionless) parameters may stay unbound.
+	mustAccept(t, nil, wrap(`
+    action f(<bit<8>, low> x) { hdr.h.lo = x; }
+    table t {
+        key = { hdr.h.lo: exact; }
+        actions = { f; }
+    }
+    apply { t.apply(); }`))
+}
+
+func TestVarInitFlow(t *testing.T) {
+	mustReject(t, nil, wrap(`apply { <bit<8>, low> x = hdr.h.hi; }`), "T-VarInit")
+	mustAccept(t, nil, wrap(`apply { <bit<8>, high> x = hdr.h.lo; hdr.h.hi = x; }`))
+}
+
+func TestDeclaredPCControl(t *testing.T) {
+	lat := lattice.Diamond()
+	src := `
+header h_t {
+    <bit<8>, A> a;
+    <bit<8>, B> b;
+    <bit<8>, top> t;
+    <bit<8>, bot> lo;
+}
+struct headers { h_t h; }
+@pc(A)
+control Alice(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    apply { %s }
+}
+`
+	reject := []string{
+		`hdr.h.b = 1;`,       // pc=A cannot write B
+		`hdr.h.lo = 1;`,      // pc=A cannot write ⊥
+		`hdr.h.a = hdr.h.t;`, // top does not flow to A
+	}
+	accept := []string{
+		`hdr.h.a = 1;`,
+		`hdr.h.t = hdr.h.a;`, // A flows up to top
+		`hdr.h.a = hdr.h.lo;`,
+		`hdr.h.t = hdr.h.t + 1;`,
+	}
+	for _, body := range reject {
+		res := checkSrc(t, lat, sprintf(src, body))
+		if res.OK {
+			t.Errorf("accepted at pc=A: %s", body)
+		}
+	}
+	for _, body := range accept {
+		res := checkSrc(t, lat, sprintf(src, body))
+		if !res.OK {
+			t.Errorf("rejected at pc=A: %s\n%v", body, res.Err())
+		}
+	}
+}
+
+func sprintf(format string, args ...any) string {
+	return strings.Replace(format, "%s", args[0].(string), 1)
+}
+
+func TestIsolationDiamond(t *testing.T) {
+	p, _ := progs.ByName("Lattice")
+	lat := p.Lattice()
+
+	buggy := parser.MustParse("lattice_buggy.p4", p.Source(progs.Buggy))
+	res := core.Check(buggy, lat)
+	if res.OK {
+		t.Fatal("buggy isolation program accepted")
+	}
+	// Both of the paper's Listing 6 errors must be caught: Alice writing
+	// Bob's field (T-Assign) and Alice keying on the telemetry header.
+	var sawAssign, sawTbl bool
+	for _, d := range res.Diags {
+		switch d.Rule {
+		case "T-Assign":
+			sawAssign = true
+		case "T-TblDecl", "T-TblCall":
+			sawTbl = true
+		}
+	}
+	if !sawAssign {
+		t.Error("Alice writing Bob's field not flagged (T-Assign)")
+	}
+	if !sawTbl {
+		t.Error("Alice keying on telemetry not flagged (T-TblDecl/T-TblCall)")
+	}
+
+	fixed := parser.MustParse("lattice_fixed.p4", p.Source(progs.Fixed))
+	fres := core.Check(fixed, lat)
+	if !fres.OK {
+		t.Fatalf("fixed isolation program rejected:\n%v", fres.Err())
+	}
+	if got := fres.ControlPC["Alice_Ingress"].Name(); got != "A" {
+		t.Errorf("Alice checked at pc=%s, want A", got)
+	}
+	if got := fres.ControlPC["Bob_Ingress"].Name(); got != "B" {
+		t.Errorf("Bob checked at pc=%s, want B", got)
+	}
+}
+
+func TestIndexLabel(t *testing.T) {
+	src := `
+header h_t {
+    <bit<8>, low> arr[4];
+    <bit<8>, high> harr[4];
+    <bit<32>, high> hidx;
+    <bit<32>, low> lidx;
+}
+struct headers { h_t h; }
+control Main(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    apply { %s }
+}
+`
+	// Secret index into a low-element stack leaks which element is read.
+	res := checkSrc(t, nil, sprintf(src, `hdr.h.arr[hdr.h.hidx] = 1;`))
+	if res.OK {
+		t.Error("secret index into low stack accepted")
+	}
+	res = checkSrc(t, nil, sprintf(src, `hdr.h.harr[hdr.h.hidx] = 1;`))
+	if !res.OK {
+		t.Errorf("secret index into high stack rejected:\n%v", res.Err())
+	}
+	res = checkSrc(t, nil, sprintf(src, `hdr.h.arr[hdr.h.lidx] = 1;`))
+	if !res.OK {
+		t.Errorf("low index into low stack rejected:\n%v", res.Err())
+	}
+}
+
+func TestUndeclaredAndTypeErrors(t *testing.T) {
+	mustReject(t, nil, wrap(`apply { nosuch = 1; }`), "T-Var")
+	mustReject(t, nil, wrap(`apply { hdr.h.nofield = 1; }`), "T-MemRec")
+	mustReject(t, nil, wrap(`apply { hdr.h.lo = hdr.h.blo; }`), "T-Assign")
+	mustReject(t, nil, wrap(`apply { hdr.h.blo = hdr.h.lo + hdr.h.blo; }`), "T-BinOp")
+}
+
+func TestMarkToDropBuiltin(t *testing.T) {
+	mustAccept(t, nil, wrap(`
+    action drop() { mark_to_drop(standard_metadata); }
+    apply { drop(); }`))
+	// Dropping is a low write: cannot happen under a high guard.
+	mustReject(t, nil, wrap(`
+    action drop() { mark_to_drop(standard_metadata); }
+    apply { if (hdr.h.bhi) { drop(); } }`), "T-Call")
+}
+
+func TestUnknownLabel(t *testing.T) {
+	res := checkSrc(t, nil, `
+header h_t { <bit<8>, mystery> x; }
+struct headers { h_t h; }
+control Main(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    apply { }
+}
+`)
+	if res.OK {
+		t.Error("unknown label accepted")
+	}
+}
+
+func TestStripAnnotations(t *testing.T) {
+	in := `<bit<32>, high> x = 1; <bool, low> b; @pc(A)
+control C() {}`
+	out := progs.StripAnnotations(in)
+	if strings.Contains(out, "high") || strings.Contains(out, "@pc") {
+		t.Errorf("annotations survive stripping: %q", out)
+	}
+	if !strings.Contains(out, "bit<32> x") || !strings.Contains(out, "bool b") {
+		t.Errorf("base types damaged by stripping: %q", out)
+	}
+}

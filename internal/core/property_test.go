@@ -1,0 +1,158 @@
+package core_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/lattice"
+	"repro/internal/parser"
+)
+
+// TestPCMonotonicity checks the monotonicity property the checker's
+// write-effect inference relies on (see checkFuncDecl): if a control's
+// apply block typechecks in a raised security context @pc(high), then it
+// also typechecks at the default ⊥ context — lowering pc only relaxes the
+// T-Assign / T-Call / T-TblCall side conditions.
+func TestPCMonotonicity(t *testing.T) {
+	lat := lattice.TwoPoint()
+	rng := rand.New(rand.NewSource(17))
+	cfg := gen.DefaultConfig()
+	cfg.WithActions = false // direct action calls interact with pc via pc_fn anyway
+	checkedHigh := 0
+	for i := 0; i < 300; i++ {
+		src := gen.Random(rng, cfg)
+		highSrc := strings.Replace(src, "control Rand_Ingress", "@pc(high)\ncontrol Rand_Ingress", 1)
+		highProg := parser.MustParse("high.p4", highSrc)
+		if !core.Check(highProg, lat).OK {
+			continue
+		}
+		checkedHigh++
+		lowProg := parser.MustParse("low.p4", src)
+		if res := core.Check(lowProg, lat); !res.OK {
+			t.Fatalf("program %d accepted at pc=high but rejected at pc=⊥:\n%v\n%s",
+				i, res.Err(), src)
+		}
+	}
+	if checkedHigh == 0 {
+		t.Error("no program typechecked at pc=high; property test vacuous")
+	} else {
+		t.Logf("%d/300 random programs typecheck at pc=high", checkedHigh)
+	}
+}
+
+// TestInferredPCFnSufficient re-checks each case-study program after
+// raising the whole control to its least-restrictive inferred effect:
+// since every accepted function body was validated at ⊥ and pc_fn is the
+// meet of its write effects, checking the body at pc_fn itself must
+// succeed. We approximate by re-annotating controls whose inferred
+// FuncPC values are all 'high' and asserting acceptance.
+func TestInferredPCFnSufficient(t *testing.T) {
+	lat := lattice.TwoPoint()
+	src := `
+header h_t { <bit<8>, high> hi; <bit<8>, low> lo; }
+struct headers { h_t h; }
+control C(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    action only_high() {
+        hdr.h.hi = hdr.h.hi + 1;
+        if (hdr.h.hi > 3) { hdr.h.hi = 0; }
+    }
+    apply { only_high(); }
+}
+`
+	prog := parser.MustParse("t.p4", src)
+	res := core.Check(prog, lat)
+	if !res.OK {
+		t.Fatal(res.Err())
+	}
+	pc := res.FuncPC["C.only_high"]
+	if pc.Name() != "high" {
+		t.Fatalf("pc_fn = %s, want high", pc)
+	}
+	// The same body hoisted into a control checked at pc = pc_fn must be
+	// accepted: that is exactly the judgement T-FuncDecl requires.
+	raised := strings.Replace(src, "control C", "@pc(high)\ncontrol C", 1)
+	raised = strings.Replace(raised, "apply { only_high(); }", "apply { }", 1)
+	rprog := parser.MustParse("raised.p4", raised)
+	if rres := core.Check(rprog, lat); !rres.OK {
+		t.Fatalf("body rejected at its inferred pc_fn:\n%v", rres.Err())
+	}
+}
+
+// TestDiamondFlowsExhaustive enumerates every ordered pair of diamond
+// labels and checks that a direct assignment between fields at those
+// labels is accepted iff the source flows to the destination.
+func TestDiamondFlowsExhaustive(t *testing.T) {
+	lat := lattice.Diamond()
+	names := []string{"bot", "A", "B", "top"}
+	for _, from := range names {
+		for _, to := range names {
+			src := `
+header h_t { <bit<8>, ` + from + `> src; <bit<8>, ` + to + `> dst; }
+struct headers { h_t h; }
+control C(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    apply { hdr.h.dst = hdr.h.src; }
+}
+`
+			prog := parser.MustParse("t.p4", src)
+			res := core.Check(prog, lat)
+			fl, _ := lat.Lookup(from)
+			tl, _ := lat.Lookup(to)
+			want := lat.Leq(fl, tl)
+			if res.OK != want {
+				t.Errorf("flow %s -> %s: accepted=%t, want %t", from, to, res.OK, want)
+			}
+		}
+	}
+}
+
+// TestGuardFlowsExhaustive does the same for implicit flows: branching on
+// a guard at one label and writing at another.
+func TestGuardFlowsExhaustive(t *testing.T) {
+	lat := lattice.Diamond()
+	names := []string{"bot", "A", "B", "top"}
+	for _, guard := range names {
+		for _, target := range names {
+			src := `
+header h_t { <bit<8>, ` + guard + `> g; <bit<8>, ` + target + `> w; }
+struct headers { h_t h; }
+control C(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    apply { if (hdr.h.g > 1) { hdr.h.w = 1; } }
+}
+`
+			prog := parser.MustParse("t.p4", src)
+			res := core.Check(prog, lat)
+			gl, _ := lat.Lookup(guard)
+			tl, _ := lat.Lookup(target)
+			want := lat.Leq(gl, tl)
+			if res.OK != want {
+				t.Errorf("guard %s writing %s: accepted=%t, want %t", guard, target, res.OK, want)
+			}
+		}
+	}
+}
+
+// TestCheckerIsDeterministic runs the checker repeatedly on the same
+// program and compares diagnostics — important because Γ uses maps
+// internally.
+func TestCheckerIsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 20; i++ {
+		src := gen.Random(rng, gen.DefaultConfig())
+		prog := parser.MustParse("t.p4", src)
+		first := core.Check(prog, lattice.TwoPoint())
+		for j := 0; j < 3; j++ {
+			again := core.Check(prog, lattice.TwoPoint())
+			if again.OK != first.OK || len(again.Diags) != len(first.Diags) {
+				t.Fatalf("nondeterministic checking on program %d", i)
+			}
+			for k := range first.Diags {
+				if first.Diags[k].Error() != again.Diags[k].Error() {
+					t.Fatalf("diag %d changed: %s vs %s", k, first.Diags[k], again.Diags[k])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Package diag provides positioned diagnostics shared by the parser and the
+// type checkers. Every error produced by the frontend carries a source
+// position, a rule name (for checker errors, the violated typing rule, e.g.
+// "T-Assign"), and a human-readable explanation.
+package diag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/token"
+)
+
+// Severity classifies a diagnostic.
+type Severity int
+
+// Severities.
+const (
+	Error Severity = iota
+	Warning
+)
+
+// String renders the severity.
+func (s Severity) String() string {
+	if s == Warning {
+		return "warning"
+	}
+	return "error"
+}
+
+// Diagnostic is a single positioned message.
+type Diagnostic struct {
+	Pos      token.Pos
+	Severity Severity
+	Rule     string // violated typing rule, "" for syntax errors
+	Msg      string
+}
+
+// Error implements error.
+func (d *Diagnostic) Error() string {
+	var b strings.Builder
+	if d.Pos.IsValid() {
+		b.WriteString(d.Pos.String())
+		b.WriteString(": ")
+	}
+	b.WriteString(d.Severity.String())
+	b.WriteString(": ")
+	b.WriteString(d.Msg)
+	if d.Rule != "" {
+		b.WriteString(" [")
+		b.WriteString(d.Rule)
+		b.WriteString("]")
+	}
+	return b.String()
+}
+
+// List accumulates diagnostics. The zero value is ready to use.
+type List struct {
+	diags []*Diagnostic
+}
+
+// Errorf appends an error diagnostic with no rule.
+func (l *List) Errorf(pos token.Pos, format string, args ...any) {
+	l.diags = append(l.diags, &Diagnostic{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// RuleErrorf appends an error attributed to a typing rule.
+func (l *List) RuleErrorf(pos token.Pos, rule, format string, args ...any) {
+	l.diags = append(l.diags, &Diagnostic{Pos: pos, Rule: rule, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Warnf appends a warning.
+func (l *List) Warnf(pos token.Pos, format string, args ...any) {
+	l.diags = append(l.diags, &Diagnostic{Pos: pos, Severity: Warning, Msg: fmt.Sprintf(format, args...)})
+}
+
+// HasErrors reports whether any error-severity diagnostic was recorded.
+func (l *List) HasErrors() bool {
+	for _, d := range l.diags {
+		if d.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of diagnostics.
+func (l *List) Len() int { return len(l.diags) }
+
+// All returns the diagnostics sorted by position.
+func (l *List) All() []*Diagnostic {
+	out := append([]*Diagnostic(nil), l.diags...)
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Col < b.Col
+	})
+	return out
+}
+
+// Err returns nil if the list holds no errors, otherwise an error whose
+// message concatenates all diagnostics, one per line.
+func (l *List) Err() error {
+	if !l.HasErrors() {
+		return nil
+	}
+	msgs := make([]string, 0, len(l.diags))
+	for _, d := range l.All() {
+		msgs = append(msgs, d.Error())
+	}
+	return fmt.Errorf("%s", strings.Join(msgs, "\n"))
+}

@@ -1,0 +1,74 @@
+package diag
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/token"
+)
+
+func p(line, col int) token.Pos { return token.Pos{File: "f.p4", Line: line, Col: col} }
+
+func TestErrorRendering(t *testing.T) {
+	d := &Diagnostic{Pos: p(3, 7), Rule: "T-Assign", Msg: "bad flow"}
+	want := "f.p4:3:7: error: bad flow [T-Assign]"
+	if got := d.Error(); got != want {
+		t.Errorf("rendered %q, want %q", got, want)
+	}
+	d2 := &Diagnostic{Msg: "no position"}
+	if got := d2.Error(); got != "error: no position" {
+		t.Errorf("rendered %q", got)
+	}
+	w := &Diagnostic{Pos: p(1, 1), Severity: Warning, Msg: "heads up"}
+	if !strings.Contains(w.Error(), "warning") {
+		t.Errorf("warning rendered %q", w.Error())
+	}
+}
+
+func TestListAccumulation(t *testing.T) {
+	var l List
+	if l.HasErrors() || l.Len() != 0 || l.Err() != nil {
+		t.Error("zero list not empty")
+	}
+	l.Warnf(p(1, 1), "w1")
+	if l.HasErrors() {
+		t.Error("warning counted as error")
+	}
+	if l.Err() != nil {
+		t.Error("Err non-nil with only warnings")
+	}
+	l.Errorf(p(2, 1), "e1")
+	l.RuleErrorf(p(1, 5), "T-Cond", "e2 %d", 42)
+	if !l.HasErrors() || l.Len() != 3 {
+		t.Errorf("HasErrors=%t Len=%d", l.HasErrors(), l.Len())
+	}
+	err := l.Err()
+	if err == nil {
+		t.Fatal("Err nil")
+	}
+	for _, want := range []string{"e1", "e2 42", "T-Cond", "w1"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("Err %q missing %q", err, want)
+		}
+	}
+}
+
+func TestAllSortsByPosition(t *testing.T) {
+	var l List
+	l.Errorf(p(5, 1), "third")
+	l.Errorf(p(1, 9), "second")
+	l.Errorf(p(1, 2), "first")
+	all := l.All()
+	order := []string{"first", "second", "third"}
+	for i, want := range order {
+		if all[i].Msg != want {
+			t.Errorf("position %d: %s, want %s", i, all[i].Msg, want)
+		}
+	}
+}
+
+func TestSeverityString(t *testing.T) {
+	if Error.String() != "error" || Warning.String() != "warning" {
+		t.Error("severity names wrong")
+	}
+}

@@ -1,0 +1,438 @@
+package eval_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/controlplane"
+	"repro/internal/eval"
+	"repro/internal/parser"
+	"repro/internal/progs"
+)
+
+// run parses src and runs its first control with the given inputs.
+func run(t *testing.T, src string, cp *controlplane.ControlPlane, inputs map[string]eval.Value) (map[string]eval.Value, eval.Signal) {
+	t.Helper()
+	prog := parser.MustParse("test.p4", src)
+	in, err := eval.New(prog, cp)
+	if err != nil {
+		t.Fatalf("eval.New: %v", err)
+	}
+	out, sig, err := in.RunControl("", inputs)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return out, sig
+}
+
+// field extracts a dotted path from an output value.
+func field(t *testing.T, v eval.Value, path ...string) eval.Value {
+	t.Helper()
+	for _, f := range path {
+		switch vv := v.(type) {
+		case *eval.RecordVal:
+			found := false
+			for _, nf := range vv.Fields {
+				if nf.Name == f {
+					v, found = nf.Val, true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("no field %q in %s", f, vv)
+			}
+		case *eval.HeaderVal:
+			found := false
+			for _, nf := range vv.Fields {
+				if nf.Name == f {
+					v, found = nf.Val, true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("no field %q in %s", f, vv)
+			}
+		default:
+			t.Fatalf("cannot project %q from %s", f, v)
+		}
+	}
+	return v
+}
+
+const simpleSrc = `
+header h_t {
+    <bit<8>, low> a;
+    <bit<8>, low> b;
+    <bool, low> flag;
+}
+struct headers { h_t h; }
+control Main(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    apply {
+        %s
+    }
+}
+`
+
+func simple(body string) string { return strings.Replace(simpleSrc, "%s", body, 1) }
+
+func TestAssignAndArith(t *testing.T) {
+	out, sig := run(t, simple(`
+        hdr.h.a = 3;
+        hdr.h.b = hdr.h.a + 4;
+        hdr.h.a = hdr.h.b * 2;
+    `), nil, nil)
+	if sig.Kind != eval.SigCont {
+		t.Fatalf("signal = %s, want cont", sig)
+	}
+	if got := field(t, out["hdr"], "h", "b"); !eval.ValueEqual(got, eval.NewBit(8, 7)) {
+		t.Errorf("b = %s, want 7", got)
+	}
+	if got := field(t, out["hdr"], "h", "a"); !eval.ValueEqual(got, eval.NewBit(8, 14)) {
+		t.Errorf("a = %s, want 14", got)
+	}
+}
+
+func TestBitWrapAround(t *testing.T) {
+	out, _ := run(t, simple(`
+        hdr.h.a = 250;
+        hdr.h.a = hdr.h.a + 10;
+    `), nil, nil)
+	if got := field(t, out["hdr"], "h", "a"); !eval.ValueEqual(got, eval.NewBit(8, 4)) {
+		t.Errorf("a = %s, want 4 (mod 256)", got)
+	}
+}
+
+func TestIfElse(t *testing.T) {
+	out, _ := run(t, simple(`
+        hdr.h.a = 5;
+        if (hdr.h.a > 3) {
+            hdr.h.b = 1;
+        } else {
+            hdr.h.b = 2;
+        }
+        if (hdr.h.a > 100) {
+            hdr.h.flag = true;
+        }
+    `), nil, nil)
+	if got := field(t, out["hdr"], "h", "b"); !eval.ValueEqual(got, eval.NewBit(8, 1)) {
+		t.Errorf("b = %s, want 1", got)
+	}
+	if got := field(t, out["hdr"], "h", "flag"); !eval.ValueEqual(got, eval.BoolVal(false)) {
+		t.Errorf("flag = %s, want false", got)
+	}
+}
+
+func TestExitSignal(t *testing.T) {
+	out, sig := run(t, simple(`
+        hdr.h.a = 1;
+        exit;
+        hdr.h.a = 2;
+    `), nil, nil)
+	if sig.Kind != eval.SigExit {
+		t.Fatalf("signal = %s, want exit", sig)
+	}
+	if got := field(t, out["hdr"], "h", "a"); !eval.ValueEqual(got, eval.NewBit(8, 1)) {
+		t.Errorf("a = %s, want 1 (statement after exit must not run)", got)
+	}
+}
+
+func TestFunctionCallCopyInOut(t *testing.T) {
+	out, _ := run(t, `
+header h_t { <bit<8>, low> a; <bit<8>, low> b; }
+struct headers { h_t h; }
+control Main(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    function <bit<8>, low> double(in <bit<8>, low> x) {
+        return x + x;
+    }
+    action bump(inout <bit<8>, low> x, in <bit<8>, low> by) {
+        x = x + by;
+    }
+    apply {
+        hdr.h.a = double(21);
+        bump(hdr.h.b, 5);
+        bump(hdr.h.b, 1);
+    }
+}
+`, nil, nil)
+	if got := field(t, out["hdr"], "h", "a"); !eval.ValueEqual(got, eval.NewBit(8, 42)) {
+		t.Errorf("a = %s, want 42", got)
+	}
+	if got := field(t, out["hdr"], "h", "b"); !eval.ValueEqual(got, eval.NewBit(8, 6)) {
+		t.Errorf("b = %s, want 6", got)
+	}
+}
+
+func TestInParamIsCopied(t *testing.T) {
+	// Writing to an in-parameter inside the body must not affect the
+	// caller (copy-in semantics). The IFC checker would reject writes to
+	// in-params in full P4; our fragment binds them as ordinary variables,
+	// so the write stays local to the copy.
+	out, _ := run(t, `
+header h_t { <bit<8>, low> a; }
+struct headers { h_t h; }
+control Main(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    action f(in <bit<8>, low> x) {
+        x = 99;
+    }
+    apply {
+        hdr.h.a = 7;
+        f(hdr.h.a);
+    }
+}
+`, nil, nil)
+	if got := field(t, out["hdr"], "h", "a"); !eval.ValueEqual(got, eval.NewBit(8, 7)) {
+		t.Errorf("a = %s, want 7 (in-param must be a copy)", got)
+	}
+}
+
+func TestStacks(t *testing.T) {
+	out, _ := run(t, `
+header h_t { <bit<8>, low> arr[4]; <bit<8>, low> x; }
+struct headers { h_t h; }
+control Main(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    apply {
+        hdr.h.arr[0] = 10;
+        hdr.h.arr[1] = 20;
+        hdr.h.arr[3] = hdr.h.arr[0] + hdr.h.arr[1];
+        hdr.h.x = hdr.h.arr[3];
+    }
+}
+`, nil, nil)
+	if got := field(t, out["hdr"], "h", "x"); !eval.ValueEqual(got, eval.NewBit(8, 30)) {
+		t.Errorf("x = %s, want 30", got)
+	}
+}
+
+func TestLocalVarsAndShadowing(t *testing.T) {
+	out, _ := run(t, simple(`
+        <bit<8>, low> tmp = 9;
+        hdr.h.a = tmp;
+        {
+            <bit<8>, low> tmp2 = 1;
+            hdr.h.b = tmp + tmp2;
+        }
+    `), nil, nil)
+	if got := field(t, out["hdr"], "h", "a"); !eval.ValueEqual(got, eval.NewBit(8, 9)) {
+		t.Errorf("a = %s, want 9", got)
+	}
+	if got := field(t, out["hdr"], "h", "b"); !eval.ValueEqual(got, eval.NewBit(8, 10)) {
+		t.Errorf("b = %s, want 10", got)
+	}
+}
+
+func TestTableExactMatch(t *testing.T) {
+	src := `
+header h_t { <bit<8>, low> key; <bit<8>, low> res; }
+struct headers { h_t h; }
+control Main(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    action set_out(<bit<8>, low> v) {
+        hdr.h.res = v;
+    }
+    action miss_out() {
+        hdr.h.res = 255;
+    }
+    table t {
+        key = { hdr.h.key: exact; }
+        actions = { set_out; miss_out; }
+        default_action = miss_out;
+    }
+    apply {
+        t.apply();
+    }
+}
+`
+	cp := controlplane.New()
+	cp.DeclareTable("t", []string{"exact"})
+	if err := cp.Install("t", controlplane.Entry{
+		Patterns: []controlplane.Pattern{controlplane.Exact(8, 42)},
+		Action:   "set_out",
+		Args:     []uint64{7},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(key uint64) map[string]eval.Value {
+		return map[string]eval.Value{"hdr": &eval.RecordVal{Fields: []eval.NamedValue{
+			{Name: "h", Val: &eval.HeaderVal{Valid: true, Fields: []eval.NamedValue{
+				{Name: "key", Val: eval.NewBit(8, key)},
+				{Name: "res", Val: eval.NewBit(8, 0)},
+			}}},
+		}}}
+	}
+	out, _ := run(t, src, cp.Clone(), mk(42))
+	if got := field(t, out["hdr"], "h", "res"); !eval.ValueEqual(got, eval.NewBit(8, 7)) {
+		t.Errorf("hit: out = %s, want 7", got)
+	}
+	out, _ = run(t, src, cp.Clone(), mk(41))
+	if got := field(t, out["hdr"], "h", "res"); !eval.ValueEqual(got, eval.NewBit(8, 255)) {
+		t.Errorf("miss: out = %s, want default 255", got)
+	}
+}
+
+func TestTableLPM(t *testing.T) {
+	src := `
+header h_t { <bit<32>, low> dst; <bit<8>, low> port; }
+struct headers { h_t h; }
+control Main(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    action set_port(<bit<8>, low> p) {
+        hdr.h.port = p;
+    }
+    table route {
+        key = { hdr.h.dst: lpm; }
+        actions = { set_port; NoAction; }
+    }
+    apply {
+        route.apply();
+    }
+}
+`
+	cp := controlplane.New()
+	cp.DeclareTable("route", []string{"lpm"})
+	// 10.0.0.0/8 -> port 1; 10.1.0.0/16 -> port 2.
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(cp.Install("route", controlplane.Entry{
+		Patterns: []controlplane.Pattern{controlplane.LPM(32, 10<<24, 8)},
+		Action:   "set_port", Args: []uint64{1},
+	}))
+	must(cp.Install("route", controlplane.Entry{
+		Patterns: []controlplane.Pattern{controlplane.LPM(32, 10<<24|1<<16, 16)},
+		Action:   "set_port", Args: []uint64{2},
+	}))
+	mk := func(dst uint64) map[string]eval.Value {
+		return map[string]eval.Value{"hdr": &eval.RecordVal{Fields: []eval.NamedValue{
+			{Name: "h", Val: &eval.HeaderVal{Valid: true, Fields: []eval.NamedValue{
+				{Name: "dst", Val: eval.NewBit(32, dst)},
+				{Name: "port", Val: eval.NewBit(8, 0)},
+			}}},
+		}}}
+	}
+	// 10.2.3.4 matches only /8.
+	out, _ := run(t, src, cp.Clone(), mk(10<<24|2<<16|3<<8|4))
+	if got := field(t, out["hdr"], "h", "port"); !eval.ValueEqual(got, eval.NewBit(8, 1)) {
+		t.Errorf("10.2.3.4: port = %s, want 1", got)
+	}
+	// 10.1.9.9 matches /16 (longest prefix wins).
+	out, _ = run(t, src, cp.Clone(), mk(10<<24|1<<16|9<<8|9))
+	if got := field(t, out["hdr"], "h", "port"); !eval.ValueEqual(got, eval.NewBit(8, 2)) {
+		t.Errorf("10.1.9.9: port = %s, want 2", got)
+	}
+	// 11.0.0.1 misses entirely: port unchanged.
+	out, _ = run(t, src, cp.Clone(), mk(11<<24|1))
+	if got := field(t, out["hdr"], "h", "port"); !eval.ValueEqual(got, eval.NewBit(8, 0)) {
+		t.Errorf("11.0.0.1: port = %s, want 0 (miss)", got)
+	}
+}
+
+func TestMarkToDrop(t *testing.T) {
+	out, _ := run(t, simple(`
+        mark_to_drop(standard_metadata);
+    `), nil, nil)
+	got := field(t, out["standard_metadata"], "drop_flag")
+	if !eval.ValueEqual(got, eval.NewBit(1, 1)) {
+		t.Errorf("drop_flag = %s, want 1", got)
+	}
+	spec := field(t, out["standard_metadata"], "egress_spec")
+	if !eval.ValueEqual(spec, eval.NewBit(9, 511)) {
+		t.Errorf("egress_spec = %s, want 511", spec)
+	}
+}
+
+func TestTopologyFixedEndToEnd(t *testing.T) {
+	// Run the fixed Listing 1/2 program with installed entries and check
+	// the full pipeline: virt2phys rewrite then LPM forwarding.
+	p := progs.Topology()
+	prog := parser.MustParse("topo.p4", p.Source(progs.Fixed))
+	cp := controlplane.New()
+	in, err := eval.New(prog, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(cp.Install("virtual2phys_topology", controlplane.Entry{
+		Patterns: []controlplane.Pattern{controlplane.Exact(32, 0x0A000001)},
+		Action:   "update_to_phys",
+		Args:     []uint64{0xC0A80001, 3},
+	}))
+	must(cp.Install("ipv4_lpm_forward", controlplane.Entry{
+		Patterns: []controlplane.Pattern{controlplane.LPM(32, 0x0A000000, 8)},
+		Action:   "ipv4_forward",
+		Args:     []uint64{0xAABBCCDDEEFF, 4},
+	}))
+	hdr := &eval.RecordVal{Fields: []eval.NamedValue{
+		{Name: "ipv4", Val: &eval.HeaderVal{Valid: true, Fields: []eval.NamedValue{
+			{Name: "ttl", Val: eval.NewBit(8, 64)},
+			{Name: "protocol", Val: eval.NewBit(8, 6)},
+			{Name: "srcAddr", Val: eval.NewBit(32, 0x0A000002)},
+			{Name: "dstAddr", Val: eval.NewBit(32, 0x0A000001)},
+		}}},
+		{Name: "eth", Val: &eval.HeaderVal{Valid: true, Fields: []eval.NamedValue{
+			{Name: "srcAddr", Val: eval.NewBit(48, 1)},
+			{Name: "dstAddr", Val: eval.NewBit(48, 2)},
+		}}},
+		{Name: "local_hdr", Val: &eval.HeaderVal{Valid: true, Fields: []eval.NamedValue{
+			{Name: "phys_dstAddr", Val: eval.NewBit(32, 0)},
+			{Name: "phys_ttl", Val: eval.NewBit(8, 0)},
+			{Name: "next_hop_MAC_addr", Val: eval.NewBit(48, 0)},
+		}}},
+	}}
+	out, sig, err := in.RunControl("", map[string]eval.Value{"hdr": hdr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig.Kind != eval.SigCont {
+		t.Fatalf("signal = %s", sig)
+	}
+	if got := field(t, out["hdr"], "local_hdr", "phys_dstAddr"); !eval.ValueEqual(got, eval.NewBit(32, 0xC0A80001)) {
+		t.Errorf("phys_dstAddr = %s, want 0xC0A80001", got)
+	}
+	if got := field(t, out["hdr"], "local_hdr", "phys_ttl"); !eval.ValueEqual(got, eval.NewBit(8, 3)) {
+		t.Errorf("phys_ttl = %s, want 3", got)
+	}
+	// Public ttl untouched in the fixed version.
+	if got := field(t, out["hdr"], "ipv4", "ttl"); !eval.ValueEqual(got, eval.NewBit(8, 64)) {
+		t.Errorf("ipv4.ttl = %s, want 64 (unchanged)", got)
+	}
+	if got := field(t, out["hdr"], "eth", "dstAddr"); !eval.ValueEqual(got, eval.NewBit(48, 0xAABBCCDDEEFF)) {
+		t.Errorf("eth.dstAddr = %s, want rewritten MAC", got)
+	}
+	if got := field(t, out["standard_metadata"], "egress_spec"); !eval.ValueEqual(got, eval.NewBit(9, 4)) {
+		t.Errorf("egress_spec = %s, want 4", got)
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	prog := parser.MustParse("t.p4", simple(`hdr.h.a = hdr.h.b / hdr.h.a;`))
+	in, err := eval.New(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = in.RunControl("", nil)
+	if err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Fatalf("err = %v, want division by zero", err)
+	}
+}
+
+func TestAllFixedProgramsRun(t *testing.T) {
+	// Every fixed case study must at least execute on zero inputs with an
+	// empty control plane (all tables miss).
+	for _, p := range progs.All() {
+		prog := parser.MustParse(p.FileName(progs.Fixed), p.Source(progs.Fixed))
+		in, err := eval.New(prog, nil)
+		if err != nil {
+			t.Errorf("%s: eval.New: %v", p.Name, err)
+			continue
+		}
+		for _, ctrl := range prog.Controls {
+			if _, _, err := in.RunControl(ctrl.Name, nil); err != nil {
+				t.Errorf("%s/%s: run: %v", p.Name, ctrl.Name, err)
+			}
+		}
+	}
+}

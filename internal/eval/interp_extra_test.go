@@ -1,0 +1,278 @@
+package eval_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/controlplane"
+	"repro/internal/eval"
+	"repro/internal/parser"
+)
+
+func TestExitPropagatesThroughAction(t *testing.T) {
+	out, sig := run(t, `
+header h_t { <bit<8>, low> a; }
+struct headers { h_t h; }
+control Main(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    action bail() {
+        hdr.h.a = 1;
+        exit;
+    }
+    apply {
+        bail();
+        hdr.h.a = 2;
+    }
+}
+`, nil, nil)
+	if sig.Kind != eval.SigExit {
+		t.Fatalf("signal = %s, want exit to propagate out of the action", sig)
+	}
+	if got := field(t, out["hdr"], "h", "a"); !eval.ValueEqual(got, eval.NewBit(8, 1)) {
+		t.Errorf("a = %s, want 1 (write before exit persists, after-exit skipped)", got)
+	}
+}
+
+func TestExitPropagatesThroughTable(t *testing.T) {
+	src := `
+header h_t { <bit<8>, low> k; <bit<8>, low> a; }
+struct headers { h_t h; }
+control Main(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    action bail() { exit; }
+    table tb {
+        key = { hdr.h.k: exact; }
+        actions = { bail; NoAction; }
+        default_action = NoAction;
+    }
+    apply {
+        tb.apply();
+        hdr.h.a = 9;
+    }
+}
+`
+	cp := controlplane.New()
+	cp.DeclareTable("tb", []string{"exact"})
+	if err := cp.Install("tb", controlplane.Entry{
+		Patterns: []controlplane.Pattern{controlplane.Exact(8, 0)},
+		Action:   "bail",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out, sig := run(t, src, cp, nil) // k defaults to 0 -> hits bail
+	if sig.Kind != eval.SigExit {
+		t.Fatalf("signal = %s, want exit", sig)
+	}
+	if got := field(t, out["hdr"], "h", "a"); !eval.ValueEqual(got, eval.NewBit(8, 0)) {
+		t.Errorf("a = %s, want 0 (statement after exiting table skipped)", got)
+	}
+}
+
+func TestWholeHeaderAssignment(t *testing.T) {
+	out, _ := run(t, `
+header pair_t { <bit<8>, low> x; <bit<8>, low> y; }
+struct headers { pair_t a; pair_t b; }
+control Main(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    apply {
+        hdr.a.x = 3;
+        hdr.a.y = 4;
+        hdr.b = hdr.a;
+        hdr.a.x = 9;
+    }
+}
+`, nil, nil)
+	if got := field(t, out["hdr"], "b", "x"); !eval.ValueEqual(got, eval.NewBit(8, 3)) {
+		t.Errorf("b.x = %s, want 3 (header copied by value)", got)
+	}
+	if got := field(t, out["hdr"], "a", "x"); !eval.ValueEqual(got, eval.NewBit(8, 9)) {
+		t.Errorf("a.x = %s", got)
+	}
+}
+
+func TestFunctionCallsFunction(t *testing.T) {
+	out, _ := run(t, `
+header h_t { <bit<8>, low> a; }
+struct headers { h_t h; }
+control Main(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    function <bit<8>, low> inc(in <bit<8>, low> x) {
+        return x + 1;
+    }
+    function <bit<8>, low> inc2(in <bit<8>, low> x) {
+        return inc(inc(x));
+    }
+    apply {
+        hdr.h.a = inc2(40);
+    }
+}
+`, nil, nil)
+	if got := field(t, out["hdr"], "h", "a"); !eval.ValueEqual(got, eval.NewBit(8, 42)) {
+		t.Errorf("a = %s, want 42", got)
+	}
+}
+
+func TestShortCircuitEvaluation(t *testing.T) {
+	// (x != 0) && (10 / x > 1) must not divide by zero when x == 0.
+	out, _ := run(t, `
+header h_t { <bit<8>, low> x; <bool, low> b; }
+struct headers { h_t h; }
+control Main(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    apply {
+        hdr.h.x = 0;
+        hdr.h.b = (hdr.h.x != 0) && ((10 / hdr.h.x) > 1);
+    }
+}
+`, nil, nil)
+	if got := field(t, out["hdr"], "h", "b"); !eval.ValueEqual(got, eval.BoolVal(false)) {
+		t.Errorf("b = %s, want false via short circuit", got)
+	}
+}
+
+func TestOutOfBoundsIndexIsHavocNotCrash(t *testing.T) {
+	// Reads out of range return a havoc value; writes are dropped.
+	out, sig := run(t, `
+header h_t { <bit<8>, low> arr[2]; <bit<8>, low> x; <bit<8>, low> idx; }
+struct headers { h_t h; }
+control Main(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    apply {
+        hdr.h.idx = 7;
+        hdr.h.arr[hdr.h.idx] = 5;
+        hdr.h.x = 3;
+    }
+}
+`, nil, nil)
+	if sig.Kind != eval.SigCont {
+		t.Fatalf("signal = %s", sig)
+	}
+	if got := field(t, out["hdr"], "h", "x"); !eval.ValueEqual(got, eval.NewBit(8, 3)) {
+		t.Errorf("x = %s (program must continue after OOB write)", got)
+	}
+}
+
+func TestUnaryOperators(t *testing.T) {
+	out, _ := run(t, `
+header h_t { <bit<8>, low> a; <bit<8>, low> b; <bool, low> f; }
+struct headers { h_t h; }
+control Main(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    apply {
+        hdr.h.a = ~8w0;
+        hdr.h.b = -8w1;
+        hdr.h.f = !(1 == 2);
+    }
+}
+`, nil, nil)
+	if got := field(t, out["hdr"], "h", "a"); !eval.ValueEqual(got, eval.NewBit(8, 255)) {
+		t.Errorf("~0 = %s", got)
+	}
+	if got := field(t, out["hdr"], "h", "b"); !eval.ValueEqual(got, eval.NewBit(8, 255)) {
+		t.Errorf("-1 = %s", got)
+	}
+	if got := field(t, out["hdr"], "h", "f"); !eval.ValueEqual(got, eval.BoolVal(true)) {
+		t.Errorf("!(1==2) = %s", got)
+	}
+}
+
+func TestShiftSemantics(t *testing.T) {
+	out, _ := run(t, `
+header h_t { <bit<8>, low> a; <bit<8>, low> b; <bit<8>, low> c; }
+struct headers { h_t h; }
+control Main(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    apply {
+        hdr.h.a = 8w1 << 3;
+        hdr.h.b = 8w128 >> 7;
+        hdr.h.c = 8w255 << 9;
+    }
+}
+`, nil, nil)
+	if got := field(t, out["hdr"], "h", "a"); !eval.ValueEqual(got, eval.NewBit(8, 8)) {
+		t.Errorf("1<<3 = %s", got)
+	}
+	if got := field(t, out["hdr"], "h", "b"); !eval.ValueEqual(got, eval.NewBit(8, 1)) {
+		t.Errorf("128>>7 = %s", got)
+	}
+	if got := field(t, out["hdr"], "h", "c"); !eval.ValueEqual(got, eval.NewBit(8, 0)) {
+		t.Errorf("255<<9 = %s, want 0 (overshift)", got)
+	}
+}
+
+func TestFuelExhaustion(t *testing.T) {
+	// A pathological (non-P4) self-recursive function must hit the fuel
+	// limit rather than hang. Core P4 forbids recursion; the interpreter's
+	// closure environment actually makes self-reference unresolvable, so
+	// this errors on the undeclared name instead — either way, it
+	// terminates with an error.
+	prog := parser.MustParse("t.p4", `
+header h_t { <bit<8>, low> a; }
+struct headers { h_t h; }
+control Main(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    function <bit<8>, low> loop(in <bit<8>, low> x) {
+        return loop(x);
+    }
+    apply { hdr.h.a = loop(1); }
+}
+`)
+	in, err := eval.New(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = in.RunControl("", nil)
+	if err == nil {
+		t.Fatal("self-recursive program ran to completion")
+	}
+	if !strings.Contains(err.Error(), "fuel") && !strings.Contains(err.Error(), "depth") &&
+		!strings.Contains(err.Error(), "undeclared") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestRunUnknownControl(t *testing.T) {
+	prog := parser.MustParse("t.p4", simple(`hdr.h.a = 1;`))
+	in, err := eval.New(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := in.RunControl("Ghost", nil); err == nil {
+		t.Fatal("running an unknown control succeeded")
+	}
+	if _, err := in.ParamType("Main", "ghost"); err == nil {
+		t.Fatal("ParamType on unknown parameter succeeded")
+	}
+}
+
+func TestTernaryTableMatch(t *testing.T) {
+	src := `
+header h_t { <bit<8>, low> k; <bit<8>, low> r; }
+struct headers { h_t h; }
+control Main(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    action mark(<bit<8>, low> v) { hdr.h.r = v; }
+    table tb {
+        key = { hdr.h.k: ternary; }
+        actions = { mark; NoAction; }
+        default_action = NoAction;
+    }
+    apply { tb.apply(); }
+}
+`
+	cp := controlplane.New()
+	cp.DeclareTable("tb", []string{"ternary"})
+	// Match any key with the low nibble 0xA.
+	if err := cp.Install("tb", controlplane.Entry{
+		Patterns: []controlplane.Pattern{controlplane.Ternary(8, 0x0A, 0x0F)},
+		Action:   "mark", Args: []uint64{1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(k uint64) map[string]eval.Value {
+		return map[string]eval.Value{"hdr": &eval.RecordVal{Fields: []eval.NamedValue{
+			{Name: "h", Val: &eval.HeaderVal{Valid: true, Fields: []eval.NamedValue{
+				{Name: "k", Val: eval.NewBit(8, k)},
+				{Name: "r", Val: eval.NewBit(8, 0)},
+			}}},
+		}}}
+	}
+	out, _ := run(t, src, cp.Clone(), mk(0x3A))
+	if got := field(t, out["hdr"], "h", "r"); !eval.ValueEqual(got, eval.NewBit(8, 1)) {
+		t.Errorf("0x3A: r = %s, want 1", got)
+	}
+	out, _ = run(t, src, cp.Clone(), mk(0x3B))
+	if got := field(t, out["hdr"], "h", "r"); !eval.ValueEqual(got, eval.NewBit(8, 0)) {
+		t.Errorf("0x3B: r = %s, want 0 (miss)", got)
+	}
+}

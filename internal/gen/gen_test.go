@@ -1,0 +1,110 @@
+package gen_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/basecheck"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/lattice"
+	"repro/internal/parser"
+	"repro/internal/progs"
+)
+
+func TestSynthIsWellTyped(t *testing.T) {
+	for _, n := range []int{1, 3, 10} {
+		src := gen.Synth(n, 4, 8)
+		prog, err := parser.Parse("synth.p4", src)
+		if err != nil {
+			t.Fatalf("Synth(%d) does not parse: %v", n, err)
+		}
+		if res := core.Check(prog, lattice.TwoPoint()); !res.OK {
+			t.Fatalf("Synth(%d) rejected by P4BID:\n%v", n, res.Err())
+		}
+		stripped := progs.StripAnnotations(src)
+		sprog, err := parser.Parse("synth.p4", stripped)
+		if err != nil {
+			t.Fatalf("stripped Synth(%d) does not parse: %v", n, err)
+		}
+		if res := basecheck.Check(sprog); !res.OK {
+			t.Fatalf("stripped Synth(%d) rejected by base checker:\n%v", n, res.Err())
+		}
+	}
+}
+
+func TestSynthGrowsWithSize(t *testing.T) {
+	small := gen.Synth(2, 2, 4)
+	large := gen.Synth(20, 4, 4)
+	if len(large) <= len(small) {
+		t.Error("Synth does not grow with table count")
+	}
+	if got := strings.Count(large, "table "); got != 20 {
+		t.Errorf("Synth(20) has %d tables", got)
+	}
+}
+
+func TestSynthChainIsWellTyped(t *testing.T) {
+	for _, n := range []int{2, 5, 16} {
+		src := gen.SynthChainLabels(n)
+		prog, err := parser.Parse("chain.p4", src)
+		if err != nil {
+			t.Fatalf("SynthChainLabels(%d) does not parse: %v", n, err)
+		}
+		if res := core.Check(prog, lattice.Chain(n)); !res.OK {
+			t.Fatalf("SynthChainLabels(%d) rejected:\n%v", n, res.Err())
+		}
+	}
+}
+
+func TestChainDownwardFlowRejected(t *testing.T) {
+	// Sanity: reversing one chain assignment must be rejected.
+	src := gen.SynthChainLabels(4)
+	bad := strings.Replace(src, "hdr.d.f1 = hdr.d.f0 + 1;", "hdr.d.f0 = hdr.d.f1 + 1;", 1)
+	if bad == src {
+		t.Fatal("replacement did not apply")
+	}
+	prog := parser.MustParse("chain.p4", bad)
+	if res := core.Check(prog, lattice.Chain(4)); res.OK {
+		t.Error("downward chain flow accepted")
+	}
+}
+
+func TestRandomAlwaysParses(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := gen.DefaultConfig()
+	for i := 0; i < 300; i++ {
+		src := gen.Random(rng, cfg)
+		if _, err := parser.Parse("rand.p4", src); err != nil {
+			t.Fatalf("random program %d does not parse: %v\n%s", i, err, src)
+		}
+	}
+}
+
+func TestRandomAlwaysBaseChecks(t *testing.T) {
+	// Random programs may violate flows but must never contain ordinary
+	// type errors.
+	rng := rand.New(rand.NewSource(4))
+	cfg := gen.DefaultConfig()
+	for i := 0; i < 300; i++ {
+		src := gen.Random(rng, cfg)
+		prog := parser.MustParse("rand.p4", src)
+		if res := basecheck.Check(prog); !res.OK {
+			t.Fatalf("random program %d has base type errors:\n%v\n%s", i, res.Err(), src)
+		}
+	}
+}
+
+func TestRandomIsDeterministicPerSeed(t *testing.T) {
+	cfg := gen.DefaultConfig()
+	a := gen.Random(rand.New(rand.NewSource(11)), cfg)
+	b := gen.Random(rand.New(rand.NewSource(11)), cfg)
+	if a != b {
+		t.Error("same seed produced different programs")
+	}
+	c := gen.Random(rand.New(rand.NewSource(12)), cfg)
+	if a == c {
+		t.Error("different seeds produced the same program")
+	}
+}

@@ -1,0 +1,464 @@
+// Package lattice implements the security lattices used by the P4BID
+// information-flow control type system.
+//
+// A security lattice (L, ⊑) supplies the labels χ attached to P4 types.
+// The paper uses the two-point lattice {low ⊑ high} for confidentiality,
+// integrity, and timing case studies, and the four-point diamond lattice
+// {⊥ ⊑ A, B ⊑ ⊤} (Figure 8b) for network isolation. This package provides
+// those lattices plus several generalizations mentioned as future work:
+// n-party diamonds, powerset lattices, linear chains, and products.
+//
+// All lattices are finite, and every implementation satisfies the lattice
+// laws (commutativity, associativity, idempotence, absorption, and the
+// consistency of ⊑ with join/meet); these laws are property-tested in
+// lattice_test.go.
+package lattice
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Label is an element of a security lattice. Labels are compared only
+// through the Lattice that produced them; mixing labels from different
+// lattices is a programming error and panics.
+type Label struct {
+	lat  Lattice
+	name string
+}
+
+// Name returns the label's name within its lattice (e.g. "high", "A").
+func (l Label) Name() string { return l.name }
+
+// String implements fmt.Stringer.
+func (l Label) String() string { return l.name }
+
+// Lattice returns the lattice this label belongs to.
+func (l Label) Lattice() Lattice { return l.lat }
+
+// IsZero reports whether l is the zero Label (belonging to no lattice).
+func (l Label) IsZero() bool { return l.lat == nil }
+
+// Lattice is a finite bounded security lattice.
+type Lattice interface {
+	// Name returns a short identifier for the lattice (e.g. "two-point").
+	Name() string
+	// Bottom returns the least element ⊥ (public / most trusted).
+	Bottom() Label
+	// Top returns the greatest element ⊤ (secret / least trusted).
+	Top() Label
+	// Leq reports whether a ⊑ b.
+	Leq(a, b Label) bool
+	// Join returns the least upper bound a ⊔ b.
+	Join(a, b Label) Label
+	// Meet returns the greatest lower bound a ⊓ b.
+	Meet(a, b Label) Label
+	// Lookup resolves a label by name; ok is false if the name is unknown.
+	Lookup(name string) (Label, bool)
+	// Elements returns all elements in a deterministic order.
+	Elements() []Label
+}
+
+// table is a generic finite-lattice implementation backed by explicit
+// join/meet tables computed from a ⊑ relation. All concrete lattices in
+// this package reduce to it.
+type table struct {
+	name  string
+	elems []string       // index -> name, deterministic order
+	index map[string]int // name -> index
+	leq   [][]bool
+	join  [][]int
+	meet  [][]int
+	bot   int
+	top   int
+}
+
+var _ Lattice = (*table)(nil)
+
+// newTable builds a lattice from element names and the reflexive-transitive
+// ⊑ relation described by covers: covers[x] lists elements directly above x.
+// It validates that the order has unique joins/meets and unique ⊥/⊤,
+// returning an error otherwise.
+func newTable(name string, elems []string, covers map[string][]string) (*table, error) {
+	n := len(elems)
+	if n == 0 {
+		return nil, fmt.Errorf("lattice %q: no elements", name)
+	}
+	t := &table{name: name, elems: elems, index: make(map[string]int, n)}
+	for i, e := range elems {
+		if _, dup := t.index[e]; dup {
+			return nil, fmt.Errorf("lattice %q: duplicate element %q", name, e)
+		}
+		t.index[e] = i
+	}
+	// Reflexive-transitive closure of the cover relation.
+	t.leq = make([][]bool, n)
+	for i := range t.leq {
+		t.leq[i] = make([]bool, n)
+		t.leq[i][i] = true
+	}
+	for lo, ups := range covers {
+		i, ok := t.index[lo]
+		if !ok {
+			return nil, fmt.Errorf("lattice %q: cover source %q not an element", name, lo)
+		}
+		for _, hi := range ups {
+			j, ok := t.index[hi]
+			if !ok {
+				return nil, fmt.Errorf("lattice %q: cover target %q not an element", name, hi)
+			}
+			t.leq[i][j] = true
+		}
+	}
+	for k := 0; k < n; k++ { // Warshall
+		for i := 0; i < n; i++ {
+			if !t.leq[i][k] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if t.leq[k][j] {
+					t.leq[i][j] = true
+				}
+			}
+		}
+	}
+	// Antisymmetry check.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && t.leq[i][j] && t.leq[j][i] {
+				return nil, fmt.Errorf("lattice %q: %s and %s are order-equivalent", name, elems[i], elems[j])
+			}
+		}
+	}
+	// Joins and meets by exhaustive search; must exist and be unique.
+	t.join = make([][]int, n)
+	t.meet = make([][]int, n)
+	for i := 0; i < n; i++ {
+		t.join[i] = make([]int, n)
+		t.meet[i] = make([]int, n)
+		for j := 0; j < n; j++ {
+			jn, err := t.bound(i, j, true)
+			if err != nil {
+				return nil, fmt.Errorf("lattice %q: %v", name, err)
+			}
+			mt, err := t.bound(i, j, false)
+			if err != nil {
+				return nil, fmt.Errorf("lattice %q: %v", name, err)
+			}
+			t.join[i][j] = jn
+			t.meet[i][j] = mt
+		}
+	}
+	// Unique bottom and top.
+	t.bot, t.top = -1, -1
+	for i := 0; i < n; i++ {
+		isBot, isTop := true, true
+		for j := 0; j < n; j++ {
+			if !t.leq[i][j] {
+				isBot = false
+			}
+			if !t.leq[j][i] {
+				isTop = false
+			}
+		}
+		if isBot {
+			t.bot = i
+		}
+		if isTop {
+			t.top = i
+		}
+	}
+	if t.bot < 0 || t.top < 0 {
+		return nil, fmt.Errorf("lattice %q: missing bottom or top", name)
+	}
+	return t, nil
+}
+
+// bound returns the least upper bound (upper=true) or greatest lower bound
+// (upper=false) of elements i and j, or an error if none exists.
+func (t *table) bound(i, j int, upper bool) (int, error) {
+	n := len(t.elems)
+	var cands []int
+	for k := 0; k < n; k++ {
+		if upper && t.leq[i][k] && t.leq[j][k] {
+			cands = append(cands, k)
+		}
+		if !upper && t.leq[k][i] && t.leq[k][j] {
+			cands = append(cands, k)
+		}
+	}
+	for _, c := range cands {
+		least := true
+		for _, d := range cands {
+			if upper && !t.leq[c][d] {
+				least = false
+				break
+			}
+			if !upper && !t.leq[d][c] {
+				least = false
+				break
+			}
+		}
+		if least {
+			return c, nil
+		}
+	}
+	kind := "join"
+	if !upper {
+		kind = "meet"
+	}
+	return 0, fmt.Errorf("no unique %s for %s and %s", kind, t.elems[i], t.elems[j])
+}
+
+func (t *table) Name() string { return t.name }
+
+func (t *table) Bottom() Label { return Label{t, t.elems[t.bot]} }
+
+func (t *table) Top() Label { return Label{t, t.elems[t.top]} }
+
+func (t *table) idx(l Label) int {
+	if l.lat != t {
+		panic(fmt.Sprintf("lattice: label %q does not belong to lattice %q", l.name, t.name))
+	}
+	i, ok := t.index[l.name]
+	if !ok {
+		panic(fmt.Sprintf("lattice: label %q unknown in lattice %q", l.name, t.name))
+	}
+	return i
+}
+
+func (t *table) Leq(a, b Label) bool { return t.leq[t.idx(a)][t.idx(b)] }
+
+func (t *table) Join(a, b Label) Label { return Label{t, t.elems[t.join[t.idx(a)][t.idx(b)]]} }
+
+func (t *table) Meet(a, b Label) Label { return Label{t, t.elems[t.meet[t.idx(a)][t.idx(b)]]} }
+
+func (t *table) Lookup(name string) (Label, bool) {
+	if _, ok := t.index[name]; ok {
+		return Label{t, name}, true
+	}
+	return Label{}, false
+}
+
+func (t *table) Elements() []Label {
+	out := make([]Label, len(t.elems))
+	for i, e := range t.elems {
+		out[i] = Label{t, e}
+	}
+	return out
+}
+
+// JoinAll folds Join over labels, starting from the lattice bottom.
+func JoinAll(l Lattice, labels ...Label) Label {
+	acc := l.Bottom()
+	for _, x := range labels {
+		acc = l.Join(acc, x)
+	}
+	return acc
+}
+
+// MeetAll folds Meet over labels, starting from the lattice top.
+func MeetAll(l Lattice, labels ...Label) Label {
+	acc := l.Top()
+	for _, x := range labels {
+		acc = l.Meet(acc, x)
+	}
+	return acc
+}
+
+// TwoPoint returns the classic {low ⊑ high} lattice used throughout the
+// paper's confidentiality, integrity, and timing case studies. The names
+// "bot"/"top" and "public"/"secret" are accepted as aliases by Lookup via
+// the wrapper returned here.
+func TwoPoint() Lattice {
+	t, err := newTable("two-point", []string{"low", "high"}, map[string][]string{"low": {"high"}})
+	if err != nil {
+		panic(err)
+	}
+	return &aliased{t, map[string]string{
+		"bot": "low", "bottom": "low", "public": "low", "trusted": "low",
+		"top": "high", "secret": "high", "untrusted": "high",
+	}}
+}
+
+// Diamond returns the four-point diamond lattice of Figure 8b:
+// ⊥ ⊑ A, B ⊑ ⊤ with A and B incomparable. Lookup accepts "alice"/"bob"
+// and "low"/"high" aliases to match the paper's Listing 6 annotations.
+func Diamond() Lattice {
+	t, err := newTable("diamond", []string{"bot", "A", "B", "top"}, map[string][]string{
+		"bot": {"A", "B"},
+		"A":   {"top"},
+		"B":   {"top"},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return &aliased{t, map[string]string{
+		"alice": "A", "bob": "B", "low": "bot", "high": "top",
+		"bottom": "bot", "telem": "top",
+	}}
+}
+
+// NParty returns a diamond lattice with n mutually-incomparable parties
+// between ⊥ and ⊤, generalizing Figure 8b as suggested in Section 5.4
+// ("the same idea can be directly generalized to more parties"). Parties
+// are named P0..P(n-1) unless names are given.
+func NParty(names ...string) Lattice {
+	if len(names) == 0 {
+		panic("lattice: NParty requires at least one party")
+	}
+	elems := append([]string{"bot"}, names...)
+	elems = append(elems, "top")
+	covers := map[string][]string{"bot": names}
+	for _, p := range names {
+		covers[p] = []string{"top"}
+	}
+	t, err := newTable(fmt.Sprintf("%d-party", len(names)), elems, covers)
+	if err != nil {
+		panic(err)
+	}
+	return &aliased{t, map[string]string{"low": "bot", "high": "top", "bottom": "bot"}}
+}
+
+// Chain returns a linear lattice L0 ⊑ L1 ⊑ ... ⊑ L(n-1). Chains are used
+// by the scaling benchmarks to measure checker cost as lattice height grows.
+func Chain(n int) Lattice {
+	if n < 1 {
+		panic("lattice: Chain requires n >= 1")
+	}
+	elems := make([]string, n)
+	covers := make(map[string][]string, n)
+	for i := range elems {
+		elems[i] = fmt.Sprintf("L%d", i)
+	}
+	for i := 0; i+1 < n; i++ {
+		covers[elems[i]] = []string{elems[i+1]}
+	}
+	t, err := newTable(fmt.Sprintf("chain-%d", n), elems, covers)
+	if err != nil {
+		panic(err)
+	}
+	return &aliased{t, map[string]string{"low": elems[0], "bot": elems[0], "high": elems[n-1], "top": elems[n-1]}}
+}
+
+// Powerset returns the lattice of subsets of the given atoms ordered by
+// inclusion: ⊥ = {} and ⊤ = the full set. Element names are sorted
+// comma-joined atom lists in braces, e.g. "{a,b}"; "{}" is bottom.
+// Powerset lattices model decentralized-label-style policies.
+func Powerset(atoms ...string) Lattice {
+	if len(atoms) == 0 {
+		panic("lattice: Powerset requires at least one atom")
+	}
+	if len(atoms) > 10 {
+		panic("lattice: Powerset limited to 10 atoms")
+	}
+	sorted := append([]string(nil), atoms...)
+	sort.Strings(sorted)
+	n := 1 << len(sorted)
+	elems := make([]string, n)
+	for m := 0; m < n; m++ {
+		elems[m] = subsetName(sorted, m)
+	}
+	covers := make(map[string][]string)
+	for m := 0; m < n; m++ {
+		var ups []string
+		for b := 0; b < len(sorted); b++ {
+			if m&(1<<b) == 0 {
+				ups = append(ups, subsetName(sorted, m|1<<b))
+			}
+		}
+		covers[elems[m]] = ups
+	}
+	t, err := newTable(fmt.Sprintf("powerset-%d", len(sorted)), elems, covers)
+	if err != nil {
+		panic(err)
+	}
+	al := map[string]string{"low": elems[0], "bot": elems[0], "high": elems[n-1], "top": elems[n-1]}
+	for i, a := range sorted {
+		al[a] = subsetName(sorted, 1<<i)
+	}
+	return &aliased{t, al}
+}
+
+func subsetName(atoms []string, mask int) string {
+	var parts []string
+	for i, a := range atoms {
+		if mask&(1<<i) != 0 {
+			parts = append(parts, a)
+		}
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Product returns the component-wise product lattice of a and b. Element
+// names are "x×y". Products let operators combine, e.g., a confidentiality
+// lattice with an integrity lattice.
+func Product(a, b Lattice) Lattice {
+	ae, be := a.Elements(), b.Elements()
+	elems := make([]string, 0, len(ae)*len(be))
+	name := func(x, y Label) string { return x.Name() + "×" + y.Name() }
+	for _, x := range ae {
+		for _, y := range be {
+			elems = append(elems, name(x, y))
+		}
+	}
+	covers := make(map[string][]string)
+	for _, x := range ae {
+		for _, y := range be {
+			var ups []string
+			for _, x2 := range ae {
+				for _, y2 := range be {
+					if (x.Name() != x2.Name() || y.Name() != y2.Name()) &&
+						a.Leq(x, x2) && b.Leq(y, y2) {
+						ups = append(ups, name(x2, y2))
+					}
+				}
+			}
+			covers[name(x, y)] = ups
+		}
+	}
+	t, err := newTable("product("+a.Name()+","+b.Name()+")", elems, covers)
+	if err != nil {
+		panic(err)
+	}
+	return &aliased{t, map[string]string{
+		"low":  name(a.Bottom(), b.Bottom()),
+		"bot":  name(a.Bottom(), b.Bottom()),
+		"high": name(a.Top(), b.Top()),
+		"top":  name(a.Top(), b.Top()),
+	}}
+}
+
+// aliased wraps a table lattice with alternate names accepted by Lookup.
+type aliased struct {
+	*table
+	aliases map[string]string
+}
+
+func (a *aliased) Lookup(name string) (Label, bool) {
+	if canon, ok := a.aliases[name]; ok {
+		name = canon
+	}
+	return a.table.Lookup(name)
+}
+
+// ByName constructs one of the named stock lattices: "two-point",
+// "diamond", or "chain-N" for a positive integer N. It is used by the CLI
+// tools' -lattice flag.
+func ByName(name string) (Lattice, error) {
+	switch {
+	case name == "" || name == "two-point" || name == "2pt":
+		return TwoPoint(), nil
+	case name == "diamond":
+		return Diamond(), nil
+	case strings.HasPrefix(name, "chain-"):
+		var n int
+		if _, err := fmt.Sscanf(name, "chain-%d", &n); err != nil || n < 1 {
+			return nil, fmt.Errorf("lattice: bad chain spec %q", name)
+		}
+		return Chain(n), nil
+	default:
+		return nil, fmt.Errorf("lattice: unknown lattice %q (want two-point, diamond, or chain-N)", name)
+	}
+}

@@ -1,0 +1,333 @@
+package lattice
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func allLattices() map[string]Lattice {
+	return map[string]Lattice{
+		"two-point": TwoPoint(),
+		"diamond":   Diamond(),
+		"3-party":   NParty("A", "B", "C"),
+		"chain-1":   Chain(1),
+		"chain-5":   Chain(5),
+		"powerset3": Powerset("a", "b", "c"),
+		"product":   Product(TwoPoint(), Diamond()),
+	}
+}
+
+// randomLabel draws a uniformly random element of l.
+func randomLabel(l Lattice, r *rand.Rand) Label {
+	es := l.Elements()
+	return es[r.Intn(len(es))]
+}
+
+func TestLatticeLaws(t *testing.T) {
+	for name, l := range allLattices() {
+		l := l
+		t.Run(name, func(t *testing.T) {
+			cfg := &quick.Config{MaxCount: 500}
+			// Commutativity.
+			if err := quick.Check(func(i, j int) bool {
+				es := l.Elements()
+				a, b := es[abs(i)%len(es)], es[abs(j)%len(es)]
+				return l.Join(a, b) == l.Join(b, a) && l.Meet(a, b) == l.Meet(b, a)
+			}, cfg); err != nil {
+				t.Errorf("commutativity: %v", err)
+			}
+			// Associativity.
+			if err := quick.Check(func(i, j, k int) bool {
+				es := l.Elements()
+				a, b, c := es[abs(i)%len(es)], es[abs(j)%len(es)], es[abs(k)%len(es)]
+				return l.Join(l.Join(a, b), c) == l.Join(a, l.Join(b, c)) &&
+					l.Meet(l.Meet(a, b), c) == l.Meet(a, l.Meet(b, c))
+			}, cfg); err != nil {
+				t.Errorf("associativity: %v", err)
+			}
+			// Idempotence and absorption.
+			if err := quick.Check(func(i, j int) bool {
+				es := l.Elements()
+				a, b := es[abs(i)%len(es)], es[abs(j)%len(es)]
+				return l.Join(a, a) == a && l.Meet(a, a) == a &&
+					l.Join(a, l.Meet(a, b)) == a && l.Meet(a, l.Join(a, b)) == a
+			}, cfg); err != nil {
+				t.Errorf("idempotence/absorption: %v", err)
+			}
+			// Order consistency: a ⊑ b iff a⊔b = b iff a⊓b = a.
+			if err := quick.Check(func(i, j int) bool {
+				es := l.Elements()
+				a, b := es[abs(i)%len(es)], es[abs(j)%len(es)]
+				return l.Leq(a, b) == (l.Join(a, b) == b) &&
+					l.Leq(a, b) == (l.Meet(a, b) == a)
+			}, cfg); err != nil {
+				t.Errorf("order consistency: %v", err)
+			}
+		})
+	}
+}
+
+func abs(i int) int {
+	if i < 0 {
+		if i == -i { // MinInt
+			return 0
+		}
+		return -i
+	}
+	return i
+}
+
+func TestBounds(t *testing.T) {
+	for name, l := range allLattices() {
+		bot, top := l.Bottom(), l.Top()
+		for _, e := range l.Elements() {
+			if !l.Leq(bot, e) {
+				t.Errorf("%s: bottom %s not below %s", name, bot, e)
+			}
+			if !l.Leq(e, top) {
+				t.Errorf("%s: %s not below top %s", name, e, top)
+			}
+		}
+	}
+}
+
+func TestJoinMeetAreBounds(t *testing.T) {
+	for name, l := range allLattices() {
+		es := l.Elements()
+		for _, a := range es {
+			for _, b := range es {
+				j, m := l.Join(a, b), l.Meet(a, b)
+				if !l.Leq(a, j) || !l.Leq(b, j) {
+					t.Errorf("%s: join %s⊔%s=%s is not an upper bound", name, a, b, j)
+				}
+				if !l.Leq(m, a) || !l.Leq(m, b) {
+					t.Errorf("%s: meet %s⊓%s=%s is not a lower bound", name, a, b, m)
+				}
+				// Leastness/greatestness.
+				for _, c := range es {
+					if l.Leq(a, c) && l.Leq(b, c) && !l.Leq(j, c) {
+						t.Errorf("%s: %s⊔%s=%s not least (%s also ub)", name, a, b, j, c)
+					}
+					if l.Leq(c, a) && l.Leq(c, b) && !l.Leq(c, m) {
+						t.Errorf("%s: %s⊓%s=%s not greatest (%s also lb)", name, a, b, m, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTwoPoint(t *testing.T) {
+	l := TwoPoint()
+	low, ok := l.Lookup("low")
+	if !ok {
+		t.Fatal("no low")
+	}
+	high, ok := l.Lookup("high")
+	if !ok {
+		t.Fatal("no high")
+	}
+	if !l.Leq(low, high) || l.Leq(high, low) {
+		t.Fatalf("low/high ordering wrong")
+	}
+	if l.Bottom() != low || l.Top() != high {
+		t.Fatalf("bounds wrong: bot=%s top=%s", l.Bottom(), l.Top())
+	}
+	for alias, want := range map[string]string{"public": "low", "secret": "high", "bot": "low", "top": "high", "untrusted": "high", "trusted": "low"} {
+		got, ok := l.Lookup(alias)
+		if !ok || got.Name() != want {
+			t.Errorf("alias %q: got %v,%v want %s", alias, got, ok, want)
+		}
+	}
+	if _, ok := l.Lookup("nonsense"); ok {
+		t.Error("lookup of unknown name succeeded")
+	}
+}
+
+func TestDiamond(t *testing.T) {
+	l := Diamond()
+	a, _ := l.Lookup("A")
+	b, _ := l.Lookup("B")
+	bot, _ := l.Lookup("bot")
+	top, _ := l.Lookup("top")
+	if l.Leq(a, b) || l.Leq(b, a) {
+		t.Error("A and B should be incomparable")
+	}
+	if l.Join(a, b) != top {
+		t.Errorf("A⊔B = %s, want top", l.Join(a, b))
+	}
+	if l.Meet(a, b) != bot {
+		t.Errorf("A⊓B = %s, want bot", l.Meet(a, b))
+	}
+	if got, _ := l.Lookup("alice"); got != a {
+		t.Errorf("alias alice -> %s, want A", got)
+	}
+	if got, _ := l.Lookup("bob"); got != b {
+		t.Errorf("alias bob -> %s, want B", got)
+	}
+}
+
+func TestNParty(t *testing.T) {
+	l := NParty("A", "B", "C")
+	if len(l.Elements()) != 5 {
+		t.Fatalf("3-party lattice has %d elements, want 5", len(l.Elements()))
+	}
+	a, _ := l.Lookup("A")
+	c, _ := l.Lookup("C")
+	if l.Leq(a, c) || l.Leq(c, a) {
+		t.Error("parties should be incomparable")
+	}
+	if l.Join(a, c) != l.Top() {
+		t.Error("join of two parties should be top")
+	}
+}
+
+func TestChain(t *testing.T) {
+	l := Chain(4)
+	es := l.Elements()
+	if len(es) != 4 {
+		t.Fatalf("chain-4 has %d elements", len(es))
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if l.Leq(es[i], es[j]) != (i <= j) {
+				t.Errorf("chain order wrong at %d,%d", i, j)
+			}
+		}
+	}
+	if l.Bottom() != es[0] || l.Top() != es[3] {
+		t.Error("chain bounds wrong")
+	}
+}
+
+func TestPowerset(t *testing.T) {
+	l := Powerset("a", "b")
+	if len(l.Elements()) != 4 {
+		t.Fatalf("powerset-2 has %d elements, want 4", len(l.Elements()))
+	}
+	a, ok := l.Lookup("a")
+	if !ok {
+		t.Fatal("atom a not found")
+	}
+	b, _ := l.Lookup("b")
+	if l.Leq(a, b) || l.Leq(b, a) {
+		t.Error("singletons should be incomparable")
+	}
+	if l.Join(a, b).Name() != "{a,b}" {
+		t.Errorf("join = %s, want {a,b}", l.Join(a, b))
+	}
+	if l.Meet(a, b).Name() != "{}" {
+		t.Errorf("meet = %s, want {}", l.Meet(a, b))
+	}
+}
+
+func TestProduct(t *testing.T) {
+	l := Product(TwoPoint(), TwoPoint())
+	if len(l.Elements()) != 4 {
+		t.Fatalf("product has %d elements, want 4", len(l.Elements()))
+	}
+	lh, ok := l.Lookup("low×high")
+	if !ok {
+		t.Fatal("low×high not found")
+	}
+	hl, _ := l.Lookup("high×low")
+	if l.Leq(lh, hl) || l.Leq(hl, lh) {
+		t.Error("mixed pairs should be incomparable")
+	}
+}
+
+func TestJoinAllMeetAll(t *testing.T) {
+	l := Diamond()
+	a, _ := l.Lookup("A")
+	b, _ := l.Lookup("B")
+	if JoinAll(l, a, b) != l.Top() {
+		t.Error("JoinAll(A,B) != top")
+	}
+	if MeetAll(l, a, b) != l.Bottom() {
+		t.Error("MeetAll(A,B) != bot")
+	}
+	if JoinAll(l) != l.Bottom() {
+		t.Error("empty JoinAll != bottom")
+	}
+	if MeetAll(l) != l.Top() {
+		t.Error("empty MeetAll != top")
+	}
+}
+
+func TestByName(t *testing.T) {
+	cases := []struct {
+		in   string
+		ok   bool
+		want string
+	}{
+		{"", true, "two-point"},
+		{"two-point", true, "two-point"},
+		{"2pt", true, "two-point"},
+		{"diamond", true, "diamond"},
+		{"chain-3", true, "chain-3"},
+		{"chain-0", false, ""},
+		{"weird", false, ""},
+	}
+	for _, c := range cases {
+		l, err := ByName(c.in)
+		if c.ok && (err != nil || l.Name() != c.want) {
+			t.Errorf("ByName(%q) = %v, %v; want %s", c.in, l, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ByName(%q) succeeded, want error", c.in)
+		}
+	}
+}
+
+func TestMixedLatticePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mixing labels from two lattices did not panic")
+		}
+	}()
+	a := TwoPoint()
+	b := Diamond()
+	la, _ := a.Lookup("low")
+	lb, _ := b.Lookup("A")
+	a.Leq(la, lb)
+}
+
+func TestDistributivityOfStockLattices(t *testing.T) {
+	// The two-point, chain, powerset, diamond (2 incomparable atoms),
+	// and their products are distributive. n-party lattices with n >= 3
+	// contain M3 and are only modular, so they are excluded here.
+	distributive := map[string]Lattice{
+		"two-point": TwoPoint(),
+		"diamond":   Diamond(),
+		"chain-5":   Chain(5),
+		"powerset3": Powerset("a", "b", "c"),
+		"product":   Product(TwoPoint(), Diamond()),
+	}
+	for name, l := range distributive {
+		es := l.Elements()
+		for _, a := range es {
+			for _, b := range es {
+				for _, c := range es {
+					lhs := l.Meet(a, l.Join(b, c))
+					rhs := l.Join(l.Meet(a, b), l.Meet(a, c))
+					if lhs != rhs {
+						t.Errorf("%s: distributivity fails at %s,%s,%s", name, a, b, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRandomLabelCoverage(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	l := Diamond()
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		seen[randomLabel(l, r).Name()] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("random labels covered %d/4 elements", len(seen))
+	}
+}

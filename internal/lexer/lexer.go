@@ -1,0 +1,340 @@
+// Package lexer tokenizes the P4 subset accepted by the P4BID frontend.
+//
+// The lexer is a conventional hand-written scanner. It understands //-line
+// and /* block */ comments, decimal and hexadecimal integer literals, P4's
+// width-prefixed literals (8w255 is split into the value with its width
+// recorded in the literal spelling), and all the punctuation of the core
+// grammar, including the angle brackets that do double duty as comparison
+// operators and as the delimiters of security-annotated types <bit<8>, low>.
+// Disambiguation of < is left to the parser, which has the grammatical
+// context; the lexer always emits LT/GT/SHL/SHR/LEQ/GEQ greedily except
+// that it never joins >> when lexing inside a type context marker — the
+// parser instead asks for SplitShr when it needs two closing angles.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/token"
+)
+
+// Lexer scans an input buffer into tokens.
+type Lexer struct {
+	src  string
+	file string
+	off  int // byte offset of next rune
+	line int
+	col  int
+
+	peeked []token.Token // pushback buffer used by the parser
+}
+
+// New returns a lexer over src; file is used in positions (may be empty).
+func New(file, src string) *Lexer {
+	return &Lexer{src: src, file: file, line: 1, col: 1}
+}
+
+// Errorf builds a positioned lexical error.
+func (l *Lexer) errorf(p token.Pos, format string, args ...any) error {
+	return fmt.Errorf("%s: %s", p, fmt.Sprintf(format, args...))
+}
+
+func (l *Lexer) pos() token.Pos {
+	return token.Pos{File: l.file, Line: l.line, Col: l.col}
+}
+
+func (l *Lexer) peekByte() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peekByte2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' || c == '\n' }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+// skipSpaceAndComments consumes whitespace and comments; it returns an error
+// for an unterminated block comment.
+func (l *Lexer) skipSpaceAndComments() error {
+	for {
+		for isSpace(l.peekByte()) {
+			l.advance()
+		}
+		if l.peekByte() == '/' && l.peekByte2() == '/' {
+			for l.peekByte() != 0 && l.peekByte() != '\n' {
+				l.advance()
+			}
+			continue
+		}
+		if l.peekByte() == '/' && l.peekByte2() == '*' {
+			p := l.pos()
+			l.advance()
+			l.advance()
+			for {
+				if l.peekByte() == 0 {
+					return l.errorf(p, "unterminated block comment")
+				}
+				if l.peekByte() == '*' && l.peekByte2() == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+			continue
+		}
+		return nil
+	}
+}
+
+// Next returns the next token. After EOF it keeps returning EOF.
+func (l *Lexer) Next() (token.Token, error) {
+	if n := len(l.peeked); n > 0 {
+		t := l.peeked[n-1]
+		l.peeked = l.peeked[:n-1]
+		return t, nil
+	}
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token.Token{Kind: token.ILLEGAL, Pos: l.pos()}, err
+	}
+	p := l.pos()
+	c := l.peekByte()
+	switch {
+	case c == 0:
+		return token.Token{Kind: token.EOF, Pos: p}, nil
+	case isIdentStart(c):
+		start := l.off
+		for isIdentCont(l.peekByte()) {
+			l.advance()
+		}
+		lit := l.src[start:l.off]
+		return token.Token{Kind: token.LookupIdent(lit), Lit: lit, Pos: p}, nil
+	case isDigit(c):
+		return l.lexNumber(p)
+	}
+	l.advance()
+	two := func(second byte, k2, k1 token.Kind) token.Token {
+		if l.peekByte() == second {
+			l.advance()
+			return token.Token{Kind: k2, Pos: p}
+		}
+		return token.Token{Kind: k1, Pos: p}
+	}
+	switch c {
+	case '(':
+		return token.Token{Kind: token.LPAREN, Pos: p}, nil
+	case ')':
+		return token.Token{Kind: token.RPAREN, Pos: p}, nil
+	case '{':
+		return token.Token{Kind: token.LBRACE, Pos: p}, nil
+	case '}':
+		return token.Token{Kind: token.RBRACE, Pos: p}, nil
+	case '[':
+		return token.Token{Kind: token.LBRACKET, Pos: p}, nil
+	case ']':
+		return token.Token{Kind: token.RBRACKET, Pos: p}, nil
+	case ',':
+		return token.Token{Kind: token.COMMA, Pos: p}, nil
+	case ';':
+		return token.Token{Kind: token.SEMICOLON, Pos: p}, nil
+	case ':':
+		return token.Token{Kind: token.COLON, Pos: p}, nil
+	case '.':
+		return token.Token{Kind: token.DOT, Pos: p}, nil
+	case '@':
+		return token.Token{Kind: token.AT, Pos: p}, nil
+	case '+':
+		return token.Token{Kind: token.PLUS, Pos: p}, nil
+	case '-':
+		return token.Token{Kind: token.MINUS, Pos: p}, nil
+	case '*':
+		return token.Token{Kind: token.STAR, Pos: p}, nil
+	case '/':
+		return token.Token{Kind: token.SLASH, Pos: p}, nil
+	case '%':
+		return token.Token{Kind: token.PERCENT, Pos: p}, nil
+	case '^':
+		return token.Token{Kind: token.CARET, Pos: p}, nil
+	case '~':
+		return token.Token{Kind: token.BITNOT, Pos: p}, nil
+	case '&':
+		return two('&', token.AND, token.AMP), nil
+	case '|':
+		return two('|', token.OR, token.PIPE), nil
+	case '=':
+		return two('=', token.EQ, token.ASSIGN), nil
+	case '!':
+		return two('=', token.NEQ, token.NOT), nil
+	case '<':
+		if l.peekByte() == '<' {
+			l.advance()
+			return token.Token{Kind: token.SHL, Pos: p}, nil
+		}
+		return two('=', token.LEQ, token.LT), nil
+	case '>':
+		if l.peekByte() == '>' {
+			l.advance()
+			return token.Token{Kind: token.SHR, Pos: p}, nil
+		}
+		return two('=', token.GEQ, token.GT), nil
+	}
+	return token.Token{Kind: token.ILLEGAL, Lit: string(c), Pos: p},
+		l.errorf(p, "unexpected character %q", c)
+}
+
+// lexNumber scans decimal, hex (0x...), and width-prefixed (8w255, 4w0xF)
+// literals. Width-prefixed literals keep their full spelling in Lit; the
+// parser decodes them.
+func (l *Lexer) lexNumber(p token.Pos) (token.Token, error) {
+	start := l.off
+	for isDigit(l.peekByte()) {
+		l.advance()
+	}
+	// Width-prefixed literal: <width>w<value>.
+	if l.peekByte() == 'w' && (isDigit(l.peekByte2()) || l.peekByte2() == '0') {
+		l.advance() // w
+		if l.peekByte() == '0' && (l.peekByte2() == 'x' || l.peekByte2() == 'X') {
+			l.advance()
+			l.advance()
+			if !isHexDigit(l.peekByte()) {
+				return token.Token{Kind: token.ILLEGAL, Pos: p}, l.errorf(p, "malformed hex literal")
+			}
+			for isHexDigit(l.peekByte()) {
+				l.advance()
+			}
+		} else {
+			for isDigit(l.peekByte()) {
+				l.advance()
+			}
+		}
+		return token.Token{Kind: token.INT, Lit: l.src[start:l.off], Pos: p}, nil
+	}
+	// Hex literal.
+	if l.off-start == 1 && l.src[start] == '0' && (l.peekByte() == 'x' || l.peekByte() == 'X') {
+		l.advance()
+		if !isHexDigit(l.peekByte()) {
+			return token.Token{Kind: token.ILLEGAL, Pos: p}, l.errorf(p, "malformed hex literal")
+		}
+		for isHexDigit(l.peekByte()) {
+			l.advance()
+		}
+	}
+	lit := l.src[start:l.off]
+	if isIdentStart(l.peekByte()) {
+		return token.Token{Kind: token.ILLEGAL, Lit: lit, Pos: p},
+			l.errorf(p, "identifier character immediately after number %q", lit)
+	}
+	return token.Token{Kind: token.INT, Lit: lit, Pos: p}, nil
+}
+
+// Push returns a token to the stream; the next call to Next yields it.
+// The parser uses this for one-token splits such as turning SHR into GT GT
+// when closing nested angle brackets of a type.
+func (l *Lexer) Push(t token.Token) { l.peeked = append(l.peeked, t) }
+
+// All scans the entire input, returning the tokens up to and including EOF.
+// It is a convenience for tests and tooling.
+func (l *Lexer) All() ([]token.Token, error) {
+	var out []token.Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+		if t.Kind == token.EOF {
+			return out, nil
+		}
+	}
+}
+
+// DecodeInt parses an integer literal spelling produced by the lexer and
+// returns its value, its declared width (0 if none), and whether the
+// spelling carried a width prefix.
+func DecodeInt(lit string) (val uint64, width int, hasWidth bool, err error) {
+	body := lit
+	if i := strings.IndexByte(lit, 'w'); i > 0 {
+		hasWidth = true
+		var w uint64
+		w, err = parseUint(lit[:i], 10)
+		if err != nil || w == 0 || w > 64 {
+			return 0, 0, true, fmt.Errorf("bad width in literal %q", lit)
+		}
+		width = int(w)
+		body = lit[i+1:]
+	}
+	base := 10
+	if strings.HasPrefix(body, "0x") || strings.HasPrefix(body, "0X") {
+		base = 16
+		body = body[2:]
+	}
+	val, err = parseUint(body, base)
+	if err != nil {
+		return 0, 0, hasWidth, fmt.Errorf("bad integer literal %q", lit)
+	}
+	return val, width, hasWidth, nil
+}
+
+func parseUint(s string, base int) (uint64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty numeral")
+	}
+	var v uint64
+	for i := 0; i < len(s); i++ {
+		var d uint64
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint64(c-'A') + 10
+		default:
+			return 0, fmt.Errorf("bad digit %q", c)
+		}
+		if d >= uint64(base) {
+			return 0, fmt.Errorf("digit %q out of range for base %d", c, base)
+		}
+		nv := v*uint64(base) + d
+		if nv < v {
+			return 0, fmt.Errorf("overflow")
+		}
+		v = nv
+	}
+	return v, nil
+}

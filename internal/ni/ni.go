@@ -1,0 +1,315 @@
+// Package ni empirically validates the paper's soundness theorem
+// (Theorem 4.3: well-typed programs satisfy non-interference) by running
+// programs twice on below-observer-equivalent inputs and comparing the
+// observable parts of the outputs.
+//
+// A trial draws a random input state for the control's parameters, builds a
+// second state that agrees on every field whose label flows to the observer
+// (χ ⊑ l) but is freshly random elsewhere, runs the program on both states
+// against the same control plane (Definition C.8 fixes the entries across
+// the two runs), and then checks:
+//
+//   - both runs produce the same signal form (cont/exit/return), and
+//   - every observable field of every inout parameter is equal.
+//
+// For well-typed programs no trial may fail; for the paper's buggy
+// programs the harness finds witnesses of interference, which is how the
+// tests demonstrate that the rejected programs are genuinely insecure
+// rather than false positives.
+package ni
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ast"
+	"repro/internal/controlplane"
+	"repro/internal/diag"
+	"repro/internal/eval"
+	"repro/internal/lattice"
+	"repro/internal/resolve"
+	"repro/internal/types"
+)
+
+// Experiment configures a non-interference experiment.
+type Experiment struct {
+	// Prog is the (parsed) program under test.
+	Prog *ast.Program
+	// Lat is the security lattice the program is annotated against.
+	Lat lattice.Lattice
+	// Control names the control block to run ("" = first).
+	Control string
+	// Observer is the label l of the adversary: fields with χ ⊑ l are
+	// observable. Zero means the lattice bottom.
+	Observer lattice.Label
+	// CP holds the control-plane entries, shared by both runs. Nil means
+	// an empty control plane (every table application misses).
+	CP *controlplane.ControlPlane
+	// FixInputs, if non-nil, adjusts the randomly drawn inputs of each
+	// trial's first run before the second run's inputs are derived — e.g.
+	// to steer execution into the interesting branch of a case study
+	// (observable fields stay equal across the two runs; unobservable
+	// fields are still freshly randomized for the second run).
+	FixInputs func(map[string]eval.Value)
+	// Packets is the number of packets per trial (default 1). With
+	// Packets > 1 each run pushes the whole sequence through ONE
+	// interpreter, so register state persists across packets — the
+	// multi-packet adversary of the paper's Section 7. The two sequences
+	// agree on every observable input of every packet; outputs are
+	// compared packet by packet.
+	Packets int
+}
+
+// Violation is a witness of interference found by a trial.
+type Violation struct {
+	Trial int
+	// Where describes the differing observable output (parameter and
+	// field path), or "signal" for differing signal forms.
+	Where string
+	A, B  string // the differing values (or signals), rendered
+}
+
+// String renders the violation.
+func (v Violation) String() string {
+	return fmt.Sprintf("trial %d: observable output %s differs: %s vs %s", v.Trial, v.Where, v.A, v.B)
+}
+
+// Run performs trials randomized from seed and returns all violations
+// found (empty for a non-interfering program) plus any runtime error.
+func (e *Experiment) Run(trials int, seed int64) ([]Violation, error) {
+	rng := rand.New(rand.NewSource(seed))
+	obs := e.Observer
+	if obs.IsZero() {
+		obs = e.Lat.Bottom()
+	}
+	ctrl := e.findControl()
+	if ctrl == nil {
+		return nil, fmt.Errorf("ni: control %q not found", e.Control)
+	}
+	paramTypes, err := e.paramTypes(ctrl)
+	if err != nil {
+		return nil, err
+	}
+	packets := e.Packets
+	if packets < 1 {
+		packets = 1
+	}
+	var out []Violation
+	for t := 0; t < trials; t++ {
+		// Draw the packet sequences: every packet's inputs for run A,
+		// with run B's derived to agree on all observable fields.
+		seqA := make([]map[string]eval.Value, packets)
+		seqB := make([]map[string]eval.Value, packets)
+		for k := 0; k < packets; k++ {
+			inA := map[string]eval.Value{}
+			inB := map[string]eval.Value{}
+			for _, p := range ctrl.Params {
+				inA[p.Name] = eval.Random(paramTypes[p.Name].T, rng)
+			}
+			if e.FixInputs != nil {
+				e.FixInputs(inA)
+			}
+			for _, p := range ctrl.Params {
+				pt := paramTypes[p.Name]
+				inB[p.Name] = randomizeAbove(eval.Copy(inA[p.Name]), pt, obs, e.Lat, rng)
+			}
+			seqA[k] = inA
+			seqB[k] = inB
+		}
+		cp := e.CP
+		if cp == nil {
+			cp = controlplane.New()
+		}
+		outA, sigA, err := runSequence(e.Prog, ctrl.Name, cp.Clone(), seqA)
+		if err != nil {
+			return out, fmt.Errorf("ni: trial %d run A: %v", t, err)
+		}
+		outB, sigB, err := runSequence(e.Prog, ctrl.Name, cp.Clone(), seqB)
+		if err != nil {
+			return out, fmt.Errorf("ni: trial %d run B: %v", t, err)
+		}
+		violated := false
+		for k := 0; k < packets && !violated; k++ {
+			if sigA[k].Kind != sigB[k].Kind {
+				out = append(out, Violation{Trial: t,
+					Where: fmt.Sprintf("packet %d signal", k),
+					A:     sigA[k].String(), B: sigB[k].String()})
+				violated = true
+				break
+			}
+			for _, p := range ctrl.Params {
+				pt := paramTypes[p.Name]
+				where := p.Name
+				if packets > 1 {
+					where = fmt.Sprintf("packet %d: %s", k, p.Name)
+				}
+				if v, ok := diffObservable(where, outA[k][p.Name], outB[k][p.Name], pt, obs, e.Lat); !ok {
+					v.Trial = t
+					out = append(out, v)
+					violated = true
+					break
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// runSequence pushes a packet sequence through one interpreter so that
+// register state persists, returning per-packet outputs and signals.
+func runSequence(prog *ast.Program, control string, cp *controlplane.ControlPlane, seq []map[string]eval.Value) ([]map[string]eval.Value, []eval.Signal, error) {
+	in, err := eval.New(prog, cp)
+	if err != nil {
+		return nil, nil, err
+	}
+	outs := make([]map[string]eval.Value, len(seq))
+	sigs := make([]eval.Signal, len(seq))
+	for k, inputs := range seq {
+		out, sig, err := in.RunControl(control, inputs)
+		if err != nil {
+			return nil, nil, fmt.Errorf("packet %d: %v", k, err)
+		}
+		outs[k] = out
+		sigs[k] = sig
+	}
+	return outs, sigs, nil
+}
+
+func (e *Experiment) findControl() *ast.ControlDecl {
+	for _, c := range e.Prog.Controls {
+		if c.Name == e.Control || e.Control == "" {
+			return c
+		}
+	}
+	return nil
+}
+
+// paramTypes resolves the control's parameter types against the real
+// lattice so labels are faithful.
+func (e *Experiment) paramTypes(ctrl *ast.ControlDecl) (map[string]types.SecType, error) {
+	var diags diag.List
+	res := resolve.New(e.Lat, &diags)
+	res.CollectTypeDecls(e.Prog)
+	out := map[string]types.SecType{}
+	for _, p := range ctrl.Params {
+		out[p.Name] = res.SecType(p.Type)
+	}
+	if err := diags.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// randomizeAbove returns v with every scalar leaf whose label does NOT
+// flow to obs replaced by a fresh random value; observable leaves are
+// preserved, so the result is below-obs-equivalent to v.
+func randomizeAbove(v eval.Value, t types.SecType, obs lattice.Label, lat lattice.Lattice, rng *rand.Rand) eval.Value {
+	if types.IsScalar(t.T) {
+		if lat.Leq(t.L, obs) {
+			return v
+		}
+		return eval.Random(t.T, rng)
+	}
+	switch tt := t.T.(type) {
+	case *types.Record:
+		rv, ok := v.(*eval.RecordVal)
+		if !ok {
+			return v
+		}
+		fs := make([]eval.NamedValue, len(rv.Fields))
+		copy(fs, rv.Fields)
+		for i := range fs {
+			if f, ok := types.FieldOf(tt, fs[i].Name); ok {
+				fs[i].Val = randomizeAbove(fs[i].Val, f.Type, obs, lat, rng)
+			}
+		}
+		return &eval.RecordVal{Fields: fs}
+	case *types.Header:
+		hv, ok := v.(*eval.HeaderVal)
+		if !ok {
+			return v
+		}
+		fs := make([]eval.NamedValue, len(hv.Fields))
+		copy(fs, hv.Fields)
+		for i := range fs {
+			if f, ok := types.FieldOf(tt, fs[i].Name); ok {
+				fs[i].Val = randomizeAbove(fs[i].Val, f.Type, obs, lat, rng)
+			}
+		}
+		return &eval.HeaderVal{Valid: hv.Valid, Fields: fs}
+	case *types.Stack:
+		sv, ok := v.(*eval.StackVal)
+		if !ok {
+			return v
+		}
+		es := make([]eval.Value, len(sv.Elems))
+		for i, el := range sv.Elems {
+			es[i] = randomizeAbove(el, tt.Elem, obs, lat, rng)
+		}
+		return &eval.StackVal{Elems: es}
+	default:
+		return v
+	}
+}
+
+// diffObservable compares the observable (χ ⊑ obs) scalar leaves of a and
+// b; on a mismatch it returns the witness and false.
+func diffObservable(path string, a, b eval.Value, t types.SecType, obs lattice.Label, lat lattice.Lattice) (Violation, bool) {
+	if types.IsScalar(t.T) {
+		if !lat.Leq(t.L, obs) {
+			return Violation{}, true
+		}
+		if !eval.ValueEqual(a, b) {
+			return Violation{Where: path, A: a.String(), B: b.String()}, false
+		}
+		return Violation{}, true
+	}
+	switch tt := t.T.(type) {
+	case *types.Record:
+		ra, ok1 := a.(*eval.RecordVal)
+		rb, ok2 := b.(*eval.RecordVal)
+		if !ok1 || !ok2 {
+			return Violation{}, true
+		}
+		for i := range ra.Fields {
+			f, ok := types.FieldOf(tt, ra.Fields[i].Name)
+			if !ok || i >= len(rb.Fields) {
+				continue
+			}
+			if v, ok := diffObservable(path+"."+ra.Fields[i].Name, ra.Fields[i].Val, rb.Fields[i].Val, f.Type, obs, lat); !ok {
+				return v, false
+			}
+		}
+		return Violation{}, true
+	case *types.Header:
+		ha, ok1 := a.(*eval.HeaderVal)
+		hb, ok2 := b.(*eval.HeaderVal)
+		if !ok1 || !ok2 {
+			return Violation{}, true
+		}
+		for i := range ha.Fields {
+			f, ok := types.FieldOf(tt, ha.Fields[i].Name)
+			if !ok || i >= len(hb.Fields) {
+				continue
+			}
+			if v, ok := diffObservable(path+"."+ha.Fields[i].Name, ha.Fields[i].Val, hb.Fields[i].Val, f.Type, obs, lat); !ok {
+				return v, false
+			}
+		}
+		return Violation{}, true
+	case *types.Stack:
+		sa, ok1 := a.(*eval.StackVal)
+		sb, ok2 := b.(*eval.StackVal)
+		if !ok1 || !ok2 || len(sa.Elems) != len(sb.Elems) {
+			return Violation{}, true
+		}
+		for i := range sa.Elems {
+			if v, ok := diffObservable(fmt.Sprintf("%s[%d]", path, i), sa.Elems[i], sb.Elems[i], tt.Elem, obs, lat); !ok {
+				return v, false
+			}
+		}
+		return Violation{}, true
+	default:
+		return Violation{}, true
+	}
+}

@@ -1,0 +1,502 @@
+// Package progs contains the paper's case-study programs (Section 5),
+// embedded as source in the P4 subset accepted by the frontend. Each case
+// study comes in three variants:
+//
+//   - Buggy: the insecure program from the paper's listing, rejected by the
+//     P4BID checker;
+//   - Fixed: the repaired program the paper describes, accepted by the
+//     checker;
+//   - Unannotated: the Fixed program with all security annotations
+//     stripped, used as the baseline input for Table 1's "Unannotated,
+//     p4c" column.
+//
+// The five named programs match Table 1's rows: D2R, App, Lattice,
+// Topology, and Cache. NetChain (mentioned in Section 5.1) is included as
+// a sixth case study.
+package progs
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+
+	"repro/internal/lattice"
+)
+
+// Variant selects one of the three versions of a case study.
+type Variant int
+
+// Variants.
+const (
+	Buggy Variant = iota
+	Fixed
+	Unannotated
+)
+
+// String renders the variant name.
+func (v Variant) String() string {
+	switch v {
+	case Buggy:
+		return "buggy"
+	case Fixed:
+		return "fixed"
+	default:
+		return "unannotated"
+	}
+}
+
+// Program is one case study.
+type Program struct {
+	// Name is the Table 1 row name (e.g. "D2R").
+	Name string
+	// Property is the security property the case study demonstrates.
+	Property string
+	// LatticeName names the lattice the program is checked under
+	// ("two-point" or "diamond").
+	LatticeName string
+	buggy       string
+	fixed       string
+}
+
+// Lattice returns the lattice the program is annotated against.
+func (p *Program) Lattice() lattice.Lattice {
+	l, err := lattice.ByName(p.LatticeName)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Source returns the program text for the given variant.
+func (p *Program) Source(v Variant) string {
+	switch v {
+	case Buggy:
+		return p.buggy
+	case Fixed:
+		return p.fixed
+	default:
+		return StripAnnotations(p.fixed)
+	}
+}
+
+// FileName returns a synthetic file name for diagnostics.
+func (p *Program) FileName(v Variant) string {
+	return strings.ToLower(p.Name) + "_" + v.String() + ".p4"
+}
+
+var (
+	annRe = regexp.MustCompile(`<\s*([A-Za-z_]\w*(?:\s*<\s*\d+\s*>)?)\s*,\s*[A-Za-z_]\w*\s*>`)
+	pcRe  = regexp.MustCompile(`@pc\(\s*[A-Za-z_]\w*\s*\)\s*`)
+)
+
+// StripAnnotations removes every <τ, χ> security annotation (keeping τ) and
+// every @pc(...) control annotation from src, producing the plain-P4
+// program a stock compiler would see.
+func StripAnnotations(src string) string {
+	out := annRe.ReplaceAllString(src, "$1")
+	out = pcRe.ReplaceAllString(out, "")
+	return out
+}
+
+// All returns the case studies in Table 1 order, followed by NetChain and
+// the register-based Stateful extension.
+func All() []*Program {
+	return []*Program{D2R(), App(), Lattice(), Topology(), Cache(), NetChain(), Stateful()}
+}
+
+// ByName returns the case study with the given (case-insensitive) name.
+func ByName(name string) (*Program, bool) {
+	for _, p := range All() {
+		if strings.EqualFold(p.Name, name) {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// ---------------------------------------------------------------------------
+// Topology — Listings 1 and 2: virtual-to-physical address translation.
+// The buggy program stores the private physical TTL in the public ipv4
+// header; the fix stores it in the local (high) header.
+
+// Topology returns the Listing 1/2 case study.
+func Topology() *Program {
+	const common = `
+header local_hdr_t {
+    <bit<32>, high> phys_dstAddr;
+    <bit<8>, high> phys_ttl;
+    <bit<48>, high> next_hop_MAC_addr;
+}
+header ipv4_t {
+    <bit<8>, low> ttl;
+    <bit<8>, low> protocol;
+    <bit<32>, low> srcAddr;
+    <bit<32>, low> dstAddr;
+}
+header eth_t {
+    <bit<48>, low> srcAddr;
+    <bit<48>, low> dstAddr;
+}
+struct headers {
+    ipv4_t ipv4;
+    eth_t eth;
+    local_hdr_t local_hdr;
+}
+control Obfuscate_Ingress(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    action update_to_phys(<bit<32>, high> phys_dstAddr, <bit<8>, high> phys_ttl) {
+        hdr.local_hdr.phys_dstAddr = phys_dstAddr;
+        %s
+    }
+    table virtual2phys_topology {
+        key = { hdr.ipv4.dstAddr: exact; }
+        actions = { update_to_phys; }
+    }
+    action ipv4_forward(<bit<48>, low> dstAddr, <bit<9>, low> port) {
+        hdr.eth.dstAddr = dstAddr;
+        standard_metadata.egress_spec = port;
+    }
+    action drop() {
+        mark_to_drop(standard_metadata);
+    }
+    table ipv4_lpm_forward {
+        key = { hdr.ipv4.dstAddr: lpm; }
+        actions = { ipv4_forward; drop; }
+    }
+    apply {
+        virtual2phys_topology.apply();
+        ipv4_lpm_forward.apply();
+    }
+}
+`
+	return &Program{
+		Name:        "Topology",
+		Property:    "confidentiality: local-network details must not leak into public headers",
+		LatticeName: "two-point",
+		buggy:       fmt.Sprintf(common, "hdr.ipv4.ttl = phys_ttl; // BUG: low <- high"),
+		fixed:       fmt.Sprintf(common, "hdr.local_hdr.phys_ttl = phys_ttl; // FIX: high <- high"),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// D2R — Listing 3: dataplane routing with failure-based priorities.
+// Counting failures uses the secret num_hops; prioritizing on it leaks.
+
+// D2R returns the Listing 3 case study.
+func D2R() *Program {
+	const tmpl = `
+header bfs_t {
+    <bit<32>, low> curr;
+    <bit<32>, low> tried_links;
+    <bit<32>, high> num_hops;
+    <bit<32>, low> next_node;
+}
+header ipv4_t {
+    <bit<3>, low> priority;
+    <bit<32>, low> dstAddr;
+    <bit<8>, low> ttl;
+}
+struct headers {
+    bfs_t bfs;
+    ipv4_t ipv4;
+}
+const <bit<32>, low> THRESHOLD = 4;
+const <bit<3>, low> PRIO_1 = 1;
+const <bit<3>, low> PRIO_2 = 2;
+control D2R_Ingress(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    function <bit<32>, low> num_bits_set(in <bit<32>, low> v) {
+        <bit<32>, low> c = 0;
+        c = c + (v & 1);
+        c = c + ((v >> 1) & 1);
+        c = c + ((v >> 2) & 1);
+        c = c + ((v >> 3) & 1);
+        c = c + ((v >> 4) & 1);
+        c = c + ((v >> 5) & 1);
+        c = c + ((v >> 6) & 1);
+        c = c + ((v >> 7) & 1);
+        return c;
+    }
+    <bit<32>, %[1]s> failures = num_bits_set(hdr.bfs.tried_links)%[2]s;
+    action forwarding(in <bit<32>, %[1]s> fails) {
+        if (fails >= THRESHOLD) {
+            hdr.ipv4.priority = PRIO_1;
+        } else {
+            hdr.ipv4.priority = PRIO_2;
+        }
+        standard_metadata.egress_spec = 1;
+    }
+    action bfs_step_act(<bit<32>, low> next) {
+        hdr.bfs.curr = next;
+        hdr.bfs.tried_links = hdr.bfs.tried_links | next;
+    }
+    table bfs_step {
+        key = { hdr.bfs.curr: exact; hdr.bfs.tried_links: ternary; }
+        actions = { bfs_step_act; NoAction; }
+    }
+    table forward {
+        key = { hdr.bfs.next_node: exact; }
+        actions = { forwarding(failures); NoAction; }
+    }
+    apply {
+        if (hdr.bfs.curr != hdr.ipv4.dstAddr) {
+            bfs_step.apply();
+        } else {
+            forward.apply();
+        }
+        if (hdr.bfs.curr != hdr.ipv4.dstAddr) {
+            bfs_step.apply();
+        } else {
+            forward.apply();
+        }
+        if (hdr.bfs.curr != hdr.ipv4.dstAddr) {
+            bfs_step.apply();
+        } else {
+            forward.apply();
+        }
+        if (hdr.bfs.curr != hdr.ipv4.dstAddr) {
+            bfs_step.apply();
+        } else {
+            forward.apply();
+        }
+    }
+}
+`
+	return &Program{
+		Name:        "D2R",
+		Property:    "confidentiality: link-failure counts derived from secret hop counts must not set public priorities",
+		LatticeName: "two-point",
+		// Buggy: failures depends on the high num_hops and is high; the
+		// forwarding action branches on it and writes the low priority.
+		buggy: fmt.Sprintf(tmpl, "high", " - hdr.bfs.num_hops"),
+		// Fixed: priority is derived only from the public tried-links
+		// count (Section 5.1's proposed remedy).
+		fixed: fmt.Sprintf(tmpl, "low", ""),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Cache — Listing 4: in-network caching with a timing side channel.
+// The hit/miss bit models what a timing adversary observes; keying the
+// cache table on a secret query leaks through it.
+
+// Cache returns the Listing 4 case study.
+func Cache() *Program {
+	const tmpl = `
+header request_t {
+    <bit<8>, high> query;
+}
+header response_t {
+    <bool, %[1]s> hit;
+    <bit<32>, %[1]s> value;
+}
+header eth_t {
+    <bit<48>, low> srcAddr;
+    <bit<48>, low> dstAddr;
+}
+struct headers {
+    request_t req;
+    response_t resp;
+    eth_t eth;
+}
+control Cache_Ingress(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    action cache_hit(<bit<32>, %[1]s> value) {
+        hdr.resp.value = value;
+        hdr.resp.hit = true;
+    }
+    action cache_miss() {
+        hdr.resp.hit = false;
+    }
+    table fetch_from_cache {
+        key = { hdr.req.query: exact; }
+        actions = { cache_hit; cache_miss; }
+    }
+    apply {
+        fetch_from_cache.apply();
+    }
+}
+`
+	return &Program{
+		Name:        "Cache",
+		Property:    "timing: whether a secret query hit the cache must not be observable",
+		LatticeName: "two-point",
+		// Buggy: the adversary-visible hit bit (low) is written by actions
+		// selected by the secret query key.
+		buggy: fmt.Sprintf(tmpl, "low"),
+		// Fixed: the response fields are high — the timing observation is
+		// confined to observers cleared for the query.
+		fixed: fmt.Sprintf(tmpl, "high"),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// App — Listing 5: resource allocation at a gateway switch (integrity).
+// high = untrusted, low = trusted. Setting the trusted priority from the
+// client-controlled appID is an integrity violation.
+
+// App returns the Listing 5 case study.
+func App() *Program {
+	const tmpl = `
+header app_t {
+    <bit<8>, high> appID;
+}
+header ipv4_t {
+    <bit<32>, low> dstAddr;
+    <bit<3>, low> priority;
+    <bit<8>, low> ttl;
+}
+struct headers {
+    app_t app;
+    ipv4_t ipv4;
+}
+control App_Ingress(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    action set_priority(<bit<3>, low> prio) {
+        hdr.ipv4.priority = prio;
+    }
+    action forward(<bit<9>, low> port) {
+        standard_metadata.egress_spec = port;
+    }
+    table app_resources {
+        key = { %s: exact; }
+        actions = { set_priority; }
+    }
+    table ipv4_forward_tbl {
+        key = { hdr.ipv4.dstAddr: lpm; }
+        actions = { forward; NoAction; }
+    }
+    apply {
+        app_resources.apply();
+        ipv4_forward_tbl.apply();
+    }
+}
+`
+	return &Program{
+		Name:        "App",
+		Property:    "integrity: untrusted client appID must not determine the trusted priority",
+		LatticeName: "two-point",
+		buggy:       fmt.Sprintf(tmpl, "hdr.app.appID"),
+		fixed:       fmt.Sprintf(tmpl, "hdr.ipv4.dstAddr"),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Lattice — Listings 6 and 7: network isolation under the diamond lattice.
+// Alice's control is checked at pc = A, Bob's at pc = B. The buggy Alice
+// writes Bob's field and keys on the write-only telemetry header.
+
+// Lattice returns the Listing 6/7 case study.
+func Lattice() *Program {
+	const bob = `
+@pc(B)
+control Bob_Ingress(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    action set_by_bob() {
+        hdr.telem.count = hdr.telem.count + 1;
+    }
+    table update_by_bob {
+        key = { hdr.eth.dstAddr: exact; }
+        actions = { set_by_bob; NoAction; }
+    }
+    apply {
+        update_by_bob.apply();
+    }
+}
+`
+	const hdrs = `
+header alice_t {
+    <bit<32>, A> data;
+    <bit<32>, A> extra;
+}
+header bob_t {
+    <bit<32>, B> data;
+    <bit<32>, B> extra;
+}
+header telem_t {
+    <bit<32>, top> count;
+}
+header eth_t {
+    <bit<48>, bot> srcAddr;
+    <bit<48>, bot> dstAddr;
+}
+struct headers {
+    alice_t alice_data;
+    bob_t bob_data;
+    telem_t telem;
+    eth_t eth;
+}
+`
+	buggyAlice := `
+@pc(A)
+control Alice_Ingress(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    action set_by_alice(<bit<32>, A> value) {
+        hdr.bob_data.data = value;
+    }
+    table update_by_alice {
+        key = { hdr.telem.count: exact; }
+        actions = { set_by_alice; }
+    }
+    apply {
+        update_by_alice.apply();
+    }
+}
+`
+	fixedAlice := `
+@pc(A)
+control Alice_Ingress(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    action set_by_alice(<bit<32>, A> value) {
+        hdr.alice_data.data = value;
+    }
+    table update_by_alice {
+        key = { hdr.alice_data.extra: exact; }
+        actions = { set_by_alice; }
+    }
+    apply {
+        update_by_alice.apply();
+    }
+}
+`
+	return &Program{
+		Name:        "Lattice",
+		Property:    "isolation: Alice and Bob touch only their own fields; telemetry is write-only for both",
+		LatticeName: "diamond",
+		buggy:       hdrs + buggyAlice + bob,
+		fixed:       hdrs + fixedAlice + bob,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// NetChain — Section 5.1: chain replication roles. Branching on a secret
+// role field to decide whether to reply leaks topology information.
+
+// NetChain returns the NetChain case study.
+func NetChain() *Program {
+	const tmpl = `
+header nc_hdr_t {
+    <bit<16>, %[1]s> role;
+    <bit<32>, low> keyfield;
+    <bit<32>, low> value;
+    <bit<8>, low> reply;
+}
+struct headers {
+    nc_hdr_t nc;
+}
+const <bit<16>, low> ROLE_HEAD = 1;
+const <bit<16>, low> ROLE_TAIL = 3;
+control NetChain_Ingress(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    apply {
+        if (hdr.nc.role == ROLE_HEAD) {
+            hdr.nc.reply = 0;
+        } else {
+            if (hdr.nc.role == ROLE_TAIL) {
+                hdr.nc.reply = 1;
+                standard_metadata.egress_spec = 1;
+            }
+        }
+    }
+}
+`
+	return &Program{
+		Name:        "NetChain",
+		Property:    "confidentiality: secret chain roles must not determine publicly visible replies",
+		LatticeName: "two-point",
+		buggy:       fmt.Sprintf(tmpl, "high"),
+		fixed:       fmt.Sprintf(tmpl, "low"),
+	}
+}

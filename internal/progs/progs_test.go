@@ -1,0 +1,107 @@
+package progs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/parser"
+)
+
+func TestAllProgramsParse(t *testing.T) {
+	for _, p := range All() {
+		for _, v := range []Variant{Buggy, Fixed, Unannotated} {
+			src := p.Source(v)
+			if _, err := parser.Parse(p.FileName(v), src); err != nil {
+				t.Errorf("%s/%s does not parse: %v", p.Name, v, err)
+			}
+		}
+	}
+}
+
+func TestTable1RowsPresent(t *testing.T) {
+	want := []string{"D2R", "App", "Lattice", "Topology", "Cache"}
+	for _, name := range want {
+		if _, ok := ByName(name); !ok {
+			t.Errorf("Table 1 row %q missing", name)
+		}
+	}
+	if _, ok := ByName("NetChain"); !ok {
+		t.Error("NetChain case study missing")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("phantom case study found")
+	}
+	// Case-insensitive lookup.
+	if _, ok := ByName("d2r"); !ok {
+		t.Error("case-insensitive lookup failed")
+	}
+}
+
+func TestVariantsDiffer(t *testing.T) {
+	for _, p := range All() {
+		if p.Source(Buggy) == p.Source(Fixed) {
+			t.Errorf("%s: buggy and fixed variants are identical", p.Name)
+		}
+		if p.Source(Unannotated) == p.Source(Fixed) {
+			t.Errorf("%s: unannotated variant still annotated", p.Name)
+		}
+	}
+}
+
+func TestUnannotatedHasNoAnnotations(t *testing.T) {
+	for _, p := range All() {
+		src := p.Source(Unannotated)
+		if strings.Contains(src, "@pc") {
+			t.Errorf("%s unannotated retains @pc", p.Name)
+		}
+		for _, lbl := range []string{", low>", ", high>", ", A>", ", B>", ", top>", ", bot>"} {
+			if strings.Contains(src, lbl) {
+				t.Errorf("%s unannotated retains %q", p.Name, lbl)
+			}
+		}
+	}
+}
+
+func TestStripAnnotationsPreservesTypes(t *testing.T) {
+	cases := map[string]string{
+		"<bit<32>, high> x;":    "bit<32> x;",
+		"<bool, low> b;":        "bool b;",
+		"< bit<8> , A > y;":     "bit<8> y;",
+		"in <bit<9>, low> port": "in bit<9> port",
+		"a < b":                 "a < b",  // comparisons untouched
+		"x << 2":                "x << 2", // shifts untouched
+		"bit<32> plain;":        "bit<32> plain;",
+	}
+	for in, want := range cases {
+		if got := StripAnnotations(in); got != want {
+			t.Errorf("Strip(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLatticeNames(t *testing.T) {
+	for _, p := range All() {
+		lat := p.Lattice()
+		if p.Name == "Lattice" {
+			if lat.Name() != "diamond" {
+				t.Errorf("Lattice case study uses %s", lat.Name())
+			}
+		} else if lat.Name() != "two-point" {
+			t.Errorf("%s uses %s, want two-point", p.Name, lat.Name())
+		}
+	}
+}
+
+func TestProperties(t *testing.T) {
+	for _, p := range All() {
+		if p.Property == "" {
+			t.Errorf("%s has no property description", p.Name)
+		}
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if Buggy.String() != "buggy" || Fixed.String() != "fixed" || Unannotated.String() != "unannotated" {
+		t.Error("variant names wrong")
+	}
+}

@@ -1,0 +1,61 @@
+package progs
+
+import "fmt"
+
+// Stateful returns the register extension case study (the paper's
+// Section 7 future work: "switches that can maintain internal state ...
+// could lead to security leaks if an adversary can observe sequences of
+// input and output packets").
+//
+// A flow counter keeps per-slot packet counts in a register array that
+// persists across packets. In the buggy variant the counters are public
+// but indexed by the secret flow id: rule T-Index rejects the secret
+// index into low-labelled storage, and a multi-packet experiment finds a
+// real witness — an earlier packet's secret id changes a later packet's
+// public count. The fixed variant keeps secret-indexed state in high
+// registers and derives public counts only from public indices.
+func Stateful() *Program {
+	const hdrs = `
+header pkt_t {
+    <bit<8>, high> secret_id;
+    <bit<8>, low> public_id;
+    <bit<8>, low> seen_count;
+}
+struct headers { pkt_t pkt; }
+`
+	buggy := hdrs + `
+control Stateful_Ingress(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    register <bit<8>, low> counters[16];
+    apply {
+        counters[hdr.pkt.secret_id & 15] = counters[hdr.pkt.secret_id & 15] + 1;
+        hdr.pkt.seen_count = counters[hdr.pkt.public_id & 15];
+    }
+}
+`
+	fixed := hdrs + `
+control Stateful_Ingress(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    register <bit<8>, high> secret_counters[16];
+    register <bit<8>, low> public_counters[16];
+    apply {
+        secret_counters[hdr.pkt.secret_id & 15] = secret_counters[hdr.pkt.secret_id & 15] + 1;
+        public_counters[hdr.pkt.public_id & 15] = public_counters[hdr.pkt.public_id & 15] + 1;
+        hdr.pkt.seen_count = public_counters[hdr.pkt.public_id & 15];
+    }
+}
+`
+	return &Program{
+		Name:        "Stateful",
+		Property:    "multi-packet confidentiality: persistent register state indexed by secrets must not feed public outputs",
+		LatticeName: "two-point",
+		buggy:       buggy,
+		fixed:       fixed,
+	}
+}
+
+func init() {
+	// Validate at package load that the sources stay in sync with the
+	// annotation stripper (cheap sanity check).
+	if StripAnnotations(Stateful().fixed) == Stateful().fixed {
+		panic(fmt.Sprintf("progs: Stateful fixed variant has no annotations to strip"))
+	}
+}

@@ -1,0 +1,137 @@
+// Package repro is the public API of the P4BID reproduction: an
+// information-flow control (IFC) type system for the Core P4 fragment of
+// Grewal, D'Antoni, and Hsu, "P4BID: Information Flow Control in P4"
+// (PLDI 2022), together with the substrates the paper depends on — a P4
+// frontend, a baseline (label-insensitive) Core P4 typechecker, a Core P4
+// interpreter with a match-action control-plane simulator, and a
+// non-interference testing harness.
+//
+// # Quick start
+//
+//	prog, err := repro.Parse("leak.p4", src)
+//	res := repro.Check(prog, repro.TwoPoint())
+//	if !res.OK {
+//	    fmt.Println(res.Err()) // each error cites the violated typing rule
+//	}
+//
+// Programs are written in P4-16 surface syntax with security annotations
+// on types: <bit<8>, high> marks an 8-bit secret field. Unannotated types
+// default to the lattice bottom (public/trusted). Control blocks may be
+// checked in a raised security context with @pc(label), as the paper's
+// isolation case study does for Alice (pc = A) and Bob (pc = B).
+package repro
+
+import (
+	"repro/internal/ast"
+	"repro/internal/basecheck"
+	"repro/internal/controlplane"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/lattice"
+	"repro/internal/ni"
+	"repro/internal/parser"
+	"repro/internal/progs"
+)
+
+// Program is a parsed P4 program.
+type Program = ast.Program
+
+// Result is the outcome of IFC typechecking; see Err, Diags, and the
+// inferred FuncPC/TablePC labels.
+type Result = core.Result
+
+// BaseResult is the outcome of label-insensitive (baseline) typechecking.
+type BaseResult = basecheck.Result
+
+// Lattice is a security lattice; Label is one of its elements.
+type (
+	Lattice = lattice.Lattice
+	Label   = lattice.Label
+)
+
+// Parse parses a P4 program in the paper's fragment. file names the source
+// in diagnostics.
+func Parse(file, src string) (*Program, error) { return parser.Parse(file, src) }
+
+// MustParse is Parse panicking on error; for known-good embedded sources.
+func MustParse(file, src string) *Program { return parser.MustParse(file, src) }
+
+// Check typechecks prog with the P4BID IFC type system over lat.
+// Well-typed programs satisfy non-interference (the paper's Theorem 4.3).
+func Check(prog *Program, lat Lattice) *Result { return core.Check(prog, lat) }
+
+// CheckBase typechecks prog with the ordinary Core P4 type system,
+// ignoring security labels — the paper's Table 1 baseline ("p4c").
+func CheckBase(prog *Program) *BaseResult { return basecheck.Check(prog) }
+
+// TwoPoint returns the {low ⊑ high} lattice.
+func TwoPoint() Lattice { return lattice.TwoPoint() }
+
+// Diamond returns the four-point isolation lattice of Figure 8b:
+// bot ⊑ A, B ⊑ top.
+func Diamond() Lattice { return lattice.Diamond() }
+
+// NParty generalizes Diamond to the named parties.
+func NParty(names ...string) Lattice { return lattice.NParty(names...) }
+
+// LatticeByName resolves "two-point", "diamond", or "chain-N".
+func LatticeByName(name string) (Lattice, error) { return lattice.ByName(name) }
+
+// ControlPlane holds installed match-action table entries; see the
+// controlplane helpers re-exported below.
+type ControlPlane = controlplane.ControlPlane
+
+// Entry, Pattern, and ActionCall describe installed table state.
+type (
+	Entry      = controlplane.Entry
+	Pattern    = controlplane.Pattern
+	ActionCall = controlplane.ActionCall
+)
+
+// NewControlPlane returns an empty control plane.
+func NewControlPlane() *ControlPlane { return controlplane.New() }
+
+// Exact, LPM, Ternary, and Wildcard build match patterns for w-bit keys.
+func Exact(w int, v uint64) Pattern              { return controlplane.Exact(w, v) }
+func LPM(w int, prefix uint64, plen int) Pattern { return controlplane.LPM(w, prefix, plen) }
+func Ternary(w int, v, mask uint64) Pattern      { return controlplane.Ternary(w, v, mask) }
+func Wildcard(w int) Pattern                     { return controlplane.Wildcard(w) }
+
+// Interp executes programs; Value and Signal are its runtime types.
+type (
+	Interp = eval.Interp
+	Value  = eval.Value
+	Signal = eval.Signal
+)
+
+// NewInterp prepares an interpreter for prog against cp (nil = empty).
+func NewInterp(prog *Program, cp *ControlPlane) (*Interp, error) { return eval.New(prog, cp) }
+
+// NIExperiment is a randomized two-run non-interference experiment; see
+// internal/ni for the trial protocol.
+type NIExperiment = ni.Experiment
+
+// NIViolation is a concrete interference witness.
+type NIViolation = ni.Violation
+
+// CaseStudy is one of the paper's Section 5 programs; CaseStudies returns
+// them in Table 1 order (D2R, App, Lattice, Topology, Cache) plus
+// NetChain.
+type CaseStudy = progs.Program
+
+// CaseStudies returns all embedded case studies.
+func CaseStudies() []*CaseStudy { return progs.All() }
+
+// CaseStudyByName looks a case study up by its Table 1 row name.
+func CaseStudyByName(name string) (*CaseStudy, bool) { return progs.ByName(name) }
+
+// Variants of a case study.
+const (
+	Buggy       = progs.Buggy
+	Fixed       = progs.Fixed
+	Unannotated = progs.Unannotated
+)
+
+// StripAnnotations removes security annotations from source text, yielding
+// the plain-P4 program a stock compiler would see.
+func StripAnnotations(src string) string { return progs.StripAnnotations(src) }

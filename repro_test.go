@@ -1,0 +1,102 @@
+package repro_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// TestPublicAPIEndToEnd drives the whole public surface: parse, IFC-check,
+// base-check, install entries, interpret, and run an NI experiment.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	study, ok := repro.CaseStudyByName("Cache")
+	if !ok {
+		t.Fatal("Cache case study missing")
+	}
+	lat := study.Lattice()
+
+	buggy, err := repro.Parse("cache.p4", study.Source(repro.Buggy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := repro.Check(buggy, lat)
+	if res.OK {
+		t.Fatal("buggy cache accepted")
+	}
+	if !strings.Contains(res.Err().Error(), "T-TblDecl") {
+		t.Errorf("rejection does not cite T-TblDecl: %v", res.Err())
+	}
+	if base := repro.CheckBase(buggy); !base.OK {
+		t.Fatalf("buggy cache fails BASE typing: %v", base.Err())
+	}
+
+	fixed := repro.MustParse("cache_fixed.p4", study.Source(repro.Fixed))
+	fres := repro.Check(fixed, lat)
+	if !fres.OK {
+		t.Fatal(fres.Err())
+	}
+	if pc, ok := fres.TablePC["Cache_Ingress.fetch_from_cache"]; !ok || pc.Name() != "high" {
+		t.Errorf("pc_tbl(fetch_from_cache) = %v, want high", pc)
+	}
+
+	cp := repro.NewControlPlane()
+	cp.DeclareTable("fetch_from_cache", []string{"exact"})
+	if err := cp.Install("fetch_from_cache", repro.Entry{
+		Patterns: []repro.Pattern{repro.Exact(8, 1)},
+		Action:   "cache_hit", Args: []uint64{5},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	in, err := repro.NewInterp(fixed, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, sig, err := in.RunControl("", nil); err != nil || sig.Kind != 0 {
+		t.Fatalf("run: sig=%v err=%v", sig, err)
+	}
+
+	e := &repro.NIExperiment{Prog: fixed, Lat: lat, CP: cp}
+	vs, err := e.Run(30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("NI violation on fixed cache: %v", vs[0])
+	}
+}
+
+func TestLatticeConstructors(t *testing.T) {
+	if repro.TwoPoint().Name() != "two-point" {
+		t.Error("TwoPoint")
+	}
+	if repro.Diamond().Name() != "diamond" {
+		t.Error("Diamond")
+	}
+	if len(repro.NParty("X", "Y", "Z").Elements()) != 5 {
+		t.Error("NParty")
+	}
+	if _, err := repro.LatticeByName("chain-4"); err != nil {
+		t.Error(err)
+	}
+	if _, err := repro.LatticeByName("garbage"); err == nil {
+		t.Error("garbage lattice resolved")
+	}
+}
+
+func TestCaseStudiesComplete(t *testing.T) {
+	cs := repro.CaseStudies()
+	if len(cs) != 7 {
+		t.Fatalf("case studies = %d", len(cs))
+	}
+	if cs[0].Name != "D2R" {
+		t.Errorf("first case study = %s (want Table 1 order)", cs[0].Name)
+	}
+}
+
+func TestStripAnnotationsFacade(t *testing.T) {
+	out := repro.StripAnnotations("<bit<8>, high> x;")
+	if out != "bit<8> x;" {
+		t.Errorf("strip = %q", out)
+	}
+}
