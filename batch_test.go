@@ -1,0 +1,55 @@
+// Tests for the public batch-analysis and differential-fuzzing API.
+package repro_test
+
+import (
+	"context"
+	"testing"
+
+	"repro"
+)
+
+// TestCheckAll drives the public batch API over the embedded case studies
+// and checks the aggregate counts match the paper's matrix.
+func TestCheckAll(t *testing.T) {
+	var jobs []repro.BatchJob
+	for _, p := range repro.CaseStudies() {
+		jobs = append(jobs,
+			repro.BatchJob{Name: p.FileName(repro.Buggy), Source: p.Source(repro.Buggy), Lat: p.Lattice()},
+			repro.BatchJob{Name: p.FileName(repro.Fixed), Source: p.Source(repro.Fixed), Lat: p.Lattice()},
+		)
+	}
+	sum, err := repro.CheckAll(context.Background(), jobs, repro.BatchOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Parsed != len(jobs) {
+		t.Errorf("parsed %d/%d jobs", sum.Parsed, len(jobs))
+	}
+	if sum.BaseAccepted != len(jobs) {
+		t.Errorf("baseline accepted %d/%d jobs (buggy variants are base-well-typed)", sum.BaseAccepted, len(jobs))
+	}
+	if want := len(jobs) / 2; sum.IFCAccepted != want {
+		t.Errorf("IFC accepted %d jobs, want exactly the %d fixed variants", sum.IFCAccepted, want)
+	}
+}
+
+// TestDiffFuzzPublicAPI runs a small campaign through the repro facade.
+func TestDiffFuzzPublicAPI(t *testing.T) {
+	rep, err := repro.DiffFuzz(context.Background(), repro.FuzzConfig{N: 50, Seed: 3, NITrials: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("defects found:\n%s", repro.FormatFuzzReport(rep))
+	}
+}
+
+// TestPrintProgramRoundtrips checks the public printer parses back.
+func TestPrintProgramRoundtrips(t *testing.T) {
+	p, _ := repro.CaseStudyByName("Cache")
+	prog := repro.MustParse("cache.p4", p.Source(repro.Fixed))
+	printed := repro.PrintProgram(prog)
+	if _, err := repro.Parse("cache.p4", printed); err != nil {
+		t.Fatalf("printed program does not reparse: %v\n%s", err, printed)
+	}
+}

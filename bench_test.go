@@ -8,8 +8,10 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro"
@@ -205,5 +207,49 @@ func BenchmarkRandomProgramGeneration(b *testing.B) {
 	cfg := gen.DefaultConfig()
 	for i := 0; i < b.N; i++ {
 		_ = gen.Random(rng, cfg)
+	}
+}
+
+// BenchmarkPipeline measures batch-analysis throughput over a 200-program
+// generated corpus: the sequential path (workers=1) against the full
+// worker pool. On >= 4 cores the pool should win by >= 3x; compare the
+// two sub-benchmarks' ns/op (see also `p4bench -pipeline`).
+func BenchmarkPipeline(b *testing.B) {
+	jobs := bench.PipelineCorpus(200, 1)
+	run := func(b *testing.B, workers int) {
+		b.ReportMetric(float64(len(jobs)), "programs/batch")
+		for i := 0; i < b.N; i++ {
+			sum, err := repro.CheckAll(context.Background(), jobs, repro.BatchOptions{
+				Workers: workers,
+				NI:      repro.NIAccepted,
+				NISeed:  1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if sum.Parsed != len(jobs) {
+				b.Fatalf("only %d/%d programs parsed", sum.Parsed, len(jobs))
+			}
+		}
+	}
+	b.Run("sequential", func(b *testing.B) { run(b, 1) })
+	b.Run(fmt.Sprintf("workers=%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		run(b, runtime.GOMAXPROCS(0))
+	})
+}
+
+// BenchmarkDiffFuzz measures the differential fuzzing harness end to end
+// (generation + all stages + NI on every base-accepted program).
+func BenchmarkDiffFuzz(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := repro.DiffFuzz(context.Background(), repro.FuzzConfig{
+			N: 100, Seed: 1, NITrials: 4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.OK() {
+			b.Fatalf("fuzzing found defects:\n%s", repro.FormatFuzzReport(rep))
+		}
 	}
 }

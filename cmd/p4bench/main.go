@@ -4,6 +4,8 @@
 //	p4bench -matrix        Section 5 case-study accept/reject matrix
 //	p4bench -scaling       extension: checker time vs program size and
 //	                       lattice height
+//	p4bench -pipeline      extension: sequential-vs-parallel batch-analysis
+//	                       throughput over a generated corpus
 //	p4bench -all           everything
 //
 // See EXPERIMENTS.md for the recorded paper-vs-measured comparison.
@@ -21,13 +23,15 @@ func main() {
 	table1 := flag.Bool("table1", false, "reproduce Table 1")
 	matrix := flag.Bool("matrix", false, "reproduce the Section 5 case-study matrix")
 	scaling := flag.Bool("scaling", false, "run the scaling sweeps")
+	pipe := flag.Bool("pipeline", false, "run the batch-analysis throughput sweep")
+	corpus := flag.Int("corpus", 200, "corpus size for -pipeline")
 	all := flag.Bool("all", false, "run everything")
 	reps := flag.Int("reps", 50, "repetitions per timing measurement")
 	flag.Parse()
 	if *all {
-		*table1, *matrix, *scaling = true, true, true
+		*table1, *matrix, *scaling, *pipe = true, true, true, true
 	}
-	if !*table1 && !*matrix && !*scaling {
+	if !*table1 && !*matrix && !*scaling && !*pipe {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -43,5 +47,10 @@ func main() {
 		size := bench.ScalingBySize([]int{1, 2, 4, 8, 16, 32, 64}, *reps/5+1)
 		lat := bench.ScalingByLattice([]int{2, 4, 8, 16, 32}, *reps)
 		fmt.Print(bench.FormatScaling(size, lat))
+		fmt.Println()
+	}
+	if *pipe {
+		jobs := bench.PipelineCorpus(*corpus, 1)
+		fmt.Print(bench.FormatPipeline(bench.PipelineSweep(jobs, nil)))
 	}
 }

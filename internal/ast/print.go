@@ -1,0 +1,232 @@
+// AST-to-source printing. Print renders a Program back into the surface
+// syntax accepted by internal/parser, so that print ∘ parse is the identity
+// on the printed form: parsing Print's output and printing again yields the
+// same text. The parser fuzz targets use this for the parse→print→reparse
+// roundtrip property, and the pipeline uses it to persist generated
+// counterexamples.
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders prog as parseable source text. Top-level type and constant
+// declarations come first (in declaration order), then the control blocks;
+// the parser's Program split loses the original interleaving, so printing is
+// canonical rather than position-faithful.
+func Print(prog *Program) string {
+	p := &printer{}
+	for _, d := range prog.Decls {
+		p.decl(d)
+	}
+	for _, c := range prog.Controls {
+		p.control(c)
+	}
+	return p.b.String()
+}
+
+type printer struct {
+	b      strings.Builder
+	indent int
+}
+
+func (p *printer) linef(format string, args ...any) {
+	for i := 0; i < p.indent; i++ {
+		p.b.WriteString("    ")
+	}
+	fmt.Fprintf(&p.b, format, args...)
+	p.b.WriteByte('\n')
+}
+
+func (p *printer) decl(d Decl) {
+	switch d := d.(type) {
+	case *TypedefDecl:
+		p.linef("typedef %s %s;", d.Type, d.Name)
+	case *MatchKindDecl:
+		p.linef("match_kind { %s }", strings.Join(d.Members, ", "))
+	case *HeaderDecl:
+		p.fields("header", d.Name, d.Fields)
+	case *StructDecl:
+		p.fields("struct", d.Name, d.Fields)
+	case *VarDecl:
+		p.varDecl(d)
+	case *FuncDecl:
+		p.funcDecl(d)
+	case *TableDecl:
+		p.table(d)
+	case *ControlDecl:
+		p.control(d)
+	}
+}
+
+func (p *printer) fields(kw, name string, fs []FieldDecl) {
+	p.linef("%s %s {", kw, name)
+	p.indent++
+	for _, f := range fs {
+		p.linef("%s %s;", f.Type, f.Name)
+	}
+	p.indent--
+	p.linef("}")
+}
+
+func (p *printer) varDecl(d *VarDecl) {
+	switch {
+	case d.Register:
+		p.linef("register %s %s;", d.Type, d.Name)
+	case d.Const:
+		p.linef("const %s %s = %s;", d.Type, d.Name, d.Init)
+	case d.Init != nil:
+		p.linef("%s %s = %s;", d.Type, d.Name, d.Init)
+	default:
+		p.linef("%s %s;", d.Type, d.Name)
+	}
+}
+
+func (p *printer) params(ps []Param) string {
+	parts := make([]string, len(ps))
+	for i, pr := range ps {
+		if dir := pr.Dir.String(); dir != "" {
+			parts[i] = dir + " " + pr.Type.String() + " " + pr.Name
+		} else {
+			parts[i] = pr.Type.String() + " " + pr.Name
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+func (p *printer) funcDecl(d *FuncDecl) {
+	if d.IsAction {
+		p.linef("action %s(%s) {", d.Name, p.params(d.Params))
+	} else {
+		ret := "void"
+		if d.Ret != nil {
+			ret = d.Ret.String()
+		}
+		p.linef("function %s %s(%s) {", ret, d.Name, p.params(d.Params))
+	}
+	p.indent++
+	p.stmts(d.Body)
+	p.indent--
+	p.linef("}")
+}
+
+func (p *printer) actionRef(r ActionRef) string {
+	if len(r.Args) == 0 {
+		return r.Name
+	}
+	args := make([]string, len(r.Args))
+	for i, a := range r.Args {
+		args[i] = a.String()
+	}
+	return r.Name + "(" + strings.Join(args, ", ") + ")"
+}
+
+func (p *printer) table(d *TableDecl) {
+	p.linef("table %s {", d.Name)
+	p.indent++
+	if len(d.Keys) > 0 {
+		p.linef("key = {")
+		p.indent++
+		for _, k := range d.Keys {
+			p.linef("%s : %s;", k.Expr, k.MatchKind)
+		}
+		p.indent--
+		p.linef("}")
+	}
+	p.linef("actions = {")
+	p.indent++
+	for _, a := range d.Actions {
+		p.linef("%s;", p.actionRef(a))
+	}
+	p.indent--
+	p.linef("}")
+	if d.Default != nil {
+		p.linef("default_action = %s;", p.actionRef(*d.Default))
+	}
+	p.indent--
+	p.linef("}")
+}
+
+func (p *printer) control(c *ControlDecl) {
+	if c.PCLabel != "" {
+		p.linef("@pc(%s)", c.PCLabel)
+	}
+	p.linef("control %s(%s) {", c.Name, p.params(c.Params))
+	p.indent++
+	for _, d := range c.Locals {
+		p.decl(d)
+	}
+	p.linef("apply {")
+	p.indent++
+	p.stmts(c.Apply)
+	p.indent--
+	p.linef("}")
+	p.indent--
+	p.linef("}")
+}
+
+func (p *printer) stmts(b *BlockStmt) {
+	if b == nil {
+		return
+	}
+	for _, s := range b.Stmts {
+		p.stmt(s)
+	}
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *AssignStmt:
+		p.linef("%s = %s;", s.LHS, s.RHS)
+	case *IfStmt:
+		p.ifStmt(s)
+	case *BlockStmt:
+		p.linef("{")
+		p.indent++
+		p.stmts(s)
+		p.indent--
+		p.linef("}")
+	case *ExitStmt:
+		p.linef("exit;")
+	case *ReturnStmt:
+		if s.X != nil {
+			p.linef("return %s;", s.X)
+		} else {
+			p.linef("return;")
+		}
+	case *ExprStmt:
+		p.linef("%s;", s.X)
+	case *ApplyStmt:
+		p.linef("%s.apply();", s.Table)
+	case *DeclStmt:
+		p.varDecl(s.Decl)
+	}
+}
+
+// ifStmt prints an if with its else-if chain flattened onto the closing
+// braces (`} else if (...) {`), so nesting does not indent; the parser
+// rebuilds the identical IfStmt spine.
+func (p *printer) ifStmt(s *IfStmt) {
+	p.linef("if (%s) {", s.Cond)
+	for {
+		p.indent++
+		p.stmts(s.Then)
+		p.indent--
+		switch e := s.Else.(type) {
+		case nil:
+			p.linef("}")
+			return
+		case *IfStmt:
+			p.linef("} else if (%s) {", e.Cond)
+			s = e
+		case *BlockStmt:
+			p.linef("} else {")
+			p.indent++
+			p.stmts(e)
+			p.indent--
+			p.linef("}")
+			return
+		}
+	}
+}

@@ -1,0 +1,281 @@
+// Package difftest is a differential soundness-fuzzing harness for the
+// P4BID checker. It generates random programs with gen.Random, pushes them
+// through the internal/pipeline batch engine, and cross-checks the three
+// oracles the repo implements:
+//
+//   - the IFC checker (internal/core) — the paper's contribution;
+//   - the baseline checker (internal/basecheck) — label-insensitive Core P4;
+//   - the NI harness (internal/ni) — empirical non-interference testing.
+//
+// Each generated program lands in exactly one verdict class:
+//
+//   - Sound: IFC-accepted and no NI trial found interference. This is the
+//     mass of evidence for Theorem 4.3.
+//   - SoundnessViolation: IFC-accepted but an NI trial produced an
+//     interference witness. Any such program falsifies the implementation
+//     (checker bug, interpreter bug, or harness bug) and is reported with
+//     its source and seed for replay.
+//   - RejectedWitnessed: IFC-rejected and the NI harness found a concrete
+//     interference witness — evidence the rejection was a true positive.
+//   - RejectedClean: IFC-rejected, baseline-accepted, and NI-clean over
+//     the trial budget. Precision data: the rejection may be conservative
+//     (flow-insensitivity, label creep) or the trials may simply have
+//     missed the leak; the ratio against RejectedWitnessed tracks the
+//     checker's observed precision.
+//   - GeneratorBug: the program failed to parse, resolve, or base-check.
+//     gen.Random promises syntactically and structurally valid output, so
+//     anything here is a generator (or frontend) defect.
+//   - RuntimeError: an NI run failed with a runtime error; also a defect,
+//     since base-well-typed programs must evaluate cleanly.
+package difftest
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/lattice"
+	"repro/internal/pipeline"
+)
+
+// Verdict classifies one fuzzed program.
+type Verdict int
+
+// Verdicts, in severity order: anything above Sound is interesting and
+// anything at SoundnessViolation or worse fails the harness.
+const (
+	Sound Verdict = iota
+	RejectedWitnessed
+	RejectedClean
+	GeneratorBug
+	RuntimeError
+	SoundnessViolation
+	numVerdicts
+)
+
+// String renders the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Sound:
+		return "sound (IFC-accepted, NI-clean)"
+	case RejectedWitnessed:
+		return "rejected, interference witnessed"
+	case RejectedClean:
+		return "rejected, NI-clean (conservative?)"
+	case GeneratorBug:
+		return "generator bug (parse/base failure)"
+	case RuntimeError:
+		return "runtime error"
+	case SoundnessViolation:
+		return "SOUNDNESS VIOLATION"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Config configures a fuzzing campaign.
+type Config struct {
+	// N is the number of programs to generate and cross-check.
+	N int
+	// Seed seeds program generation; program i is generated from a
+	// rand.Rand seeded with Seed + i, so any single program can be
+	// regenerated without rerunning the campaign.
+	Seed int64
+	// Gen configures the program generator (zero = gen.DefaultConfig).
+	Gen gen.Config
+	// NITrials is the per-program NI trial budget (default 8).
+	NITrials int
+	// Workers bounds the pipeline worker pool (<= 0 = GOMAXPROCS).
+	Workers int
+}
+
+// Finding is one interesting (non-Sound) program, kept with enough context
+// to replay: the generation seed regenerates the source exactly.
+type Finding struct {
+	Index   int
+	Seed    int64
+	Verdict Verdict
+	Source  string
+	// Detail is the witness, rule citations, or error text.
+	Detail string
+}
+
+// Report is the campaign outcome.
+type Report struct {
+	// Counts has one entry per verdict class.
+	Counts [numVerdicts]int
+	// Findings holds every non-Sound, non-RejectedWitnessed,
+	// non-RejectedClean program (those two classes are expected in bulk;
+	// only their counts are kept) plus every soundness violation.
+	Findings []Finding
+	// RulesCited counts, per typing rule, how many rejections cited it.
+	RulesCited map[string]int
+	// Elapsed and Workers describe the run.
+	Elapsed time.Duration
+	Workers int
+	// Seed, N, and Gen echo the campaign configuration; a finding's
+	// regen seed only reproduces its program under the same Gen config.
+	Seed int64
+	N    int
+	Gen  gen.Config
+	// Analyzed is the number of programs actually analyzed; less than N
+	// only when the campaign was cancelled mid-run.
+	Analyzed int
+	// Aborted reports that the campaign was cancelled before analyzing
+	// all N programs; the counts cover only the analyzed prefix.
+	Aborted bool
+}
+
+// OK reports whether the campaign found no implementation defects: no
+// soundness violations, no generator bugs, no runtime errors.
+func (r *Report) OK() bool {
+	return r.Counts[SoundnessViolation] == 0 &&
+		r.Counts[GeneratorBug] == 0 &&
+		r.Counts[RuntimeError] == 0
+}
+
+// Run executes the campaign. The returned error is only a context or
+// configuration failure; oracle disagreements are reported in the Report,
+// not as errors.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("difftest: N must be positive, got %d", cfg.N)
+	}
+	gcfg := cfg.Gen
+	if gcfg == (gen.Config{}) {
+		gcfg = gen.DefaultConfig()
+	}
+	lat := lattice.TwoPoint()
+
+	// Generation is cheap and deterministic per index; do it up front so
+	// the pipeline measures pure analysis throughput.
+	jobs := make([]pipeline.Job, cfg.N)
+	for i := range jobs {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)))
+		jobs[i] = pipeline.Job{
+			Name:   fmt.Sprintf("fuzz-%d.p4", i),
+			Source: gen.Random(rng, gcfg),
+			Lat:    lat,
+		}
+	}
+
+	sum, err := pipeline.Run(ctx, jobs, pipeline.Options{
+		Workers:  cfg.Workers,
+		NI:       pipeline.NIAll,
+		NITrials: cfg.NITrials,
+		NISeed:   cfg.Seed,
+	})
+	rep := &Report{
+		RulesCited: map[string]int{},
+		Elapsed:    sum.Elapsed,
+		Workers:    sum.Workers,
+		Seed:       cfg.Seed,
+		N:          cfg.N,
+		Gen:        gcfg,
+		Analyzed:   len(sum.Results),
+		Aborted:    err != nil,
+	}
+	for i := range sum.Results {
+		r := &sum.Results[i]
+		v, detail := classify(r)
+		rep.Counts[v]++
+		if r.IFC != nil && !r.IFC.OK {
+			for _, d := range r.IFC.Diags {
+				if d.Rule != "" {
+					rep.RulesCited[d.Rule]++
+				}
+			}
+		}
+		if v == SoundnessViolation || v == GeneratorBug || v == RuntimeError {
+			rep.Findings = append(rep.Findings, Finding{
+				Index:   i,
+				Seed:    cfg.Seed + int64(i),
+				Verdict: v,
+				Source:  r.Job.Source,
+				Detail:  detail,
+			})
+		}
+	}
+	return rep, err
+}
+
+// classify maps one pipeline result to its verdict class.
+func classify(r *pipeline.JobResult) (Verdict, string) {
+	switch {
+	case r.ParseErr != nil:
+		return GeneratorBug, "parse: " + r.ParseErr.Error()
+	case r.ResolveErr != nil:
+		return GeneratorBug, "resolve: " + r.ResolveErr.Error()
+	case !r.BaseOK():
+		detail := "basecheck rejected"
+		if r.Base != nil && r.Base.Err() != nil {
+			detail = "basecheck: " + r.Base.Err().Error()
+		}
+		return GeneratorBug, detail
+	case r.IFCOK():
+		// Witnesses outrank trial errors: ni.Experiment.Run can return
+		// violations from early trials alongside an error from a later
+		// one, and a witnessed soundness violation must never be masked.
+		if len(r.NIViolations) > 0 {
+			return SoundnessViolation, r.NIViolations[0].String()
+		}
+		if r.NIErr != nil {
+			return RuntimeError, r.NIErr.Error()
+		}
+		return Sound, ""
+	default:
+		if len(r.NIViolations) > 0 {
+			return RejectedWitnessed, r.NIViolations[0].String()
+		}
+		if r.NIErr != nil {
+			return RuntimeError, r.NIErr.Error()
+		}
+		return RejectedClean, ""
+	}
+}
+
+// FormatReport renders the verdict table and any findings.
+func FormatReport(r *Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "differential soundness fuzzing: %d programs, seed %d, %d workers, %v\n",
+		r.N, r.Seed, r.Workers, r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  gen config: depth=%d stmts=%d fields=%d actions=%v (regen seeds assume this config)\n",
+		r.Gen.MaxDepth, r.Gen.MaxStmts, r.Gen.NumFields, r.Gen.WithActions)
+	fmt.Fprintf(&b, "  %-36s %8s\n", "verdict", "count")
+	for v := Verdict(0); v < numVerdicts; v++ {
+		fmt.Fprintf(&b, "  %-36s %8d\n", v, r.Counts[v])
+	}
+	if len(r.RulesCited) > 0 {
+		b.WriteString("  rules cited on rejections:")
+		for _, rule := range sortedKeys(r.RulesCited) {
+			fmt.Fprintf(&b, " %s×%d", rule, r.RulesCited[rule])
+		}
+		b.WriteByte('\n')
+	}
+	for _, f := range r.Findings {
+		fmt.Fprintf(&b, "\nFINDING #%d (%s, regen seed %d): %s\n%s",
+			f.Index, f.Verdict, f.Seed, f.Detail, f.Source)
+	}
+	switch {
+	case r.Aborted:
+		fmt.Fprintf(&b, "ABORTED: campaign incomplete — verdicts cover only %d/%d programs\n", r.Analyzed, r.N)
+	case r.OK():
+		b.WriteString("PASS: no soundness violations, generator bugs, or runtime errors\n")
+	default:
+		b.WriteString("FAIL: implementation defects found (see findings above)\n")
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,116 @@
+package difftest_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/difftest"
+)
+
+// campaignSize returns the acceptance-criteria campaign size: >= 1000
+// programs, or >= 100 under -short.
+func campaignSize(t *testing.T) int {
+	if testing.Short() {
+		return 100
+	}
+	return 1000
+}
+
+// TestCampaignFindsNoDefects is the headline harness test: a full
+// differential campaign over generated programs must find zero soundness
+// violations (no IFC-accepted program interferes), zero generator bugs
+// (every generated program parses and base-checks), and zero runtime
+// errors.
+func TestCampaignFindsNoDefects(t *testing.T) {
+	rep, err := difftest.Run(context.Background(), difftest.Config{
+		N:        campaignSize(t),
+		Seed:     20260728,
+		NITrials: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("campaign found implementation defects:\n%s", difftest.FormatReport(rep))
+	}
+	if got := rep.Counts[difftest.SoundnessViolation]; got != 0 {
+		t.Errorf("%d soundness violations — Theorem 4.3 falsified by the implementation", got)
+	}
+	if rep.Counts[difftest.Sound] == 0 {
+		t.Error("no program was IFC-accepted — the generator is not exercising the accept path")
+	}
+	if rep.Counts[difftest.RejectedWitnessed]+rep.Counts[difftest.RejectedClean] == 0 {
+		t.Error("no program was IFC-rejected — the generator is not exercising the reject path")
+	}
+	// The NI harness must be demonstrating rejections are real at least
+	// sometimes; an all-clean rejected population would mean the trials
+	// never catch anything.
+	if rep.Counts[difftest.RejectedWitnessed] == 0 {
+		t.Error("no rejected program had interference witnessed — NI trials are toothless")
+	}
+	t.Logf("\n%s", difftest.FormatReport(rep))
+}
+
+// TestCampaignDeterministic re-runs a small campaign with the same seed
+// and expects identical verdict counts regardless of scheduling.
+func TestCampaignDeterministic(t *testing.T) {
+	run := func(workers int) *difftest.Report {
+		rep, err := difftest.Run(context.Background(), difftest.Config{
+			N: 60, Seed: 99, NITrials: 4, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(1), run(8)
+	if a.Counts != b.Counts {
+		t.Errorf("verdict counts depend on worker count: %v vs %v", a.Counts, b.Counts)
+	}
+}
+
+// TestCampaignRejectsBadConfig checks the config validation path.
+func TestCampaignRejectsBadConfig(t *testing.T) {
+	if _, err := difftest.Run(context.Background(), difftest.Config{N: 0}); err == nil {
+		t.Error("N=0 accepted")
+	}
+}
+
+// TestCampaignCancellation checks a cancelled campaign reports the context
+// error but still returns the partial report.
+func TestCampaignCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := difftest.Run(ctx, difftest.Config{N: 50, Seed: 1, NITrials: 2})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep == nil {
+		t.Fatal("no partial report returned")
+	}
+	if !rep.Aborted {
+		t.Error("cancelled campaign not marked Aborted")
+	}
+	if !strings.Contains(difftest.FormatReport(rep), "ABORTED") {
+		t.Error("report of cancelled campaign does not say ABORTED")
+	}
+}
+
+// TestFormatReport checks the verdict table renders every class and the
+// PASS line.
+func TestFormatReport(t *testing.T) {
+	rep, err := difftest.Run(context.Background(), difftest.Config{N: 30, Seed: 5, NITrials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := difftest.FormatReport(rep)
+	for _, want := range []string{
+		"30 programs", "sound (IFC-accepted, NI-clean)",
+		"SOUNDNESS VIOLATION", "generator bug",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package gen_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/basecheck"
+	"repro/internal/diag"
+	"repro/internal/gen"
+	"repro/internal/lattice"
+	"repro/internal/parser"
+	"repro/internal/resolve"
+)
+
+// mustResolve parses src and resolves its type declarations against lat,
+// failing the test on any frontend error. This is the precondition the
+// difftest harness relies on: generated programs never fail before the
+// checkers get to disagree about them.
+func mustResolve(t *testing.T, name, src string, lat lattice.Lattice) {
+	t.Helper()
+	prog, err := parser.Parse(name, src)
+	if err != nil {
+		t.Fatalf("%s does not parse: %v\n%s", name, err, src)
+	}
+	var diags diag.List
+	res := resolve.New(lat, &diags)
+	res.CollectTypeDecls(prog)
+	if err := diags.Err(); err != nil {
+		t.Fatalf("%s does not resolve: %v\n%s", name, err, src)
+	}
+	if r := basecheck.Check(prog); !r.OK {
+		t.Fatalf("%s rejected by the baseline checker: %v\n%s", name, r.Err(), src)
+	}
+}
+
+// TestRandomAlwaysParsesAndResolves is the generator's validity property
+// across 500 seeds: every gen.Random output parses, resolves, and
+// base-checks cleanly (IFC acceptance is deliberately not guaranteed).
+func TestRandomAlwaysParsesAndResolves(t *testing.T) {
+	lat := lattice.TwoPoint()
+	cfgs := []gen.Config{
+		gen.DefaultConfig(),
+		{MaxDepth: 1, MaxStmts: 2, NumFields: 1, WithActions: false},
+		{MaxDepth: 5, MaxStmts: 8, NumFields: 6, WithActions: true},
+	}
+	for seed := int64(0); seed < 500; seed++ {
+		cfg := cfgs[seed%int64(len(cfgs))]
+		rng := rand.New(rand.NewSource(seed))
+		src := gen.Random(rng, cfg)
+		mustResolve(t, fmt.Sprintf("random-seed-%d.p4", seed), src, lat)
+	}
+}
+
+// TestSynthAlwaysParsesAndResolves sweeps Synth shapes across 500
+// size combinations.
+func TestSynthAlwaysParsesAndResolves(t *testing.T) {
+	lat := lattice.TwoPoint()
+	n := 0
+	for tables := 1; tables <= 10 && n < 500; tables++ {
+		for actions := 1; actions <= 10 && n < 500; actions++ {
+			for fields := 1; fields <= 5 && n < 500; fields++ {
+				src := gen.Synth(tables, actions, fields)
+				mustResolve(t, fmt.Sprintf("synth-%d-%d-%d.p4", tables, actions, fields), src, lat)
+				n++
+			}
+		}
+	}
+	if n < 500 {
+		t.Fatalf("swept only %d shapes, want 500", n)
+	}
+}
+
+// TestSynthChainAlwaysResolves sweeps chain heights against their own
+// lattices.
+func TestSynthChainAlwaysResolves(t *testing.T) {
+	for h := 1; h <= 32; h++ {
+		src := gen.SynthChainLabels(h)
+		mustResolve(t, fmt.Sprintf("chain-%d.p4", h), src, lattice.Chain(h))
+	}
+}

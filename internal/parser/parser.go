@@ -34,7 +34,6 @@ import (
 // Parse parses a complete program. file names the source in positions.
 func Parse(file, src string) (*ast.Program, error) {
 	p := &parser{lx: lexer.New(file, src)}
-	p.next()
 	prog := &ast.Program{File: file}
 	var perr error
 	func() {
@@ -47,6 +46,9 @@ func Parse(file, src string) (*ast.Program, error) {
 				panic(r)
 			}
 		}()
+		// Inside the recovered region: lexing the first token can already
+		// fail (e.g. an unterminated string literal).
+		p.next()
 		for p.tok.Kind != token.EOF {
 			d := p.parseTopDecl()
 			if c, ok := d.(*ast.ControlDecl); ok {
@@ -66,7 +68,6 @@ func Parse(file, src string) (*ast.Program, error) {
 // tooling).
 func ParseExpr(src string) (e ast.Expr, err error) {
 	p := &parser{lx: lexer.New("", src)}
-	p.next()
 	defer func() {
 		if r := recover(); r != nil {
 			if b, ok := r.(bailout); ok {
@@ -76,6 +77,7 @@ func ParseExpr(src string) (e ast.Expr, err error) {
 			panic(r)
 		}
 	}()
+	p.next()
 	e = p.parseExpr()
 	p.expect(token.EOF)
 	return e, nil

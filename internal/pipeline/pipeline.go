@@ -1,0 +1,301 @@
+// Package pipeline is a worker-pool batch-analysis engine: it runs the
+// repo's full analysis stack — parse → resolve → baseline-check →
+// IFC-check → (optional) non-interference experiment — concurrently over a
+// corpus of programs.
+//
+// The engine exists for two workloads:
+//
+//   - throughput: checking a large corpus (generated sweeps, case-study
+//     matrices, CI gates) as fast as the hardware allows, with bounded
+//     parallelism and per-stage timing so regressions are attributable;
+//   - fuzzing: internal/difftest drives millions of generated programs
+//     through the same stages and cross-checks the oracles' verdicts.
+//
+// Jobs are independent, so the pool is a plain fan-out: a channel of job
+// indices feeds N workers, each writing its own slot of the results slice.
+// Cancellation is cooperative per job boundary — workers drain nothing
+// after ctx is done, and Run reports ctx.Err() while still returning the
+// results completed so far.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/basecheck"
+	"repro/internal/core"
+	"repro/internal/diag"
+	"repro/internal/lattice"
+	"repro/internal/ni"
+	"repro/internal/parser"
+	"repro/internal/resolve"
+)
+
+// Stage identifies one analysis stage, in execution order.
+type Stage int
+
+// Stages.
+const (
+	StageParse Stage = iota
+	StageResolve
+	StageBase
+	StageIFC
+	StageNI
+	NumStages
+)
+
+// String renders the stage name.
+func (s Stage) String() string {
+	switch s {
+	case StageParse:
+		return "parse"
+	case StageResolve:
+		return "resolve"
+	case StageBase:
+		return "basecheck"
+	case StageIFC:
+		return "ifc"
+	case StageNI:
+		return "ni"
+	default:
+		return fmt.Sprintf("Stage(%d)", int(s))
+	}
+}
+
+// NIMode selects which jobs the NI-experiment stage runs on.
+type NIMode int
+
+// NI modes.
+const (
+	// NIOff skips the NI stage entirely.
+	NIOff NIMode = iota
+	// NIAccepted runs NI experiments only on IFC-accepted programs — the
+	// soundness check (Theorem 4.3: accepted ⇒ non-interfering).
+	NIAccepted
+	// NIAll runs NI experiments on every base-well-typed program,
+	// including IFC-rejected ones — the differential harness uses the
+	// extra runs to tell true positives (interference witnessed) from
+	// conservative rejections (no witness found).
+	NIAll
+)
+
+// Job is one program to analyze.
+type Job struct {
+	// Name names the program in diagnostics (used as the parse file name).
+	Name string
+	// Source is the program text.
+	Source string
+	// Lat is the security lattice to check against; nil means two-point.
+	Lat lattice.Lattice
+}
+
+// Options configures a batch run.
+type Options struct {
+	// Workers bounds the worker pool; <= 0 means GOMAXPROCS(0).
+	Workers int
+	// NI selects the non-interference stage's mode (default NIOff).
+	NI NIMode
+	// NITrials is the number of randomized trials per NI experiment
+	// (default 8 when the NI stage runs).
+	NITrials int
+	// NISeed seeds the NI experiments; job i runs with NISeed + i so a
+	// batch is reproducible regardless of worker interleaving.
+	NISeed int64
+	// Observer overrides the NI observer label (zero = lattice bottom).
+	Observer lattice.Label
+}
+
+// JobResult is the outcome of all stages for one job. Stages after a
+// failing stage are skipped and their fields are zero.
+type JobResult struct {
+	Job Job
+	// Prog is the parsed program (nil if parsing failed).
+	Prog *ast.Program
+	// ParseErr is the parse failure, if any.
+	ParseErr error
+	// ResolveErr reports type-declaration resolution failures.
+	ResolveErr error
+	// Base is the baseline (label-insensitive) verdict.
+	Base *basecheck.Result
+	// IFC is the P4BID verdict.
+	IFC *core.Result
+	// NIViolations holds interference witnesses found by the NI stage.
+	NIViolations []ni.Violation
+	// NIErr is a runtime error from the NI stage (not a violation).
+	NIErr error
+	// NIRan reports whether the NI stage ran for this job.
+	NIRan bool
+	// StageDur records wall-clock time spent per stage.
+	StageDur [NumStages]time.Duration
+}
+
+// ParseOK reports whether the job parsed and resolved.
+func (r *JobResult) ParseOK() bool { return r.ParseErr == nil && r.ResolveErr == nil }
+
+// BaseOK reports whether the baseline checker accepted the job.
+func (r *JobResult) BaseOK() bool { return r.Base != nil && r.Base.OK }
+
+// IFCOK reports whether the IFC checker accepted the job.
+func (r *JobResult) IFCOK() bool { return r.IFC != nil && r.IFC.OK }
+
+// Summary aggregates a batch run.
+type Summary struct {
+	// Results holds one entry per job, in job order.
+	Results []JobResult
+	// Workers is the pool size used.
+	Workers int
+	// Elapsed is the whole batch's wall-clock time.
+	Elapsed time.Duration
+	// StageDur is the per-stage CPU-ish time summed across jobs (it can
+	// exceed Elapsed under parallelism; Elapsed·Workers bounds it).
+	StageDur [NumStages]time.Duration
+	// Parsed, BaseAccepted, IFCAccepted, and NIViolating count jobs.
+	Parsed, BaseAccepted, IFCAccepted, NIViolating int
+}
+
+// Run analyzes all jobs with a bounded worker pool. It returns the partial
+// summary and ctx.Err() if the context is cancelled mid-batch; otherwise
+// every job has a result.
+func Run(ctx context.Context, jobs []Job, opts Options) (*Summary, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) && len(jobs) > 0 {
+		workers = len(jobs)
+	}
+	trials := opts.NITrials
+	if trials <= 0 {
+		trials = 8
+	}
+
+	start := time.Now()
+	results := make([]JobResult, len(jobs))
+	done := make([]bool, len(jobs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = runJob(jobs[i], opts, trials, opts.NISeed+int64(i))
+				done[i] = true
+			}
+		}()
+	}
+
+	var ctxErr error
+feed:
+	for i := range jobs {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			ctxErr = ctx.Err()
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	sum := &Summary{Workers: workers, Elapsed: time.Since(start)}
+	if ctxErr != nil {
+		// Keep only the prefix-closed set of completed results so callers
+		// see a dense, ordered slice.
+		for i := range results {
+			if !done[i] {
+				results = results[:i]
+				break
+			}
+		}
+	}
+	sum.Results = results
+	for i := range sum.Results {
+		r := &sum.Results[i]
+		for s := Stage(0); s < NumStages; s++ {
+			sum.StageDur[s] += r.StageDur[s]
+		}
+		if r.ParseOK() {
+			sum.Parsed++
+		}
+		if r.BaseOK() {
+			sum.BaseAccepted++
+		}
+		if r.IFCOK() {
+			sum.IFCAccepted++
+		}
+		if len(r.NIViolations) > 0 {
+			sum.NIViolating++
+		}
+	}
+	return sum, ctxErr
+}
+
+// runJob pushes one job through the stage sequence.
+func runJob(job Job, opts Options, trials int, niSeed int64) JobResult {
+	r := JobResult{Job: job}
+	lat := job.Lat
+	if lat == nil {
+		lat = lattice.TwoPoint()
+	}
+
+	t0 := time.Now()
+	prog, err := parser.Parse(job.Name, job.Source)
+	r.StageDur[StageParse] = time.Since(t0)
+	if err != nil {
+		r.ParseErr = err
+		return r
+	}
+	r.Prog = prog
+
+	t0 = time.Now()
+	var diags diag.List
+	res := resolve.New(lat, &diags)
+	res.CollectTypeDecls(prog)
+	r.ResolveErr = diags.Err()
+	r.StageDur[StageResolve] = time.Since(t0)
+	if r.ResolveErr != nil {
+		return r
+	}
+
+	t0 = time.Now()
+	r.Base = basecheck.Check(prog)
+	r.StageDur[StageBase] = time.Since(t0)
+	if !r.Base.OK {
+		return r
+	}
+
+	t0 = time.Now()
+	r.IFC = core.Check(prog, lat)
+	r.StageDur[StageIFC] = time.Since(t0)
+
+	runNI := opts.NI == NIAll || (opts.NI == NIAccepted && r.IFC.OK)
+	if !runNI {
+		return r
+	}
+	t0 = time.Now()
+	exp := &ni.Experiment{Prog: prog, Lat: lat, Observer: opts.Observer}
+	r.NIViolations, r.NIErr = exp.Run(trials, niSeed)
+	r.NIRan = true
+	r.StageDur[StageNI] = time.Since(t0)
+	return r
+}
+
+// FormatSummary renders the batch summary with the per-stage breakdown.
+func FormatSummary(s *Summary) string {
+	out := fmt.Sprintf("batch: %d programs, %d workers, %v wall-clock\n",
+		len(s.Results), s.Workers, s.Elapsed.Round(time.Microsecond))
+	out += fmt.Sprintf("  parsed %d, base-accepted %d, IFC-accepted %d, NI-violating %d\n",
+		s.Parsed, s.BaseAccepted, s.IFCAccepted, s.NIViolating)
+	for st := Stage(0); st < NumStages; st++ {
+		if s.StageDur[st] == 0 {
+			continue
+		}
+		out += fmt.Sprintf("  %-10s %12v summed across jobs\n", st, s.StageDur[st].Round(time.Microsecond))
+	}
+	return out
+}

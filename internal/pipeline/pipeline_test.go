@@ -1,0 +1,216 @@
+package pipeline_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/lattice"
+	"repro/internal/pipeline"
+	"repro/internal/progs"
+)
+
+// corpus returns n deterministic random-program jobs.
+func corpus(n int) []pipeline.Job {
+	lat := lattice.TwoPoint()
+	cfg := gen.DefaultConfig()
+	jobs := make([]pipeline.Job, n)
+	for i := range jobs {
+		rng := rand.New(rand.NewSource(int64(i) + 1))
+		jobs[i] = pipeline.Job{Name: fmt.Sprintf("c%d.p4", i), Source: gen.Random(rng, cfg), Lat: lat}
+	}
+	return jobs
+}
+
+// TestRunMatchesSequential checks that the parallel pool produces exactly
+// the verdicts the sequential path does, job for job.
+func TestRunMatchesSequential(t *testing.T) {
+	jobs := corpus(60)
+	opts := pipeline.Options{NI: pipeline.NIAccepted, NITrials: 4, NISeed: 7}
+	seqOpts, parOpts := opts, opts
+	seqOpts.Workers = 1
+	parOpts.Workers = 8
+	seq, err := pipeline.Run(context.Background(), jobs, seqOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := pipeline.Run(context.Background(), jobs, parOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Results) != len(jobs) || len(par.Results) != len(jobs) {
+		t.Fatalf("result counts: seq %d, par %d, want %d", len(seq.Results), len(par.Results), len(jobs))
+	}
+	for i := range jobs {
+		s, p := &seq.Results[i], &par.Results[i]
+		if s.ParseOK() != p.ParseOK() || s.BaseOK() != p.BaseOK() || s.IFCOK() != p.IFCOK() {
+			t.Errorf("job %d: verdicts differ: seq parse=%v base=%v ifc=%v, par parse=%v base=%v ifc=%v",
+				i, s.ParseOK(), s.BaseOK(), s.IFCOK(), p.ParseOK(), p.BaseOK(), p.IFCOK())
+		}
+		if len(s.NIViolations) != len(p.NIViolations) {
+			t.Errorf("job %d: NI violations differ: seq %d, par %d (seeding must be order-independent)",
+				i, len(s.NIViolations), len(p.NIViolations))
+		}
+	}
+	if seq.IFCAccepted != par.IFCAccepted || seq.BaseAccepted != par.BaseAccepted {
+		t.Errorf("summary counts differ: seq %+v vs par %+v", seq, par)
+	}
+}
+
+// TestRunCaseStudies pushes every embedded case-study variant through the
+// pipeline and checks the expected verdicts survive the batch path.
+func TestRunCaseStudies(t *testing.T) {
+	var jobs []pipeline.Job
+	type expect struct{ baseOK, ifcOK bool }
+	var want []expect
+	for _, p := range progs.All() {
+		jobs = append(jobs,
+			pipeline.Job{Name: p.FileName(progs.Buggy), Source: p.Source(progs.Buggy), Lat: p.Lattice()},
+			pipeline.Job{Name: p.FileName(progs.Fixed), Source: p.Source(progs.Fixed), Lat: p.Lattice()},
+		)
+		want = append(want, expect{true, false}, expect{true, true})
+	}
+	sum, err := pipeline.Run(context.Background(), jobs, pipeline.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range want {
+		r := &sum.Results[i]
+		if !r.ParseOK() {
+			t.Errorf("%s: parse/resolve failed: %v %v", r.Job.Name, r.ParseErr, r.ResolveErr)
+			continue
+		}
+		if r.BaseOK() != w.baseOK || r.IFCOK() != w.ifcOK {
+			t.Errorf("%s: base=%v ifc=%v, want base=%v ifc=%v",
+				r.Job.Name, r.BaseOK(), r.IFCOK(), w.baseOK, w.ifcOK)
+		}
+	}
+}
+
+// TestRunNIModes checks that the NI stage runs exactly where the mode says.
+func TestRunNIModes(t *testing.T) {
+	jobs := corpus(40)
+	for _, tc := range []struct {
+		mode pipeline.NIMode
+		want func(r *pipeline.JobResult) bool
+	}{
+		{pipeline.NIOff, func(r *pipeline.JobResult) bool { return false }},
+		{pipeline.NIAccepted, func(r *pipeline.JobResult) bool { return r.IFCOK() }},
+		{pipeline.NIAll, func(r *pipeline.JobResult) bool { return r.BaseOK() }},
+	} {
+		sum, err := pipeline.Run(context.Background(), jobs,
+			pipeline.Options{Workers: 4, NI: tc.mode, NITrials: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range sum.Results {
+			r := &sum.Results[i]
+			if r.NIRan != tc.want(r) {
+				t.Errorf("mode %v, job %s: NIRan=%v (ifcOK=%v baseOK=%v)",
+					tc.mode, r.Job.Name, r.NIRan, r.IFCOK(), r.BaseOK())
+			}
+		}
+	}
+}
+
+// TestRunCancellation cancels mid-batch and expects a context error with a
+// dense prefix of results.
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	jobs := corpus(50)
+	sum, err := pipeline.Run(ctx, jobs, pipeline.Options{Workers: 2})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(sum.Results) > len(jobs) {
+		t.Fatalf("more results than jobs: %d", len(sum.Results))
+	}
+	for i := range sum.Results {
+		if sum.Results[i].Job.Name == "" {
+			t.Fatalf("result %d is a zero value — prefix not dense", i)
+		}
+	}
+}
+
+// TestRunStageTiming checks per-stage durations are recorded for the
+// stages that ran.
+func TestRunStageTiming(t *testing.T) {
+	jobs := corpus(10)
+	sum, err := pipeline.Run(context.Background(), jobs, pipeline.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.StageDur[pipeline.StageParse] == 0 {
+		t.Error("no parse time recorded")
+	}
+	if sum.Elapsed == 0 {
+		t.Error("no elapsed time recorded")
+	}
+	for i := range sum.Results {
+		r := &sum.Results[i]
+		if r.ParseOK() && r.StageDur[pipeline.StageParse] == 0 {
+			t.Errorf("job %s parsed but has zero parse duration", r.Job.Name)
+		}
+	}
+}
+
+// TestRunSpeedup is the acceptance check: on a machine with >= 4 cores the
+// worker pool must beat the sequential path by >= 3x on a 200-program
+// corpus. On smaller machines the parallel path must merely not be
+// pathologically slower.
+func TestRunSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speedup measurement skipped in -short mode")
+	}
+	cores := runtime.GOMAXPROCS(0)
+	jobs := corpus(200)
+	opts := pipeline.Options{NI: pipeline.NIAccepted, NITrials: 8, NISeed: 1}
+
+	measure := func(workers int) time.Duration {
+		o := opts
+		o.Workers = workers
+		best := time.Duration(1<<62 - 1)
+		for rep := 0; rep < 3; rep++ {
+			sum, err := pipeline.Run(context.Background(), jobs, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sum.Elapsed < best {
+				best = sum.Elapsed
+			}
+		}
+		return best
+	}
+
+	seq := measure(1)
+	par := measure(cores)
+	speedup := float64(seq) / float64(par)
+	t.Logf("cores=%d: sequential %v, parallel %v, speedup %.2fx", cores, seq, par, speedup)
+	if cores >= 4 {
+		if speedup < 3 {
+			t.Errorf("speedup %.2fx < 3x on %d cores", speedup, cores)
+		}
+	} else if speedup < 0.5 {
+		t.Errorf("parallel path pathologically slow on %d cores: %.2fx", cores, speedup)
+	}
+}
+
+// TestFormatSummary smoke-tests the report rendering.
+func TestFormatSummary(t *testing.T) {
+	sum, err := pipeline.Run(context.Background(), corpus(5), pipeline.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := pipeline.FormatSummary(sum)
+	for _, want := range []string{"5 programs", "2 workers", "parse"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package progs_test
+
+import (
+	"testing"
+
+	"repro/internal/basecheck"
+	"repro/internal/core"
+	"repro/internal/lattice"
+	"repro/internal/parser"
+	"repro/internal/progs"
+)
+
+// tallerLattices returns lattices strictly taller than the one a program
+// is annotated against but compatible with its label names: chain lattices
+// alias low/high to their bottom/top, and NParty keeps A/B/bot/top while
+// adding parties. The paper's verdicts must be stable under such
+// embeddings — only the relative order of the labels a program mentions
+// matters.
+func tallerLattices(t *testing.T, p *progs.Program) map[string]lattice.Lattice {
+	switch p.LatticeName {
+	case "two-point":
+		return map[string]lattice.Lattice{
+			"chain-4": lattice.Chain(4),
+			"chain-8": lattice.Chain(8),
+		}
+	case "diamond":
+		return map[string]lattice.Lattice{
+			"3-party": lattice.NParty("A", "B", "C"),
+		}
+	default:
+		t.Fatalf("%s: unexpected lattice %q", p.Name, p.LatticeName)
+		return nil
+	}
+}
+
+// TestCorpusMatrix locks in the accept/reject matrix for every embedded
+// case study, under both the program's own lattice and taller ones:
+//
+//   - buggy variants are rejected by P4BID, with at least one typing rule
+//     cited, but accepted by the baseline checker (the leak is a flow
+//     property, not a type error);
+//   - fixed variants are accepted by both;
+//   - unannotated variants are accepted by the baseline checker.
+func TestCorpusMatrix(t *testing.T) {
+	for _, p := range progs.All() {
+		lats := tallerLattices(t, p)
+		lats[p.LatticeName] = p.Lattice()
+		for latName, lat := range lats {
+			t.Run(p.Name+"/"+latName, func(t *testing.T) {
+				buggy := parser.MustParse(p.FileName(progs.Buggy), p.Source(progs.Buggy))
+				fixed := parser.MustParse(p.FileName(progs.Fixed), p.Source(progs.Fixed))
+
+				if res := core.Check(buggy, lat); res.OK {
+					t.Errorf("buggy variant accepted by P4BID under %s", latName)
+				} else {
+					cited := false
+					for _, d := range res.Diags {
+						if d.Rule != "" {
+							cited = true
+							break
+						}
+					}
+					if !cited {
+						t.Errorf("buggy rejection cites no typing rule under %s", latName)
+					}
+				}
+				if res := basecheck.Check(buggy); !res.OK {
+					t.Errorf("buggy variant rejected by the baseline checker: %v", res.Err())
+				}
+				if res := core.Check(fixed, lat); !res.OK {
+					t.Errorf("fixed variant rejected by P4BID under %s: %v", latName, res.Err())
+				}
+				if res := basecheck.Check(fixed); !res.OK {
+					t.Errorf("fixed variant rejected by the baseline checker: %v", res.Err())
+				}
+			})
+		}
+	}
+}
+
+// TestCorpusUnannotated checks the Table 1 baseline inputs: stripping
+// annotations yields programs the baseline checker accepts, and the IFC
+// checker also accepts them trivially (every label defaults to bottom).
+func TestCorpusUnannotated(t *testing.T) {
+	for _, p := range progs.All() {
+		t.Run(p.Name, func(t *testing.T) {
+			src := p.Source(progs.Unannotated)
+			prog := parser.MustParse(p.FileName(progs.Unannotated), src)
+			if res := basecheck.Check(prog); !res.OK {
+				t.Errorf("unannotated variant rejected by the baseline checker: %v", res.Err())
+			}
+			if res := core.Check(prog, p.Lattice()); !res.OK {
+				t.Errorf("unannotated variant rejected by P4BID: %v", res.Err())
+			}
+		})
+	}
+}

@@ -22,14 +22,18 @@
 package repro
 
 import (
+	"context"
+
 	"repro/internal/ast"
 	"repro/internal/basecheck"
 	"repro/internal/controlplane"
 	"repro/internal/core"
+	"repro/internal/difftest"
 	"repro/internal/eval"
 	"repro/internal/lattice"
 	"repro/internal/ni"
 	"repro/internal/parser"
+	"repro/internal/pipeline"
 	"repro/internal/progs"
 )
 
@@ -135,3 +139,49 @@ const (
 // StripAnnotations removes security annotations from source text, yielding
 // the plain-P4 program a stock compiler would see.
 func StripAnnotations(src string) string { return progs.StripAnnotations(src) }
+
+// PrintProgram renders a parsed program back into parseable surface syntax.
+func PrintProgram(prog *Program) string { return ast.Print(prog) }
+
+// BatchJob names one program for batch analysis; BatchOptions configures
+// the worker pool; BatchSummary aggregates the run (see internal/pipeline).
+type (
+	BatchJob     = pipeline.Job
+	BatchOptions = pipeline.Options
+	BatchSummary = pipeline.Summary
+	BatchResult  = pipeline.JobResult
+)
+
+// NI-stage modes for BatchOptions.NI.
+const (
+	NIOff      = pipeline.NIOff
+	NIAccepted = pipeline.NIAccepted
+	NIAll      = pipeline.NIAll
+)
+
+// CheckAll batch-analyzes jobs concurrently with a bounded worker pool,
+// running parse → resolve → baseline-check → IFC-check → (optionally) an
+// NI experiment per job. It returns the partial summary and ctx.Err() if
+// cancelled mid-batch.
+func CheckAll(ctx context.Context, jobs []BatchJob, opts BatchOptions) (*BatchSummary, error) {
+	return pipeline.Run(ctx, jobs, opts)
+}
+
+// FuzzConfig configures DiffFuzz; FuzzReport is its verdict table (see
+// internal/difftest for the verdict classes).
+type (
+	FuzzConfig = difftest.Config
+	FuzzReport = difftest.Report
+)
+
+// DiffFuzz runs a differential soundness-fuzzing campaign: cfg.N random
+// programs are generated and cross-checked against the IFC checker, the
+// baseline checker, and the NI harness. Report.OK() is false iff the
+// campaign found an implementation defect (a soundness violation, a
+// generator bug, or a runtime error).
+func DiffFuzz(ctx context.Context, cfg FuzzConfig) (*FuzzReport, error) {
+	return difftest.Run(ctx, cfg)
+}
+
+// FormatFuzzReport renders the campaign's verdict table.
+func FormatFuzzReport(r *FuzzReport) string { return difftest.FormatReport(r) }
