@@ -1,19 +1,37 @@
-// Command p4fuzz runs a differential soundness-fuzzing campaign against
-// the P4BID checker: it generates random programs, cross-checks the IFC
-// checker against the baseline checker and the non-interference harness,
-// and prints a verdict table.
+// Command p4fuzz runs differential soundness-fuzzing against the P4BID
+// checker: it generates random programs, cross-checks the IFC checker
+// against the baseline checker and the non-interference harness, and
+// prints a verdict table.
 //
 // Usage:
 //
-//	p4fuzz [-n 1000] [-seed 1] [-trials 8] [-workers 0] [-depth 3] [-stmts 5] [-fields 3] [-timeout 0]
+//	p4fuzz [-n 1000] [-seed 1] [-trials 8] [-trials-max 0] [-workers 0]
+//	       [-depth 3] [-stmts 5] [-fields 3] [-timeout 0]
+//	       [-corpus-dir DIR] [-minimize] [-shard i/n] [-resume]
 //
-// Exit status 0 if the campaign found no implementation defects (no
+// With none of the campaign flags, p4fuzz is the one-shot harness: the
+// whole corpus is generated up front, checked, and forgotten. Any of
+// -corpus-dir, -minimize, -shard, or -resume switches to the streaming
+// campaign engine, which generates jobs lazily, deduplicates and persists
+// interesting programs (with verdict metadata) under -corpus-dir,
+// minimizes findings with -minimize, splits the campaign across processes
+// with -shard i/n (0-based; shard corpus dirs merge by file copy), and
+// continues from the persisted per-shard cursor with -resume.
+//
+// -trials is the per-program NI budget; when -trials-max exceeds it, the
+// budget is adaptive — accepted programs get -trials, rejected programs
+// escalate toward -trials-max until a witness appears. The campaign
+// defaults to an adaptive 4/32 split where the one-shot harness keeps the
+// flat 8.
+//
+// Exit status 0 if the run found no implementation defects (no
 // IFC-accepted program interfered, no generated program failed to parse or
-// base-check, no runtime errors), 1 otherwise. Every finding is printed
-// with the per-program generation seed, so a failure replays with
+// base-check, no runtime errors, no parser roundtrip disagreements),
+// 1 on any defect or an aborted run, 2 on usage errors. Every finding is
+// reported with its per-program generation seed, so a failure replays with
 // p4fuzz -n 1 -seed <that seed> — passing the same -depth/-stmts/-fields
-// flags as the original campaign (the seed only determines the program
-// for a fixed generator configuration; the report echoes it).
+// flags as the original campaign (the seed only determines the program for
+// a fixed generator configuration; reports and corpus metadata echo it).
 package main
 
 import (
@@ -21,6 +39,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro"
@@ -30,12 +50,17 @@ import (
 func main() {
 	n := flag.Int("n", 1000, "number of programs to generate and cross-check")
 	seed := flag.Int64("seed", 1, "base generation seed (program i uses seed+i)")
-	trials := flag.Int("trials", 8, "NI trials per program")
+	trials := flag.Int("trials", 0, "base NI trials per program (0 = 8 one-shot, 4 campaign)")
+	trialsMax := flag.Int("trials-max", 0, "adaptive NI ceiling for rejected programs (0 = campaign default, <0 or <= -trials disables)")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	depth := flag.Int("depth", 3, "max conditional nesting in generated programs")
 	stmts := flag.Int("stmts", 5, "max statements per generated block")
 	fields := flag.Int("fields", 3, "low/high header fields in generated programs")
 	timeout := flag.Duration("timeout", 0, "overall campaign timeout (0 = none)")
+	corpusDir := flag.String("corpus-dir", "", "persistent corpus directory (enables the campaign engine)")
+	minimize := flag.Bool("minimize", false, "shrink findings to minimal reproducers before persisting")
+	shard := flag.String("shard", "", "shard assignment i/n (0-based), e.g. 0/4")
+	resume := flag.Bool("resume", false, "continue from the corpus's per-shard cursor")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -44,18 +69,69 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	gcfg := gen.Config{
+		MaxDepth:    *depth,
+		MaxStmts:    *stmts,
+		NumFields:   *fields,
+		WithActions: true,
+	}
 
-	rep, err := repro.DiffFuzz(ctx, repro.FuzzConfig{
-		N:        *n,
-		Seed:     *seed,
-		NITrials: *trials,
-		Workers:  *workers,
-		Gen: gen.Config{
-			MaxDepth:    *depth,
-			MaxStmts:    *stmts,
-			NumFields:   *fields,
-			WithActions: true,
-		},
+	campaignMode := *corpusDir != "" || *minimize || *shard != "" || *resume
+	if !campaignMode {
+		t := *trials
+		if t == 0 {
+			t = 8
+		}
+		rep, err := repro.DiffFuzz(ctx, repro.FuzzConfig{
+			N:           *n,
+			Seed:        *seed,
+			NITrials:    t,
+			NITrialsMax: *trialsMax,
+			Workers:     *workers,
+			Gen:         gcfg,
+		})
+		if rep == nil {
+			fmt.Fprintf(os.Stderr, "p4fuzz: %v\n", err)
+			os.Exit(2)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p4fuzz: campaign aborted after %v: %v\n", rep.Elapsed.Round(time.Millisecond), err)
+		}
+		fmt.Print(repro.FormatFuzzReport(rep))
+		if !rep.OK() || err != nil {
+			os.Exit(1)
+		}
+		return
+	}
+
+	shardIdx, numShards := 0, 1
+	if *shard != "" {
+		// Strict parse: Sscanf would accept trailing garbage ("0/2x") and
+		// silently fuzz the wrong partition.
+		i, n, ok := strings.Cut(*shard, "/")
+		var err1, err2 error
+		if ok {
+			shardIdx, err1 = strconv.Atoi(i)
+			numShards, err2 = strconv.Atoi(n)
+		}
+		if !ok || err1 != nil || err2 != nil {
+			fmt.Fprintf(os.Stderr, "p4fuzz: -shard wants i/n (e.g. 0/4), got %q\n", *shard)
+			os.Exit(2)
+		}
+	}
+	rep, err := repro.Campaign(ctx, repro.CampaignConfig{
+		N:           *n,
+		Seed:        *seed,
+		Gen:         gcfg,
+		NITrials:    *trials,
+		NITrialsMax: *trialsMax,
+		Workers:     *workers,
+		Shard:       shardIdx,
+		NumShards:   numShards,
+		CorpusDir:   *corpusDir,
+		Resume:      *resume,
+		Minimize:    *minimize,
+		Log:         os.Stderr,
 	})
 	if rep == nil {
 		fmt.Fprintf(os.Stderr, "p4fuzz: %v\n", err)
@@ -64,7 +140,7 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "p4fuzz: campaign aborted after %v: %v\n", rep.Elapsed.Round(time.Millisecond), err)
 	}
-	fmt.Print(repro.FormatFuzzReport(rep))
+	fmt.Print(repro.FormatCampaignReport(rep))
 	if !rep.OK() || err != nil {
 		os.Exit(1)
 	}

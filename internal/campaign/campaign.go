@@ -1,0 +1,611 @@
+// Package campaign is the streaming, shardable differential-fuzz campaign
+// engine: the long-running, resumable form of internal/difftest.
+//
+// Where difftest.Run materializes its whole corpus, classifies it, and
+// forgets everything at exit, a campaign
+//
+//   - generates jobs lazily and feeds them through pipeline.RunStream, so
+//     memory is bounded by the worker pool, not the campaign length;
+//   - deduplicates interesting programs (soundness findings, precision
+//     findings, parser roundtrip disagreements) and persists them to an
+//     on-disk corpus with verdict metadata, so findings survive the
+//     process and accumulate across runs;
+//   - optionally minimizes each finding with internal/shrink before
+//     persisting, so corpus entries are the smallest programs that still
+//     reproduce their verdict class — and families of equivalent findings
+//     collapse onto one entry;
+//   - partitions the campaign index space by seed (shard i of n analyzes
+//     global indices ≡ i mod n), so independent processes split a campaign
+//     deterministically: the shard union equals the unsharded job set and
+//     the shards' corpus dirs merge by file copy;
+//   - records a per-shard resume cursor, so a later run with Resume set
+//     continues the search where the previous run stopped instead of
+//     re-covering the same seeds;
+//   - spends its NI-trial budget adaptively (pipeline.Options.NITrialsMax):
+//     few trials on IFC-accepted programs, escalating on rejected ones
+//     where an interference witness would settle rejected-clean vs
+//     rejected-witnessed.
+//
+// Verdict classes and the soundness argument are difftest's; the campaign
+// adds one class of its own, parser disagreements (parse → print → reparse
+// is not a fixed point), which cross-checks the frontend the same way NI
+// cross-checks the checker.
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/difftest"
+	"repro/internal/gen"
+	"repro/internal/lattice"
+	"repro/internal/parser"
+	"repro/internal/pipeline"
+	"repro/internal/shrink"
+)
+
+// Class names a corpus finding class; it prefixes corpus filenames.
+type Class string
+
+// Corpus classes: difftest's interesting verdicts plus the campaign's own
+// parser-disagreement check.
+const (
+	ClassSoundnessViolation Class = "soundness-violation"
+	ClassGeneratorBug       Class = "generator-bug"
+	ClassRuntimeError       Class = "runtime-error"
+	// ClassRejectedClean is the precision class: IFC-rejected,
+	// baseline-accepted, and no interference witness over an escalated
+	// trial budget — each entry is a candidate conservative rejection.
+	ClassRejectedClean Class = "rejected-clean"
+	// ClassParserDisagreement marks programs whose parse → print →
+	// reparse roundtrip is not a fixed point.
+	ClassParserDisagreement Class = "parser-disagreement"
+)
+
+// classOf maps a difftest verdict to its corpus class, if persisted.
+func classOf(v difftest.Verdict) (Class, bool) {
+	switch v {
+	case difftest.SoundnessViolation:
+		return ClassSoundnessViolation, true
+	case difftest.GeneratorBug:
+		return ClassGeneratorBug, true
+	case difftest.RuntimeError:
+		return ClassRuntimeError, true
+	case difftest.RejectedClean:
+		return ClassRejectedClean, true
+	}
+	return "", false
+}
+
+// Config configures a campaign run.
+type Config struct {
+	// N is the number of global campaign indices this run covers; a shard
+	// analyzes its ≈ N/NumShards share of them. The run covers indices
+	// [first, first+N), where first is 0 or the resume cursor.
+	N int
+	// Seed is the campaign seed: global index i generates its program
+	// from Seed+i and seeds its NI experiment with Seed+i, independent of
+	// sharding and worker interleaving.
+	Seed int64
+	// Gen configures the program generator (zero = gen.DefaultConfig).
+	Gen gen.Config
+	// NITrials is the base NI budget (default 4) — what IFC-accepted
+	// programs get.
+	NITrials int
+	// NITrialsMax is the adaptive escalation ceiling for IFC-rejected
+	// programs (default 8 × NITrials; set negative to disable adaptation).
+	NITrialsMax int
+	// Workers bounds the pipeline worker pool (<= 0 = GOMAXPROCS).
+	Workers int
+	// Shard and NumShards select this process's slice of the campaign:
+	// global indices ≡ Shard (mod NumShards). NumShards <= 1 means
+	// unsharded; Shard must then be 0.
+	Shard, NumShards int
+	// CorpusDir is the persistent corpus directory ("" = keep findings in
+	// memory only).
+	CorpusDir string
+	// Resume continues from the shard's corpus cursor instead of index 0;
+	// it requires CorpusDir (a configuration error otherwise).
+	Resume bool
+	// Minimize shrinks each finding to the smallest program reproducing
+	// its class before dedup and persistence.
+	Minimize bool
+	// MaxPerClass caps findings *processed* per class per run — counted
+	// before minimization and dedup, so it bounds both corpus growth and
+	// the per-run shrinking bill even once the corpus is saturated and
+	// most findings dedup to known entries (default 25; negative =
+	// unlimited). Skipped findings are counted, not silently dropped;
+	// later runs cover fresh indices, so capped classes drain over time.
+	MaxPerClass int
+	// Log receives one line per persisted finding (nil = discard).
+	Log io.Writer
+}
+
+// Finding is one interesting program collected by the campaign.
+type Finding struct {
+	Class   Class
+	Verdict difftest.Verdict
+	// Index is the global campaign index; GenSeed = Seed + Index
+	// regenerates the original program, NISeed replays its experiment.
+	Index   int64
+	GenSeed int64
+	NISeed  int64
+	// Detail is the witness, error text, or disagreement description.
+	Detail string
+	// Source is the finding as persisted — minimized when Minimize was on
+	// and shrinking made progress.
+	Source string
+	// OriginalBytes is len of the generated source before minimization.
+	OriginalBytes int
+	// Minimized reports that Source is strictly smaller than the input.
+	Minimized bool
+	// Key is the dedup key; Path is the corpus file ("" if not persisted).
+	Key  string
+	Path string
+}
+
+// Report is the campaign outcome.
+type Report struct {
+	// Counts has one entry per difftest verdict class.
+	Counts [difftest.NumVerdicts]int
+	// ParserDisagreements counts parse→print→reparse mismatches (also
+	// collected as findings).
+	ParserDisagreements int
+	// RulesCited counts, per typing rule, how many rejections cited it.
+	RulesCited map[string]int
+	// Analyzed is the number of programs this shard analyzed.
+	Analyzed int
+	// FirstIndex and NextIndex delimit the run's global index window;
+	// NextIndex is what a Resume run would start from.
+	FirstIndex, NextIndex int64
+	// Shard and NumShards echo the sharding (0 of 1 when unsharded).
+	Shard, NumShards int
+	// New, Dup, Known, and Capped partition the findings encountered:
+	// newly persisted/collected; duplicates of one found earlier in this
+	// run; already present in the corpus from an earlier run or another
+	// shard; skipped by the per-class cap.
+	NewFindings, DupFindings, KnownFindings, CappedFindings int
+	// Minimized counts findings the shrinker strictly reduced;
+	// BytesSaved totals the reduction.
+	Minimized  int
+	BytesSaved int
+	// TrialsRun totals NI trials; the adaptive budget shows up here.
+	TrialsRun int64
+	// Elapsed and Workers describe the run; Seed, N, and Gen echo config.
+	Elapsed time.Duration
+	Workers int
+	Seed    int64
+	N       int
+	Gen     gen.Config
+	// Aborted reports mid-run cancellation (the resume cursor does not
+	// advance; re-running re-covers the window and dedup absorbs repeats).
+	Aborted bool
+	// CorpusDir echoes the corpus location ("" = none).
+	CorpusDir string
+	// Findings holds the new findings of this run, in discovery order.
+	Findings []Finding
+}
+
+// OK reports whether the campaign found no implementation defects: no
+// soundness violations, generator bugs, runtime errors, or parser
+// disagreements. Precision findings (rejected-clean) are data, not
+// defects.
+func (r *Report) OK() bool {
+	return r.Counts[difftest.SoundnessViolation] == 0 &&
+		r.Counts[difftest.GeneratorBug] == 0 &&
+		r.Counts[difftest.RuntimeError] == 0 &&
+		r.ParserDisagreements == 0
+}
+
+// engine carries one run's wiring.
+type engine struct {
+	ctx        context.Context
+	cfg        Config
+	gcfg       gen.Config
+	lat        lattice.Lattice
+	trials     int
+	max        int
+	perClass   int
+	corp       *corpus
+	seen       map[string]bool
+	classCount map[Class]int
+	log        io.Writer
+	rep        *Report
+	pending    []pendingFinding
+}
+
+// pendingFinding is one interesting program noted during the stream.
+// Minimization and persistence run after the stream drains: shrinking a
+// finding replays hundreds of candidate programs, and doing that inside
+// the single result consumer would park every pipeline worker on the
+// unbuffered stream channel for the duration.
+type pendingFinding struct {
+	class   Class
+	verdict difftest.Verdict
+	detail  string
+	name    string
+	source  string
+	idx     int64
+}
+
+// Run executes one campaign run (one shard's worth of one index window).
+// The returned error is a configuration, corpus-I/O, or context failure;
+// oracle disagreements are reported in the Report, not as errors.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("campaign: N must be positive, got %d", cfg.N)
+	}
+	numShards := cfg.NumShards
+	if numShards <= 0 {
+		numShards = 1
+	}
+	if cfg.Shard < 0 || cfg.Shard >= numShards {
+		return nil, fmt.Errorf("campaign: shard %d out of range for %d shards", cfg.Shard, numShards)
+	}
+	if cfg.Resume && cfg.CorpusDir == "" {
+		return nil, fmt.Errorf("campaign: Resume requires CorpusDir — without a corpus there is no cursor, and every run would silently re-cover [0, N)")
+	}
+	e := &engine{
+		ctx:        ctx,
+		cfg:        cfg,
+		gcfg:       cfg.Gen,
+		lat:        lattice.TwoPoint(),
+		trials:     cfg.NITrials,
+		max:        cfg.NITrialsMax,
+		perClass:   cfg.MaxPerClass,
+		seen:       map[string]bool{},
+		classCount: map[Class]int{},
+		log:        cfg.Log,
+	}
+	if e.gcfg == (gen.Config{}) {
+		e.gcfg = gen.DefaultConfig()
+	}
+	if e.trials <= 0 {
+		e.trials = 4
+	}
+	if e.max == 0 {
+		e.max = 8 * e.trials
+	}
+	if e.max < e.trials {
+		e.max = e.trials // negative or undersized ceiling: fixed budget
+	}
+	if e.perClass == 0 {
+		e.perClass = 25
+	}
+	if e.log == nil {
+		e.log = io.Discard
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	var err error
+	if e.corp, err = openCorpus(cfg.CorpusDir); err != nil {
+		return nil, err
+	}
+	var first int64
+	var prior shardState
+	if e.corp != nil {
+		if prior, err = e.corp.loadState(cfg.Shard, numShards); err != nil {
+			return nil, err
+		}
+		if cfg.Resume && prior.NextIndex > 0 {
+			if prior.Seed != cfg.Seed {
+				return nil, fmt.Errorf("campaign: resume cursor was recorded for seed %d, not %d", prior.Seed, cfg.Seed)
+			}
+			if prior.Gen != e.gcfg {
+				return nil, fmt.Errorf("campaign: resume cursor was recorded for a different generator config")
+			}
+			first = prior.NextIndex
+		}
+	}
+	end := first + int64(cfg.N)
+
+	e.rep = &Report{
+		RulesCited: map[string]int{},
+		FirstIndex: first,
+		NextIndex:  first, // advances on completion
+		Shard:      cfg.Shard,
+		NumShards:  numShards,
+		Workers:    workers,
+		Seed:       cfg.Seed,
+		N:          cfg.N,
+		Gen:        e.gcfg,
+		CorpusDir:  cfg.CorpusDir,
+	}
+	start := time.Now()
+
+	jobs := make(chan pipeline.Job)
+	go func() {
+		defer close(jobs)
+		for idx := first; idx < end; idx++ {
+			if idx%int64(numShards) != int64(cfg.Shard) {
+				continue
+			}
+			rng := rand.New(rand.NewSource(cfg.Seed + idx))
+			job := pipeline.Job{
+				Name:   fmt.Sprintf("fuzz-%d.p4", idx),
+				Source: gen.Random(rng, e.gcfg),
+				Lat:    e.lat,
+				Seq:    idx,
+			}
+			select {
+			case jobs <- job:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	results := pipeline.RunStream(ctx, jobs, pipeline.Options{
+		Workers:     workers,
+		NI:          pipeline.NIAll,
+		NITrials:    e.trials,
+		NITrialsMax: e.max,
+		NISeed:      cfg.Seed,
+	})
+	for r := range results {
+		e.consume(&r)
+	}
+	aborted := ctx.Err() != nil
+	// Minimization is skipped on abort — cancellation must not sit in a
+	// delta-debug loop — but collected findings are still persisted so an
+	// interrupted run loses nothing.
+	for _, p := range e.pending {
+		e.finalize(p, cfg.Minimize && !aborted)
+	}
+	e.rep.Elapsed = time.Since(start)
+
+	if aborted {
+		e.rep.Aborted = true
+		return e.rep, ctx.Err()
+	}
+	e.rep.NextIndex = end
+	if e.corp != nil {
+		// Never regress the cursor: a short non-Resume run over an old
+		// window (say, reproducing a finding) must not rewind the search
+		// frontier a long campaign has built up.
+		if prior.NextIndex > end {
+			e.rep.NextIndex = prior.NextIndex
+		} else {
+			st := shardState{
+				Seed:      cfg.Seed,
+				NextIndex: end,
+				Gen:       e.gcfg,
+				Runs:      prior.Runs + 1,
+				UpdatedAt: time.Now(),
+			}
+			if err := e.corp.saveState(st, cfg.Shard, numShards); err != nil {
+				return e.rep, err
+			}
+		}
+	}
+	return e.rep, nil
+}
+
+// consume classifies one streamed result and routes its findings.
+func (e *engine) consume(r *pipeline.JobResult) {
+	e.rep.Analyzed++
+	e.rep.TrialsRun += int64(r.NITrialsRun)
+	v, detail := difftest.Classify(r)
+	e.rep.Counts[v]++
+	if r.IFC != nil && !r.IFC.OK {
+		for _, d := range r.IFC.Diags {
+			if d.Rule != "" {
+				e.rep.RulesCited[d.Rule]++
+			}
+		}
+		if detail == "" && len(r.IFC.Diags) > 0 {
+			// RejectedClean carries no witness; cite the rejection itself.
+			detail = r.IFC.Diags[0].Error()
+		}
+	}
+	if class, interesting := classOf(v); interesting {
+		e.collect(class, v, detail, r)
+	}
+	if r.Prog != nil {
+		if detail, bad := roundtripDisagreement(r.Job.Name, r.Prog); bad {
+			e.rep.ParserDisagreements++
+			e.collect(ClassParserDisagreement, v, detail, r)
+		}
+	}
+}
+
+// collect notes one interesting program for post-stream processing,
+// charging the per-class cap up front so both pending memory and the
+// later shrinking bill stay bounded.
+func (e *engine) collect(class Class, v difftest.Verdict, detail string, r *pipeline.JobResult) {
+	if e.perClass > 0 && e.classCount[class] >= e.perClass {
+		e.rep.CappedFindings++
+		return
+	}
+	// The cap meters work, not persistence: dedup runs after (expensive)
+	// minimization, so counting only new findings would let a saturated
+	// corpus — where nearly everything minimizes onto a known entry —
+	// grow the per-run shrinking bill without bound.
+	e.classCount[class]++
+	e.pending = append(e.pending, pendingFinding{
+		class:   class,
+		verdict: v,
+		detail:  detail,
+		name:    r.Job.Name,
+		source:  r.Job.Source,
+		idx:     r.Job.Seq,
+	})
+}
+
+// finalize shrinks, deduplicates, and persists one collected program.
+func (e *engine) finalize(p pendingFinding, minimize bool) {
+	class, v, idx := p.class, p.verdict, p.idx
+	f := Finding{
+		Class:         class,
+		Verdict:       v,
+		Index:         idx,
+		GenSeed:       e.cfg.Seed + idx,
+		NISeed:        e.cfg.Seed + idx,
+		Detail:        p.detail,
+		Source:        p.source,
+		OriginalBytes: len(p.source),
+	}
+	if minimize {
+		if res, err := shrink.Minimize(p.name, f.Source, e.keepClass(class, v, idx)); err == nil {
+			if len(res.Source) < len(f.Source) {
+				f.Minimized = true
+				e.rep.Minimized++
+				e.rep.BytesSaved += len(f.Source) - len(res.Source)
+			}
+			f.Source = res.Source
+		}
+	}
+	f.Key = dedupKey(class, f.Source)
+	switch {
+	case e.seen[f.Key]:
+		e.rep.DupFindings++
+		return
+	case e.corp.has(f.Key):
+		e.seen[f.Key] = true
+		e.rep.KnownFindings++
+		return
+	}
+	e.seen[f.Key] = true
+	if e.corp != nil {
+		path, err := e.corp.put(&f, Meta{
+			Class:         class,
+			Detail:        p.detail,
+			Index:         idx,
+			GenSeed:       f.GenSeed,
+			NISeed:        f.NISeed,
+			Gen:           e.gcfg,
+			Shard:         e.cfg.Shard,
+			NumShards:     e.rep.NumShards,
+			OriginalBytes: f.OriginalBytes,
+			Bytes:         len(f.Source),
+			Minimized:     f.Minimized,
+			Key:           f.Key,
+			FoundAt:       time.Now(),
+		})
+		if err != nil {
+			// Persistence failure must not lose the finding; keep it in
+			// the report and say so.
+			fmt.Fprintf(e.log, "campaign: %v (finding kept in memory)\n", err)
+		} else {
+			f.Path = path
+		}
+	}
+	e.rep.NewFindings++
+	e.rep.Findings = append(e.rep.Findings, f)
+	fmt.Fprintf(e.log, "finding: %s (index %d, %d bytes%s): %s\n",
+		class, idx, len(f.Source), minimizedTag(f), p.detail)
+}
+
+func minimizedTag(f Finding) string {
+	if !f.Minimized {
+		return ""
+	}
+	return fmt.Sprintf(", minimized from %d", f.OriginalBytes)
+}
+
+// keepClass is the shrinker predicate: the candidate must land in the same
+// corpus class as the original finding.
+func (e *engine) keepClass(class Class, v difftest.Verdict, idx int64) shrink.Keep {
+	if class == ClassParserDisagreement {
+		return func(cand string) bool {
+			prog, err := parser.Parse("cand.p4", cand)
+			if err != nil {
+				return false
+			}
+			_, bad := roundtripDisagreement("cand.p4", prog)
+			return bad
+		}
+	}
+	return func(cand string) bool {
+		sum, err := pipeline.Run(e.ctx, []pipeline.Job{{Name: "cand.p4", Source: cand, Lat: e.lat}}, pipeline.Options{
+			Workers:     1,
+			NI:          pipeline.NIAll,
+			NITrials:    e.trials,
+			NITrialsMax: e.max,
+			NISeed:      e.cfg.Seed + idx, // same NI randomness as the original job
+		})
+		if err != nil || len(sum.Results) != 1 {
+			return false
+		}
+		got, _ := difftest.Classify(&sum.Results[0])
+		return got == v
+	}
+}
+
+// roundtripDisagreement checks that parse → print → reparse is a fixed
+// point; a mismatch is a frontend defect worth a corpus entry.
+func roundtripDisagreement(name string, prog *ast.Program) (string, bool) {
+	printed := ast.Print(prog)
+	re, err := parser.Parse(name, printed)
+	if err != nil {
+		return "printed form does not reparse: " + err.Error(), true
+	}
+	if again := ast.Print(re); again != printed {
+		return "print is not a fixed point after reparse", true
+	}
+	return "", false
+}
+
+// FormatReport renders the campaign outcome.
+func FormatReport(r *Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fuzz campaign: shard %d/%d, indices [%d, %d), seed %d, %d workers, %v\n",
+		r.Shard, r.NumShards, r.FirstIndex, r.FirstIndex+int64(r.N), r.Seed, r.Workers,
+		r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  gen config: depth=%d stmts=%d fields=%d actions=%v\n",
+		r.Gen.MaxDepth, r.Gen.MaxStmts, r.Gen.NumFields, r.Gen.WithActions)
+	fmt.Fprintf(&b, "  analyzed %d programs, %d NI trials\n", r.Analyzed, r.TrialsRun)
+	fmt.Fprintf(&b, "  %-36s %8s\n", "verdict", "count")
+	for v := difftest.Verdict(0); v < difftest.NumVerdicts; v++ {
+		fmt.Fprintf(&b, "  %-36s %8d\n", v, r.Counts[v])
+	}
+	fmt.Fprintf(&b, "  %-36s %8d\n", "parser disagreement", r.ParserDisagreements)
+	if len(r.RulesCited) > 0 {
+		b.WriteString("  rules cited on rejections:")
+		rules := make([]string, 0, len(r.RulesCited))
+		for k := range r.RulesCited {
+			rules = append(rules, k)
+		}
+		sort.Strings(rules)
+		for _, rule := range rules {
+			fmt.Fprintf(&b, " %s×%d", rule, r.RulesCited[rule])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "  findings: %d new, %d dup, %d known, %d capped",
+		r.NewFindings, r.DupFindings, r.KnownFindings, r.CappedFindings)
+	if r.Minimized > 0 {
+		fmt.Fprintf(&b, "; %d minimized (%d bytes saved)", r.Minimized, r.BytesSaved)
+	}
+	b.WriteByte('\n')
+	if r.CorpusDir != "" {
+		fmt.Fprintf(&b, "  corpus: %s (next index %d)\n", r.CorpusDir, r.NextIndex)
+	}
+	for _, f := range r.Findings {
+		where := f.Path
+		if where == "" {
+			where = "(not persisted)"
+		}
+		fmt.Fprintf(&b, "\nFINDING %s (index %d, regen seed %d, %d bytes%s) %s\n  %s\n",
+			f.Class, f.Index, f.GenSeed, len(f.Source), minimizedTag(f), where, f.Detail)
+	}
+	switch {
+	case r.Aborted:
+		fmt.Fprintf(&b, "ABORTED: campaign incomplete — cursor not advanced; verdicts cover %d programs\n", r.Analyzed)
+	case r.OK():
+		b.WriteString("PASS: no soundness violations, generator bugs, runtime errors, or parser disagreements\n")
+	default:
+		b.WriteString("FAIL: implementation defects found (see findings above)\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,333 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/difftest"
+	"repro/internal/gen"
+	"repro/internal/lattice"
+	"repro/internal/pipeline"
+)
+
+// smallGen keeps test campaigns fast: smaller programs shrink quicker.
+func smallGen() gen.Config {
+	return gen.Config{MaxDepth: 2, MaxStmts: 3, NumFields: 2, WithActions: true}
+}
+
+// readKeys collects the dedup keys of every finding persisted under dir.
+func readKeys(t *testing.T, dir string) map[string]Meta {
+	t.Helper()
+	keys := map[string]Meta{}
+	entries, err := os.ReadDir(filepath.Join(dir, "findings"))
+	if err != nil {
+		t.Fatalf("read corpus: %v", err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, "findings", e.Name()))
+		if err != nil {
+			t.Fatalf("read %s: %v", e.Name(), err)
+		}
+		var m Meta
+		if err := json.Unmarshal(raw, &m); err != nil {
+			t.Fatalf("decode %s: %v", e.Name(), err)
+		}
+		keys[m.Key] = m
+	}
+	return keys
+}
+
+// classifySource reruns the full stage stack on one source and returns its
+// difftest verdict, for validating that persisted findings reproduce.
+func classifySource(t *testing.T, src string, niSeed int64, trials, max int) difftest.Verdict {
+	t.Helper()
+	sum, err := pipeline.Run(context.Background(),
+		[]pipeline.Job{{Name: "replay.p4", Source: src, Lat: lattice.TwoPoint()}},
+		pipeline.Options{Workers: 1, NI: pipeline.NIAll, NITrials: trials, NITrialsMax: max, NISeed: niSeed})
+	if err != nil || len(sum.Results) != 1 {
+		t.Fatalf("replay failed: %v", err)
+	}
+	v, _ := difftest.Classify(&sum.Results[0])
+	return v
+}
+
+// TestCampaignTwoRunDemo is the end-to-end acceptance demo: run 1 persists
+// deduplicated, minimized findings with verdict metadata; a re-run over
+// the same window skips every known finding; a -resume run continues from
+// the cached cursor into fresh indices.
+func TestCampaignTwoRunDemo(t *testing.T) {
+	dir := t.TempDir()
+	base := Config{
+		N:           60,
+		Seed:        42,
+		Gen:         smallGen(),
+		NITrials:    2,
+		NITrialsMax: 8,
+		Workers:     2,
+		CorpusDir:   dir,
+		Minimize:    true,
+	}
+
+	// Run 1: fresh corpus.
+	rep1, err := Run(context.Background(), base)
+	if err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	if !rep1.OK() {
+		t.Fatalf("run 1 found implementation defects:\n%s", FormatReport(rep1))
+	}
+	if rep1.NewFindings == 0 {
+		t.Fatal("run 1 persisted no findings; the demo needs at least one")
+	}
+	if rep1.NextIndex != 60 || rep1.FirstIndex != 0 {
+		t.Fatalf("run 1 window [%d, %d), want [0, 60)", rep1.FirstIndex, rep1.NextIndex)
+	}
+
+	keys := readKeys(t, dir)
+	if len(keys) != rep1.NewFindings {
+		t.Errorf("corpus holds %d findings, report says %d new", len(keys), rep1.NewFindings)
+	}
+	// Metadata must be complete enough to replay and to audit.
+	for k, m := range keys {
+		if m.Key != k || m.Class == "" || m.Gen != base.Gen || m.GenSeed != 42+m.Index {
+			t.Errorf("incomplete metadata for %s: %+v", k, m)
+		}
+		if m.Bytes > m.OriginalBytes {
+			t.Errorf("finding %s grew: %d from %d bytes", k, m.Bytes, m.OriginalBytes)
+		}
+	}
+
+	// Minimization must have produced at least one strictly smaller
+	// program that still reproduces its verdict class.
+	verifiedMin := false
+	for _, f := range rep1.Findings {
+		if !f.Minimized || f.Class == ClassParserDisagreement {
+			continue
+		}
+		if len(f.Source) >= f.OriginalBytes {
+			t.Fatalf("finding %s marked minimized but not smaller", f.Key)
+		}
+		if got := classifySource(t, f.Source, f.NISeed, 2, 8); got != f.Verdict {
+			t.Errorf("minimized finding %s classifies as %v, want %v:\n%s", f.Key, got, f.Verdict, f.Source)
+		}
+		verifiedMin = true
+		break
+	}
+	if !verifiedMin {
+		t.Error("no finding was minimized; generated findings should carry dead weight")
+	}
+
+	// Run 2a: the same window again (no resume) — every finding is
+	// already in the corpus, so nothing new lands.
+	rep2a, err := Run(context.Background(), base)
+	if err != nil {
+		t.Fatalf("run 2a: %v", err)
+	}
+	if rep2a.NewFindings != 0 {
+		t.Errorf("re-covering the same window persisted %d new findings, want 0", rep2a.NewFindings)
+	}
+	if rep2a.KnownFindings == 0 {
+		t.Error("re-covering the same window skipped no known findings")
+	}
+	if got := len(readKeys(t, dir)); got != len(keys) {
+		t.Errorf("corpus grew from %d to %d findings on a repeat window", len(keys), got)
+	}
+
+	// Run 2b: resume — continues at the cursor into fresh indices.
+	resume := base
+	resume.Resume = true
+	rep2b, err := Run(context.Background(), resume)
+	if err != nil {
+		t.Fatalf("run 2b: %v", err)
+	}
+	if rep2b.FirstIndex != 60 || rep2b.NextIndex != 120 {
+		t.Fatalf("resume window [%d, %d), want [60, 120)", rep2b.FirstIndex, rep2b.NextIndex)
+	}
+	if rep2b.Analyzed == 0 {
+		t.Error("resume run analyzed nothing")
+	}
+}
+
+// TestCampaignShardUnion: the union of finding keys and verdict counts
+// over shards 0..n-1 must equal the unsharded campaign over the same
+// window — sharding partitions, it does not resample.
+func TestCampaignShardUnion(t *testing.T) {
+	const n, shards = 90, 3
+	mk := func(dir string, shard, numShards int) *Report {
+		rep, err := Run(context.Background(), Config{
+			N:           n,
+			Seed:        7,
+			Gen:         smallGen(),
+			NITrials:    2,
+			NITrialsMax: 4,
+			Workers:     2,
+			Shard:       shard,
+			NumShards:   numShards,
+			CorpusDir:   dir,
+			MaxPerClass: -1,
+		})
+		if err != nil {
+			t.Fatalf("shard %d/%d: %v", shard, numShards, err)
+		}
+		return rep
+	}
+
+	whole := t.TempDir()
+	repWhole := mk(whole, 0, 1)
+
+	var shardAnalyzed int
+	var shardCounts [difftest.NumVerdicts]int
+	union := map[string]bool{}
+	for s := 0; s < shards; s++ {
+		dir := t.TempDir()
+		rep := mk(dir, s, shards)
+		shardAnalyzed += rep.Analyzed
+		for v, c := range rep.Counts {
+			shardCounts[v] += c
+		}
+		for k := range readKeys(t, dir) {
+			union[k] = true
+		}
+	}
+
+	if shardAnalyzed != repWhole.Analyzed || shardAnalyzed != n {
+		t.Errorf("shards analyzed %d programs, unsharded %d, want %d", shardAnalyzed, repWhole.Analyzed, n)
+	}
+	if shardCounts != repWhole.Counts {
+		t.Errorf("shard verdict counts %v != unsharded %v", shardCounts, repWhole.Counts)
+	}
+	wholeKeys := readKeys(t, whole)
+	if len(union) != len(wholeKeys) {
+		t.Errorf("shard corpus union has %d findings, unsharded %d", len(union), len(wholeKeys))
+	}
+	for k := range wholeKeys {
+		if !union[k] {
+			t.Errorf("finding %s missing from the shard union", k)
+		}
+	}
+}
+
+// TestCampaignCancellation: mid-run cancellation reports Aborted, does not
+// advance the resume cursor, and the next run re-covers the window.
+func TestCampaignCancellation(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	rep, err := Run(ctx, Config{
+		N:         5000,
+		Seed:      3,
+		Gen:       smallGen(),
+		NITrials:  2,
+		CorpusDir: dir,
+	})
+	if err == nil || !rep.Aborted {
+		t.Fatalf("cancelled campaign returned err=%v aborted=%v", err, rep.Aborted)
+	}
+	c, err := openCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.loadState(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NextIndex != 0 {
+		t.Errorf("aborted run advanced the cursor to %d", st.NextIndex)
+	}
+}
+
+// TestCampaignCursorNeverRegresses: a short non-Resume run over an old
+// window (e.g. reproducing a finding) must not rewind the shard cursor a
+// longer campaign established.
+func TestCampaignCursorNeverRegresses(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{N: 40, Seed: 5, Gen: smallGen(), NITrials: 1, CorpusDir: dir}
+	if _, err := Run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	short := cfg
+	short.N = 5
+	rep, err := Run(context.Background(), short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NextIndex != 40 {
+		t.Errorf("short run reports NextIndex %d, want the preserved 40", rep.NextIndex)
+	}
+	c, err := openCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.loadState(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NextIndex != 40 {
+		t.Errorf("cursor regressed to %d, want 40", st.NextIndex)
+	}
+}
+
+// TestCampaignResumeMismatch: a resume cursor recorded for one seed or
+// generator config refuses to resume under another.
+func TestCampaignResumeMismatch(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{N: 4, Seed: 1, Gen: smallGen(), NITrials: 1, CorpusDir: dir}
+	if _, err := Run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.Resume = true
+	bad.Seed = 2
+	if _, err := Run(context.Background(), bad); err == nil {
+		t.Error("resume with a different seed must fail")
+	}
+	bad = cfg
+	bad.Resume = true
+	bad.Gen.MaxStmts++
+	if _, err := Run(context.Background(), bad); err == nil {
+		t.Error("resume with a different generator config must fail")
+	}
+}
+
+// TestCampaignNoCorpusDir: without a corpus dir the campaign still runs,
+// dedups within the run, and keeps findings in memory.
+func TestCampaignNoCorpusDir(t *testing.T) {
+	rep, err := Run(context.Background(), Config{N: 40, Seed: 9, Gen: smallGen(), NITrials: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Analyzed != 40 {
+		t.Errorf("analyzed %d, want 40", rep.Analyzed)
+	}
+	for _, f := range rep.Findings {
+		if f.Path != "" {
+			t.Errorf("finding %s claims a path without a corpus dir", f.Key)
+		}
+	}
+	if rep.KnownFindings != 0 {
+		t.Errorf("known findings %d without a corpus", rep.KnownFindings)
+	}
+}
+
+// TestCampaignShardValidation: out-of-range shards are configuration
+// errors, not silent empty runs.
+func TestCampaignShardValidation(t *testing.T) {
+	for _, tc := range []struct{ shard, num int }{{2, 2}, {-1, 2}, {1, 1}} {
+		if _, err := Run(context.Background(), Config{N: 1, Shard: tc.shard, NumShards: tc.num}); err == nil {
+			t.Errorf("shard %d/%d accepted", tc.shard, tc.num)
+		}
+	}
+	// Resume without a corpus has no cursor to read — a silent restart at
+	// index 0 every run, so it must be refused too.
+	if _, err := Run(context.Background(), Config{N: 1, Resume: true}); err == nil {
+		t.Error("Resume without CorpusDir accepted")
+	}
+}

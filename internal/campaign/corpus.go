@@ -1,0 +1,177 @@
+// On-disk corpus: content-addressed finding files with JSON verdict
+// metadata, plus per-shard resume state. The layout is merge-friendly by
+// construction — finding filenames are derived from a hash of (class,
+// source), so copying the findings/ directories of two shards (or two
+// machines) into one corpus deduplicates identical findings by collision
+// and never clobbers distinct ones; state files are namespaced per
+// (shard, numShards) pair and never collide across shards.
+//
+//	<dir>/findings/<class>-<key12>.p4    the (possibly minimized) program
+//	<dir>/findings/<class>-<key12>.json  verdict metadata (Meta below)
+//	<dir>/state/shard-<i>-of-<n>.json    resume cursor for one shard
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/gen"
+)
+
+// Meta is the verdict metadata persisted next to each finding.
+type Meta struct {
+	// Class is the finding's corpus class (the filename prefix).
+	Class Class `json:"class"`
+	// Detail is the witness, error text, or disagreement description.
+	Detail string `json:"detail"`
+	// Index is the global campaign index of the generating job; with Gen
+	// and GenSeed it regenerates the original (unminimized) program.
+	Index int64 `json:"index"`
+	// GenSeed is the program's generation seed (campaign seed + Index).
+	GenSeed int64 `json:"gen_seed"`
+	// NISeed seeds the program's NI experiment for exact replay.
+	NISeed int64 `json:"ni_seed"`
+	// Gen echoes the generator configuration the seeds assume.
+	Gen gen.Config `json:"gen"`
+	// Shard/NumShards record which shard found it (0/1 when unsharded).
+	Shard     int `json:"shard"`
+	NumShards int `json:"num_shards"`
+	// OriginalBytes and Bytes are the program size before and after
+	// minimization (equal when minimization was off or unproductive).
+	OriginalBytes int  `json:"original_bytes"`
+	Bytes         int  `json:"bytes"`
+	Minimized     bool `json:"minimized"`
+	// Key is the full dedup key (hex SHA-256 over class and source).
+	Key string `json:"key"`
+	// FoundAt is the wall-clock time the finding was persisted.
+	FoundAt time.Time `json:"found_at"`
+}
+
+// dedupKey is the corpus identity of a finding: programs with the same
+// class and (post-minimization) source are the same finding, regardless of
+// which seed, shard, or run produced them. Minimization canonicalizes
+// aggressively, so -minimize collapses families of equivalent findings
+// onto one corpus entry.
+func dedupKey(class Class, source string) string {
+	h := sha256.New()
+	h.Write([]byte(class))
+	h.Write([]byte{0})
+	h.Write([]byte(source))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// corpus is an open corpus directory; nil means "no persistence".
+type corpus struct {
+	dir   string
+	known map[string]bool // dedup keys already on disk
+}
+
+// openCorpus creates the corpus layout under dir (if needed) and indexes
+// the dedup keys of every finding already present.
+func openCorpus(dir string) (*corpus, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	for _, sub := range []string{"findings", "state"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("campaign: corpus dir: %w", err)
+		}
+	}
+	c := &corpus{dir: dir, known: map[string]bool{}}
+	entries, err := os.ReadDir(filepath.Join(dir, "findings"))
+	if err != nil {
+		return nil, fmt.Errorf("campaign: corpus dir: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, "findings", e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("campaign: corpus dir: %w", err)
+		}
+		var m Meta
+		if err := json.Unmarshal(raw, &m); err != nil || m.Key == "" {
+			// A foreign or truncated file; leave it alone and move on.
+			continue
+		}
+		c.known[m.Key] = true
+	}
+	return c, nil
+}
+
+// has reports whether key is already persisted.
+func (c *corpus) has(key string) bool { return c != nil && c.known[key] }
+
+// put persists one finding and returns the program file's path.
+func (c *corpus) put(f *Finding, m Meta) (string, error) {
+	stem := fmt.Sprintf("%s-%s", f.Class, f.Key[:12])
+	progPath := filepath.Join(c.dir, "findings", stem+".p4")
+	metaPath := filepath.Join(c.dir, "findings", stem+".json")
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("campaign: encode metadata: %w", err)
+	}
+	if err := os.WriteFile(progPath, []byte(f.Source), 0o644); err != nil {
+		return "", fmt.Errorf("campaign: persist finding: %w", err)
+	}
+	if err := os.WriteFile(metaPath, append(raw, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("campaign: persist finding: %w", err)
+	}
+	c.known[f.Key] = true
+	return progPath, nil
+}
+
+// shardState is the resume cursor for one shard of a campaign.
+type shardState struct {
+	// Seed is the campaign seed the cursor is valid for; resuming with a
+	// different seed would silently re-cover different programs, so the
+	// engine refuses the mismatch.
+	Seed int64 `json:"seed"`
+	// NextIndex is the first global index not yet covered.
+	NextIndex int64 `json:"next_index"`
+	// Gen echoes the generator configuration for the same reason as Seed.
+	Gen gen.Config `json:"gen"`
+	// Runs counts completed runs contributing to the cursor.
+	Runs int `json:"runs"`
+	// UpdatedAt is when the cursor last advanced.
+	UpdatedAt time.Time `json:"updated_at"`
+}
+
+func (c *corpus) statePath(shard, numShards int) string {
+	return filepath.Join(c.dir, "state", fmt.Sprintf("shard-%d-of-%d.json", shard, numShards))
+}
+
+// loadState reads the shard's cursor; a missing file is a zero cursor.
+func (c *corpus) loadState(shard, numShards int) (shardState, error) {
+	var st shardState
+	raw, err := os.ReadFile(c.statePath(shard, numShards))
+	if os.IsNotExist(err) {
+		return st, nil
+	}
+	if err != nil {
+		return st, fmt.Errorf("campaign: resume state: %w", err)
+	}
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return st, fmt.Errorf("campaign: resume state %s: %w", c.statePath(shard, numShards), err)
+	}
+	return st, nil
+}
+
+// saveState writes the shard's cursor.
+func (c *corpus) saveState(st shardState, shard, numShards int) error {
+	raw, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return fmt.Errorf("campaign: encode state: %w", err)
+	}
+	if err := os.WriteFile(c.statePath(shard, numShards), append(raw, '\n'), 0o644); err != nil {
+		return fmt.Errorf("campaign: save state: %w", err)
+	}
+	return nil
+}

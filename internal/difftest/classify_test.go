@@ -35,7 +35,7 @@ func TestClassify(t *testing.T) {
 		{"rejected witnessed", pipeline.JobResult{Base: okBase, IFC: badIFC, NIViolations: witness}, RejectedWitnessed},
 		{"rejected clean", pipeline.JobResult{Base: okBase, IFC: badIFC}, RejectedClean},
 	} {
-		got, _ := classify(&tc.r)
+		got, _ := Classify(&tc.r)
 		if got != tc.want {
 			t.Errorf("%s: classified %v, want %v", tc.name, got, tc.want)
 		}

@@ -54,7 +54,8 @@ const (
 	GeneratorBug
 	RuntimeError
 	SoundnessViolation
-	numVerdicts
+	// NumVerdicts bounds the verdict enum; Report.Counts is indexed by it.
+	NumVerdicts
 )
 
 // String renders the verdict.
@@ -89,6 +90,10 @@ type Config struct {
 	Gen gen.Config
 	// NITrials is the per-program NI trial budget (default 8).
 	NITrials int
+	// NITrialsMax, when greater than NITrials, enables the pipeline's
+	// adaptive NI budget: accepted programs get NITrials trials, rejected
+	// programs escalate toward NITrialsMax until a witness appears.
+	NITrialsMax int
 	// Workers bounds the pipeline worker pool (<= 0 = GOMAXPROCS).
 	Workers int
 }
@@ -107,7 +112,7 @@ type Finding struct {
 // Report is the campaign outcome.
 type Report struct {
 	// Counts has one entry per verdict class.
-	Counts [numVerdicts]int
+	Counts [NumVerdicts]int
 	// Findings holds every non-Sound, non-RejectedWitnessed,
 	// non-RejectedClean program (those two classes are expected in bulk;
 	// only their counts are kept) plus every soundness violation.
@@ -125,6 +130,9 @@ type Report struct {
 	// Analyzed is the number of programs actually analyzed; less than N
 	// only when the campaign was cancelled mid-run.
 	Analyzed int
+	// TrialsRun totals NI trials across programs; under an adaptive
+	// budget it shows where the escalation spent its effort.
+	TrialsRun int64
 	// Aborted reports that the campaign was cancelled before analyzing
 	// all N programs; the counts cover only the analyzed prefix.
 	Aborted bool
@@ -164,10 +172,11 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 
 	sum, err := pipeline.Run(ctx, jobs, pipeline.Options{
-		Workers:  cfg.Workers,
-		NI:       pipeline.NIAll,
-		NITrials: cfg.NITrials,
-		NISeed:   cfg.Seed,
+		Workers:     cfg.Workers,
+		NI:          pipeline.NIAll,
+		NITrials:    cfg.NITrials,
+		NITrialsMax: cfg.NITrialsMax,
+		NISeed:      cfg.Seed,
 	})
 	rep := &Report{
 		RulesCited: map[string]int{},
@@ -177,11 +186,12 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		N:          cfg.N,
 		Gen:        gcfg,
 		Analyzed:   len(sum.Results),
+		TrialsRun:  sum.NITrialsRun,
 		Aborted:    err != nil,
 	}
 	for i := range sum.Results {
 		r := &sum.Results[i]
-		v, detail := classify(r)
+		v, detail := Classify(r)
 		rep.Counts[v]++
 		if r.IFC != nil && !r.IFC.OK {
 			for _, d := range r.IFC.Diags {
@@ -203,8 +213,11 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	return rep, err
 }
 
-// classify maps one pipeline result to its verdict class.
-func classify(r *pipeline.JobResult) (Verdict, string) {
+// Classify maps one pipeline result to its verdict class and the detail
+// text (witness, rule citation counts, or error) that goes with it. It is
+// exported for the campaign engine, which classifies streamed results the
+// same way Run classifies batched ones.
+func Classify(r *pipeline.JobResult) (Verdict, string) {
 	switch {
 	case r.ParseErr != nil:
 		return GeneratorBug, "parse: " + r.ParseErr.Error()
@@ -241,12 +254,12 @@ func classify(r *pipeline.JobResult) (Verdict, string) {
 // FormatReport renders the verdict table and any findings.
 func FormatReport(r *Report) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "differential soundness fuzzing: %d programs, seed %d, %d workers, %v\n",
-		r.N, r.Seed, r.Workers, r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "differential soundness fuzzing: %d programs, seed %d, %d workers, %d NI trials, %v\n",
+		r.N, r.Seed, r.Workers, r.TrialsRun, r.Elapsed.Round(time.Millisecond))
 	fmt.Fprintf(&b, "  gen config: depth=%d stmts=%d fields=%d actions=%v (regen seeds assume this config)\n",
 		r.Gen.MaxDepth, r.Gen.MaxStmts, r.Gen.NumFields, r.Gen.WithActions)
 	fmt.Fprintf(&b, "  %-36s %8s\n", "verdict", "count")
-	for v := Verdict(0); v < numVerdicts; v++ {
+	for v := Verdict(0); v < NumVerdicts; v++ {
 		fmt.Fprintf(&b, "  %-36s %8d\n", v, r.Counts[v])
 	}
 	if len(r.RulesCited) > 0 {

@@ -1,0 +1,93 @@
+package ni_test
+
+import (
+	"testing"
+
+	"repro/internal/lattice"
+	"repro/internal/ni"
+	"repro/internal/parser"
+)
+
+const leakSrc = `
+header data_t {
+    <bit<8>, low> lo;
+    <bit<8>, high> hi;
+}
+struct headers { data_t d; }
+control Leak(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    apply {
+        hdr.d.lo = hdr.d.hi;
+    }
+}
+`
+
+const cleanSrc = `
+header data_t {
+    <bit<8>, low> lo;
+    <bit<8>, high> hi;
+}
+struct headers { data_t d; }
+control Clean(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    apply {
+        hdr.d.lo = hdr.d.lo + 8w1;
+    }
+}
+`
+
+// TestRunAdaptiveStopsEarlyOnWitness: a direct leak witnesses in the first
+// rounds, so the adaptive run must spend far less than the ceiling.
+func TestRunAdaptiveStopsEarlyOnWitness(t *testing.T) {
+	e := &ni.Experiment{
+		Prog: parser.MustParse("leak.p4", leakSrc),
+		Lat:  lattice.TwoPoint(),
+	}
+	const min, max = 2, 1024
+	vs, ran, err := e.RunAdaptive(min, max, 1)
+	if err != nil {
+		t.Fatalf("RunAdaptive: %v", err)
+	}
+	if len(vs) == 0 {
+		t.Fatal("direct leak produced no witness")
+	}
+	if ran >= max {
+		t.Errorf("adaptive run spent the full ceiling (%d trials) despite an early witness", ran)
+	}
+	if ran < min {
+		t.Errorf("ran %d trials, below the minimum %d", ran, min)
+	}
+}
+
+// TestRunAdaptiveExhaustsBudgetWhenClean: with no witness to find, the
+// escalation must run exactly the ceiling, no more.
+func TestRunAdaptiveExhaustsBudgetWhenClean(t *testing.T) {
+	e := &ni.Experiment{
+		Prog: parser.MustParse("clean.p4", cleanSrc),
+		Lat:  lattice.TwoPoint(),
+	}
+	vs, ran, err := e.RunAdaptive(4, 37, 1)
+	if err != nil {
+		t.Fatalf("RunAdaptive: %v", err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("clean program witnessed interference: %v", vs[0])
+	}
+	if ran != 37 {
+		t.Errorf("ran %d trials, want exactly the 37-trial ceiling", ran)
+	}
+}
+
+// TestRunAdaptiveDegenerateBounds: min clamps to 1 and max clamps up to
+// min, so a misconfigured budget still runs at least one trial.
+func TestRunAdaptiveDegenerateBounds(t *testing.T) {
+	e := &ni.Experiment{
+		Prog: parser.MustParse("clean.p4", cleanSrc),
+		Lat:  lattice.TwoPoint(),
+	}
+	_, ran, err := e.RunAdaptive(0, -5, 1)
+	if err != nil {
+		t.Fatalf("RunAdaptive: %v", err)
+	}
+	if ran != 1 {
+		t.Errorf("ran %d trials, want 1 under degenerate bounds", ran)
+	}
+}

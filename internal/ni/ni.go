@@ -77,6 +77,14 @@ func (v Violation) String() string {
 // Run performs trials randomized from seed and returns all violations
 // found (empty for a non-interfering program) plus any runtime error.
 func (e *Experiment) Run(trials int, seed int64) ([]Violation, error) {
+	out, _, err := e.RunN(trials, seed)
+	return out, err
+}
+
+// RunN is Run, additionally reporting how many trials actually started —
+// fewer than requested when a runtime error aborts the loop, which keeps
+// trial-budget accounting exact.
+func (e *Experiment) RunN(trials int, seed int64) ([]Violation, int, error) {
 	rng := rand.New(rand.NewSource(seed))
 	obs := e.Observer
 	if obs.IsZero() {
@@ -84,11 +92,11 @@ func (e *Experiment) Run(trials int, seed int64) ([]Violation, error) {
 	}
 	ctrl := e.findControl()
 	if ctrl == nil {
-		return nil, fmt.Errorf("ni: control %q not found", e.Control)
+		return nil, 0, fmt.Errorf("ni: control %q not found", e.Control)
 	}
 	paramTypes, err := e.paramTypes(ctrl)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	packets := e.Packets
 	if packets < 1 {
@@ -122,11 +130,11 @@ func (e *Experiment) Run(trials int, seed int64) ([]Violation, error) {
 		}
 		outA, sigA, err := runSequence(e.Prog, ctrl.Name, cp.Clone(), seqA)
 		if err != nil {
-			return out, fmt.Errorf("ni: trial %d run A: %v", t, err)
+			return out, t + 1, fmt.Errorf("ni: trial %d run A: %v", t, err)
 		}
 		outB, sigB, err := runSequence(e.Prog, ctrl.Name, cp.Clone(), seqB)
 		if err != nil {
-			return out, fmt.Errorf("ni: trial %d run B: %v", t, err)
+			return out, t + 1, fmt.Errorf("ni: trial %d run B: %v", t, err)
 		}
 		violated := false
 		for k := 0; k < packets && !violated; k++ {
@@ -152,7 +160,44 @@ func (e *Experiment) Run(trials int, seed int64) ([]Violation, error) {
 			}
 		}
 	}
-	return out, nil
+	return out, trials, nil
+}
+
+// RunAdaptive performs trials in escalating rounds — min trials first,
+// then doubling round sizes until max total trials have run — and stops at
+// the first round that yields a witness (or a runtime error). It returns
+// the violations found, the number of trials actually executed, and any
+// runtime error.
+//
+// The point is budget shaping for fuzz campaigns: a program likely to
+// interfere (e.g. one the IFC checker rejected) usually witnesses within
+// the first rounds and costs barely more than min, while a genuinely
+// non-interfering program pays max once and earns a much stronger
+// "no witness found" claim than a flat small budget would. Round r draws
+// its randomness from seed + trialsSoFar, so the trial sequence is
+// deterministic in (min, max, seed) and disjoint rounds never repeat a
+// trial's random stream.
+func (e *Experiment) RunAdaptive(min, max int, seed int64) ([]Violation, int, error) {
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	ran := 0
+	round := min
+	for ran < max {
+		if round > max-ran {
+			round = max - ran
+		}
+		out, executed, err := e.RunN(round, seed+int64(ran))
+		ran += executed
+		if len(out) > 0 || err != nil {
+			return out, ran, err
+		}
+		round *= 2
+	}
+	return nil, ran, nil
 }
 
 // runSequence pushes a packet sequence through one interpreter so that

@@ -91,6 +91,13 @@ type Job struct {
 	Source string
 	// Lat is the security lattice to check against; nil means two-point.
 	Lat lattice.Lattice
+	// Seq is the job's NI-seed offset: its NI experiment runs with
+	// Options.NISeed + Seq, so results are reproducible regardless of
+	// worker interleaving or arrival order. Run overwrites Seq with the
+	// job's slice index; RunStream callers set it themselves (a sharded
+	// campaign uses the global campaign index, keeping per-program NI
+	// randomness identical whether or not the campaign is sharded).
+	Seq int64
 }
 
 // Options configures a batch run.
@@ -102,6 +109,14 @@ type Options struct {
 	// NITrials is the number of randomized trials per NI experiment
 	// (default 8 when the NI stage runs).
 	NITrials int
+	// NITrialsMax, when greater than NITrials, switches the NI stage to an
+	// adaptive budget: IFC-accepted programs get NITrials trials (a
+	// violation there would be a soundness bug, which bulk evidence makes
+	// rare), while IFC-rejected programs escalate in doubling rounds from
+	// NITrials up to NITrialsMax total, stopping at the first interference
+	// witness — spending trials where rejection witnesses are likely, to
+	// separate true positives from conservative rejections.
+	NITrialsMax int
 	// NISeed seeds the NI experiments; job i runs with NISeed + i so a
 	// batch is reproducible regardless of worker interleaving.
 	NISeed int64
@@ -129,6 +144,10 @@ type JobResult struct {
 	NIErr error
 	// NIRan reports whether the NI stage ran for this job.
 	NIRan bool
+	// NITrialsRun is the number of NI trials actually executed — less than
+	// the configured budget when an adaptive run stopped at a witness,
+	// more than NITrials when a rejected program escalated.
+	NITrialsRun int
 	// StageDur records wall-clock time spent per stage.
 	StageDur [NumStages]time.Duration
 }
@@ -155,6 +174,9 @@ type Summary struct {
 	StageDur [NumStages]time.Duration
 	// Parsed, BaseAccepted, IFCAccepted, and NIViolating count jobs.
 	Parsed, BaseAccepted, IFCAccepted, NIViolating int
+	// NITrialsRun totals NI trials across jobs (interesting under an
+	// adaptive budget, where it differs from jobs × NITrials).
+	NITrialsRun int64
 }
 
 // Run analyzes all jobs with a bounded worker pool. It returns the partial
@@ -183,7 +205,9 @@ func Run(ctx context.Context, jobs []Job, opts Options) (*Summary, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = runJob(jobs[i], opts, trials, opts.NISeed+int64(i))
+				job := jobs[i]
+				job.Seq = int64(i)
+				results[i] = runJob(job, opts, trials)
 				done[i] = true
 			}
 		}()
@@ -231,12 +255,67 @@ feed:
 		if len(r.NIViolations) > 0 {
 			sum.NIViolating++
 		}
+		sum.NITrialsRun += int64(r.NITrialsRun)
 	}
 	return sum, ctxErr
 }
 
+// RunStream is the channel-fed variant of Run for corpora too large (or
+// too lazily produced) to materialize: workers pull jobs from the jobs
+// channel as they arrive and deliver results on the returned channel in
+// completion order. The result channel is unbuffered and closes once all
+// workers have drained — after the jobs channel closes or ctx is done,
+// whichever comes first.
+//
+// Cancellation leaks nothing: on ctx.Done every worker stops pulling jobs
+// and stops offering results, so a producer that also selects on ctx.Done
+// when sending (as any must) and a consumer ranging over the result
+// channel both terminate. Each job's NI experiment is seeded with
+// Options.NISeed + Job.Seq, so the producer controls reproducibility by
+// numbering jobs; Run's slice-index seeding is the special case Seq = i.
+func RunStream(ctx context.Context, jobs <-chan Job, opts Options) <-chan JobResult {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	trials := opts.NITrials
+	if trials <= 0 {
+		trials = 8
+	}
+	out := make(chan JobResult)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case job, ok := <-jobs:
+					if !ok {
+						return
+					}
+					r := runJob(job, opts, trials)
+					select {
+					case out <- r:
+					case <-ctx.Done():
+						return
+					}
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
 // runJob pushes one job through the stage sequence.
-func runJob(job Job, opts Options, trials int, niSeed int64) JobResult {
+func runJob(job Job, opts Options, trials int) JobResult {
+	niSeed := opts.NISeed + job.Seq
 	r := JobResult{Job: job}
 	lat := job.Lat
 	if lat == nil {
@@ -279,7 +358,14 @@ func runJob(job Job, opts Options, trials int, niSeed int64) JobResult {
 	}
 	t0 = time.Now()
 	exp := &ni.Experiment{Prog: prog, Lat: lat, Observer: opts.Observer}
-	r.NIViolations, r.NIErr = exp.Run(trials, niSeed)
+	if opts.NITrialsMax > trials && !r.IFC.OK {
+		// Adaptive budget: a rejected program is where an interference
+		// witness is likely, so escalate toward the ceiling, stopping at
+		// the first witness.
+		r.NIViolations, r.NITrialsRun, r.NIErr = exp.RunAdaptive(trials, opts.NITrialsMax, niSeed)
+	} else {
+		r.NIViolations, r.NITrialsRun, r.NIErr = exp.RunN(trials, niSeed)
+	}
 	r.NIRan = true
 	r.StageDur[StageNI] = time.Since(t0)
 	return r

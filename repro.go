@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/basecheck"
+	"repro/internal/campaign"
 	"repro/internal/controlplane"
 	"repro/internal/core"
 	"repro/internal/difftest"
@@ -35,6 +36,7 @@ import (
 	"repro/internal/parser"
 	"repro/internal/pipeline"
 	"repro/internal/progs"
+	"repro/internal/shrink"
 )
 
 // Program is a parsed P4 program.
@@ -185,3 +187,51 @@ func DiffFuzz(ctx context.Context, cfg FuzzConfig) (*FuzzReport, error) {
 
 // FormatFuzzReport renders the campaign's verdict table.
 func FormatFuzzReport(r *FuzzReport) string { return difftest.FormatReport(r) }
+
+// CheckStream is the channel-fed variant of CheckAll for corpora too large
+// (or too lazily produced) to materialize: workers pull jobs as they
+// arrive and deliver results on the returned channel in completion order.
+// Each job's NI experiment runs with opts.NISeed + job.Seq, so the
+// producer controls reproducibility by numbering jobs. Cancelling ctx
+// stops the workers without leaking goroutines; producers must select on
+// ctx.Done when sending.
+func CheckStream(ctx context.Context, jobs <-chan BatchJob, opts BatchOptions) <-chan BatchResult {
+	return pipeline.RunStream(ctx, jobs, opts)
+}
+
+// CampaignConfig configures Campaign; CampaignReport is its outcome and
+// CampaignFinding one collected program (see internal/campaign for the
+// corpus layout and class set).
+type (
+	CampaignConfig  = campaign.Config
+	CampaignReport  = campaign.Report
+	CampaignFinding = campaign.Finding
+)
+
+// Campaign runs a streaming, shardable, resumable differential-fuzz
+// campaign: the long-running form of DiffFuzz. Jobs are generated lazily
+// and streamed through the analysis pipeline; interesting programs
+// (soundness findings, precision findings, parser disagreements) are
+// deduplicated, optionally minimized to the smallest program reproducing
+// their verdict class, and persisted to cfg.CorpusDir with replayable
+// verdict metadata. Shard i of n covers global indices ≡ i (mod n) of the
+// same deterministic job set, so shards split a campaign across processes
+// and their corpus dirs merge by file copy; cfg.Resume continues from the
+// shard's persisted cursor.
+func Campaign(ctx context.Context, cfg CampaignConfig) (*CampaignReport, error) {
+	return campaign.Run(ctx, cfg)
+}
+
+// FormatCampaignReport renders a campaign report: the verdict table plus
+// corpus, dedup, and minimization statistics.
+func FormatCampaignReport(r *CampaignReport) string { return campaign.FormatReport(r) }
+
+// MinimizeProgram delta-debugs src down to a smaller program for which
+// keep still holds, by deleting statements, declarations, fields, table
+// keys, and branches at the AST level. The result always parses, keep
+// holds on it, and it is never larger than src. keep must hold on src
+// itself and is only called on parseable candidates.
+func MinimizeProgram(file, src string, keep func(src string) bool) (string, error) {
+	res, err := shrink.Minimize(file, src, keep)
+	return res.Source, err
+}
