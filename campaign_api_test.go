@@ -47,6 +47,50 @@ func TestCampaignPublicAPI(t *testing.T) {
 	if rep2.FirstIndex != 50 {
 		t.Errorf("resume started at %d, want 50", rep2.FirstIndex)
 	}
+
+	// The corpus the two runs left behind replays clean through the facade,
+	// and a mutation-enabled continuation draws on it as a seed pool.
+	rr, err := repro.Replay(context.Background(), repro.ReplayConfig{CorpusDir: dir})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if !rr.OK() || rr.Total == 0 {
+		t.Fatalf("corpus replay: total=%d\n%s", rr.Total, repro.FormatReplayReport(rr))
+	}
+	if !strings.Contains(repro.FormatReplayReport(rr), "PASS") {
+		t.Error("clean replay report does not say PASS")
+	}
+	cfg.Resume = false
+	cfg.Mutate = true
+	rep3, err := repro.Campaign(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("mutation Campaign: %v", err)
+	}
+	if rep3.SeedPoolSize == 0 || rep3.MutantJobs == 0 {
+		t.Errorf("mutation campaign: pool %d, mutants %d; want both > 0", rep3.SeedPoolSize, rep3.MutantJobs)
+	}
+}
+
+// TestMutatePublicAPI mutates a case study and checks the contract: the
+// mutant parses, base-checks, and differs from its parent's print.
+func TestMutatePublicAPI(t *testing.T) {
+	cs, _ := repro.CaseStudyByName("D2R")
+	src := cs.Source(repro.Fixed)
+	mut, err := repro.Mutate(1, "d2r.p4", src, repro.MutateConfig{})
+	if err != nil {
+		t.Fatalf("Mutate: %v", err)
+	}
+	prog, err := repro.Parse("d2r-mut.p4", mut)
+	if err != nil {
+		t.Fatalf("mutant does not parse: %v\n%s", err, mut)
+	}
+	if !repro.CheckBase(prog).OK {
+		t.Fatalf("mutant fails the baseline checker:\n%s", mut)
+	}
+	parent, _ := repro.Parse("d2r.p4", src)
+	if mut == repro.PrintProgram(parent) {
+		t.Fatal("identity mutation through the facade")
+	}
 }
 
 // TestCheckStreamPublicAPI streams a couple of jobs through the facade.

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	p4bid [-lattice two-point|diamond|chain-N] [-base] [-verbose] file.p4...
+//	p4bid [-lattice two-point|diamond|chain:N|nparty:N] [-base] [-verbose] file.p4...
 //
 // Exit status 0 if every file typechecks, 1 otherwise. Each diagnostic
 // cites the violated typing rule of the paper (e.g. [T-Assign]).
@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	latName := flag.String("lattice", "two-point", "security lattice: two-point, diamond, or chain-N")
+	latName := flag.String("lattice", "two-point", "security lattice: two-point, diamond, chain:N, or nparty:N")
 	base := flag.Bool("base", false, "use the label-insensitive baseline checker instead of P4BID")
 	verbose := flag.Bool("verbose", false, "print inferred pc_fn and pc_tbl labels for accepted programs")
 	flag.Usage = func() {

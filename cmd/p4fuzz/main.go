@@ -7,16 +7,30 @@
 //
 //	p4fuzz [-n 1000] [-seed 1] [-trials 8] [-trials-max 0] [-workers 0]
 //	       [-depth 3] [-stmts 5] [-fields 3] [-timeout 0]
-//	       [-corpus-dir DIR] [-minimize] [-shard i/n] [-resume]
+//	       [-lattice two-point|diamond|chain:N|nparty:N]
+//	       [-corpus-dir DIR] [-minimize] [-shard i/n] [-resume] [-mutate]
+//	p4fuzz -replay DIR [-trials 4] [-trials-max 32]
 //
 // With none of the campaign flags, p4fuzz is the one-shot harness: the
 // whole corpus is generated up front, checked, and forgotten. Any of
-// -corpus-dir, -minimize, -shard, or -resume switches to the streaming
-// campaign engine, which generates jobs lazily, deduplicates and persists
-// interesting programs (with verdict metadata) under -corpus-dir,
+// -corpus-dir, -minimize, -shard, -resume, or -mutate switches to the
+// streaming campaign engine, which generates jobs lazily, deduplicates and
+// persists interesting programs (with verdict metadata) under -corpus-dir,
 // minimizes findings with -minimize, splits the campaign across processes
 // with -shard i/n (0-based; shard corpus dirs merge by file copy), and
 // continues from the persisted per-shard cursor with -resume.
+//
+// -lattice selects the campaign lattice in either mode: generated programs
+// are annotated against it and checked under it, so chain:N and nparty:N
+// campaigns exercise label flows two-point programs cannot express.
+// -mutate closes the coverage-guided loop: half the jobs become AST-level
+// mutants of persisted corpus findings (seed pool weighted by verdict
+// class and recency) instead of fresh gen.Random samples.
+//
+// -replay DIR re-checks every finding persisted under DIR against the
+// current checker stack and exits 1 on any verdict drift — the corpus as a
+// regression suite. Findings recorded with their NI budget replay under
+// it; older corpora use the -trials/-trials-max defaults.
 //
 // -trials is the per-program NI budget; when -trials-max exceeds it, the
 // budget is adaptive — accepted programs get -trials, rejected programs
@@ -57,10 +71,13 @@ func main() {
 	stmts := flag.Int("stmts", 5, "max statements per generated block")
 	fields := flag.Int("fields", 3, "low/high header fields in generated programs")
 	timeout := flag.Duration("timeout", 0, "overall campaign timeout (0 = none)")
+	latSpec := flag.String("lattice", "", "campaign lattice: two-point (default), diamond, chain:N, or nparty:N")
 	corpusDir := flag.String("corpus-dir", "", "persistent corpus directory (enables the campaign engine)")
 	minimize := flag.Bool("minimize", false, "shrink findings to minimal reproducers before persisting")
 	shard := flag.String("shard", "", "shard assignment i/n (0-based), e.g. 0/4")
 	resume := flag.Bool("resume", false, "continue from the corpus's per-shard cursor")
+	mutateSeeds := flag.Bool("mutate", false, "mutate persisted corpus findings for half the jobs (coverage-guided loop)")
+	replayDir := flag.String("replay", "", "replay mode: re-check every finding under this corpus dir and exit 1 on verdict drift")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -69,14 +86,38 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+
+	if *replayDir != "" {
+		rep, err := repro.Replay(ctx, repro.ReplayConfig{
+			CorpusDir:   *replayDir,
+			NITrials:    *trials,
+			NITrialsMax: *trialsMax,
+			Log:         os.Stderr,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p4fuzz: replay: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Print(repro.FormatReplayReport(rep))
+		if !rep.OK() {
+			os.Exit(1)
+		}
+		return
+	}
+
 	gcfg := gen.Config{
 		MaxDepth:    *depth,
 		MaxStmts:    *stmts,
 		NumFields:   *fields,
 		WithActions: true,
+		Lattice:     *latSpec,
+	}
+	if err := gcfg.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "p4fuzz: %v\n", err)
+		os.Exit(2)
 	}
 
-	campaignMode := *corpusDir != "" || *minimize || *shard != "" || *resume
+	campaignMode := *corpusDir != "" || *minimize || *shard != "" || *resume || *mutateSeeds
 	if !campaignMode {
 		t := *trials
 		if t == 0 {
@@ -128,6 +169,7 @@ func main() {
 		Workers:     *workers,
 		Shard:       shardIdx,
 		NumShards:   numShards,
+		Mutate:      *mutateSeeds,
 		CorpusDir:   *corpusDir,
 		Resume:      *resume,
 		Minimize:    *minimize,

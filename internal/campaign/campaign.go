@@ -24,7 +24,17 @@
 //   - spends its NI-trial budget adaptively (pipeline.Options.NITrialsMax):
 //     few trials on IFC-accepted programs, escalating on rejected ones
 //     where an interference witness would settle rejected-clean vs
-//     rejected-witnessed.
+//     rejected-witnessed;
+//   - optionally closes the coverage-guided loop (Config.Mutate): the
+//     persisted corpus becomes the seed pool, and a configurable share of
+//     jobs are internal/mutate variants of previous findings — weighted by
+//     verdict class and recency — instead of fresh gen.Random samples;
+//   - campaigns over any stock lattice (Config.Gen.Lattice), so chain-N
+//     and n-party searches reach label flows two-point programs cannot
+//     express;
+//   - doubles as a regression suite: Replay re-checks every persisted
+//     finding against the current checker stack and reports any verdict
+//     drift.
 //
 // Verdict classes and the soundness argument are difftest's; the campaign
 // adds one class of its own, parser disagreements (parse → print → reparse
@@ -40,12 +50,14 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/ast"
 	"repro/internal/difftest"
 	"repro/internal/gen"
 	"repro/internal/lattice"
+	"repro/internal/mutate"
 	"repro/internal/parser"
 	"repro/internal/pipeline"
 	"repro/internal/shrink"
@@ -108,6 +120,17 @@ type Config struct {
 	// global indices ≡ Shard (mod NumShards). NumShards <= 1 means
 	// unsharded; Shard must then be 0.
 	Shard, NumShards int
+	// Mutate enables corpus-seeded mutation: a MutateFrac share of the
+	// campaign's jobs are AST-level mutants of persisted findings (drawn
+	// from the seed pool weighted by verdict class and recency) instead of
+	// fresh gen.Random output. Scheduling is deterministic per global
+	// index given the pool, so sharded runs stay partition-exact when the
+	// shards share a corpus snapshot. With an empty corpus the campaign
+	// simply generates everything fresh.
+	Mutate bool
+	// MutateFrac is the fraction of jobs mutated from seeds when Mutate is
+	// set (0 = default 0.5; must be in (0, 1]).
+	MutateFrac float64
 	// CorpusDir is the persistent corpus directory ("" = keep findings in
 	// memory only).
 	CorpusDir string
@@ -133,10 +156,15 @@ type Finding struct {
 	Class   Class
 	Verdict difftest.Verdict
 	// Index is the global campaign index; GenSeed = Seed + Index
-	// regenerates the original program, NISeed replays its experiment.
+	// regenerates the original program (when Origin is "gen"), NISeed
+	// replays its experiment.
 	Index   int64
 	GenSeed int64
 	NISeed  int64
+	// Origin is "gen" or "mutate"; ParentKey names the corpus seed a
+	// mutant came from.
+	Origin    string
+	ParentKey string
 	// Detail is the witness, error text, or disagreement description.
 	Detail string
 	// Source is the finding as persisted — minimized when Minimize was on
@@ -176,6 +204,11 @@ type Report struct {
 	// BytesSaved totals the reduction.
 	Minimized  int
 	BytesSaved int
+	// MutantJobs counts analyzed jobs produced by mutation (the rest were
+	// freshly generated); SeedPoolSize is the corpus seed pool the run
+	// started with. Both are zero when Mutate is off.
+	MutantJobs   int
+	SeedPoolSize int
 	// TrialsRun totals NI trials; the adaptive budget shows up here.
 	TrialsRun int64
 	// Elapsed and Workers describe the run; Seed, N, and Gen echo config.
@@ -214,11 +247,24 @@ type engine struct {
 	max        int
 	perClass   int
 	corp       *corpus
+	pool       *seedPool
 	seen       map[string]bool
 	classCount map[Class]int
 	log        io.Writer
 	rep        *Report
 	pending    []pendingFinding
+
+	// prov records mutant provenance by global index, written by the job
+	// producer and read by the result consumer (concurrent goroutines).
+	// Only mutant indices have entries.
+	provMu sync.Mutex
+	prov   map[int64]provenance
+}
+
+// provenance is where one mutant job came from.
+type provenance struct {
+	parentKey string
+	ops       string
 }
 
 // pendingFinding is one interesting program noted during the stream.
@@ -233,6 +279,9 @@ type pendingFinding struct {
 	name    string
 	source  string
 	idx     int64
+	origin  string // "gen" or "mutate"
+	parent  string // dedup key of the mutated seed, for mutants
+	ops     string // comma-joined mutation operators, for mutants
 }
 
 // Run executes one campaign run (one shard's worth of one index window).
@@ -252,20 +301,27 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if cfg.Resume && cfg.CorpusDir == "" {
 		return nil, fmt.Errorf("campaign: Resume requires CorpusDir — without a corpus there is no cursor, and every run would silently re-cover [0, N)")
 	}
+	if cfg.MutateFrac < 0 || cfg.MutateFrac > 1 {
+		return nil, fmt.Errorf("campaign: MutateFrac %v out of (0, 1]", cfg.MutateFrac)
+	}
 	e := &engine{
 		ctx:        ctx,
 		cfg:        cfg,
 		gcfg:       cfg.Gen,
-		lat:        lattice.TwoPoint(),
 		trials:     cfg.NITrials,
 		max:        cfg.NITrialsMax,
 		perClass:   cfg.MaxPerClass,
 		seen:       map[string]bool{},
 		classCount: map[Class]int{},
 		log:        cfg.Log,
+		prov:       map[int64]provenance{},
 	}
 	if e.gcfg == (gen.Config{}) {
 		e.gcfg = gen.DefaultConfig()
+	}
+	var err error
+	if e.lat, err = e.gcfg.ResolveLattice(); err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
 	}
 	if e.trials <= 0 {
 		e.trials = 4
@@ -287,9 +343,13 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	var err error
 	if e.corp, err = openCorpus(cfg.CorpusDir); err != nil {
 		return nil, err
+	}
+	if cfg.Mutate {
+		if e.pool, err = loadSeedPool(cfg.CorpusDir); err != nil {
+			return nil, fmt.Errorf("campaign: seed pool: %w", err)
+		}
 	}
 	var first int64
 	var prior shardState
@@ -321,6 +381,9 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		Gen:        e.gcfg,
 		CorpusDir:  cfg.CorpusDir,
 	}
+	if e.pool != nil {
+		e.rep.SeedPoolSize = e.pool.size()
+	}
 	start := time.Now()
 
 	jobs := make(chan pipeline.Job)
@@ -330,10 +393,9 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			if idx%int64(numShards) != int64(cfg.Shard) {
 				continue
 			}
-			rng := rand.New(rand.NewSource(cfg.Seed + idx))
 			job := pipeline.Job{
 				Name:   fmt.Sprintf("fuzz-%d.p4", idx),
-				Source: gen.Random(rng, e.gcfg),
+				Source: e.jobSource(idx),
 				Lat:    e.lat,
 				Seq:    idx,
 			}
@@ -391,10 +453,61 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	return e.rep, nil
 }
 
+// jobSource produces the program for one global campaign index: a mutant
+// of a weighted corpus seed when mutation is on and the index's own rng
+// says so, a fresh gen.Random program otherwise. Everything — the
+// mutate-or-generate coin, the seed draw, the mutation operators, and the
+// fallback generation — runs off rand.NewSource(Seed+idx), so the mapping
+// from index to program depends only on (Seed, Gen, pool): shards agree
+// on it whenever they share a corpus snapshot, and a failed mutation
+// falls back to generation deterministically.
+func (e *engine) jobSource(idx int64) string {
+	rng := rand.New(rand.NewSource(e.cfg.Seed + idx))
+	if e.cfg.Mutate && e.pool != nil && e.pool.size() > 0 {
+		frac := e.cfg.MutateFrac
+		if frac == 0 {
+			frac = 0.5
+		}
+		if rng.Float64() < frac {
+			seed := e.pool.pick(rng)
+			mcfg := mutate.Config{Lattice: e.gcfg.Lattice}
+			if e.pool.size() > 1 && rng.Intn(4) == 0 {
+				mcfg.Donor = e.pool.pick(rng).source
+			}
+			res, err := mutate.Mutate(rng, fmt.Sprintf("mut-%d.p4", idx), seed.source, mcfg)
+			if err == nil {
+				e.provMu.Lock()
+				e.prov[idx] = provenance{parentKey: seed.key, ops: strings.Join(res.Ops, ",")}
+				e.provMu.Unlock()
+				return res.Source
+			}
+			// Fall through: an unmutable seed (e.g. a generator-bug entry)
+			// costs one index of mutation, not the campaign.
+		}
+	}
+	return gen.Random(rng, e.gcfg)
+}
+
+// provenanceOf pops the recorded provenance for one index (zero value for
+// fresh jobs).
+func (e *engine) provenanceOf(idx int64) (provenance, bool) {
+	e.provMu.Lock()
+	defer e.provMu.Unlock()
+	p, ok := e.prov[idx]
+	if ok {
+		delete(e.prov, idx)
+	}
+	return p, ok
+}
+
 // consume classifies one streamed result and routes its findings.
 func (e *engine) consume(r *pipeline.JobResult) {
 	e.rep.Analyzed++
 	e.rep.TrialsRun += int64(r.NITrialsRun)
+	prov, mutant := e.provenanceOf(r.Job.Seq)
+	if mutant {
+		e.rep.MutantJobs++
+	}
 	v, detail := difftest.Classify(r)
 	e.rep.Counts[v]++
 	if r.IFC != nil && !r.IFC.OK {
@@ -409,12 +522,12 @@ func (e *engine) consume(r *pipeline.JobResult) {
 		}
 	}
 	if class, interesting := classOf(v); interesting {
-		e.collect(class, v, detail, r)
+		e.collect(class, v, detail, r, prov, mutant)
 	}
 	if r.Prog != nil {
 		if detail, bad := roundtripDisagreement(r.Job.Name, r.Prog); bad {
 			e.rep.ParserDisagreements++
-			e.collect(ClassParserDisagreement, v, detail, r)
+			e.collect(ClassParserDisagreement, v, detail, r, prov, mutant)
 		}
 	}
 }
@@ -422,7 +535,7 @@ func (e *engine) consume(r *pipeline.JobResult) {
 // collect notes one interesting program for post-stream processing,
 // charging the per-class cap up front so both pending memory and the
 // later shrinking bill stay bounded.
-func (e *engine) collect(class Class, v difftest.Verdict, detail string, r *pipeline.JobResult) {
+func (e *engine) collect(class Class, v difftest.Verdict, detail string, r *pipeline.JobResult, prov provenance, mutant bool) {
 	if e.perClass > 0 && e.classCount[class] >= e.perClass {
 		e.rep.CappedFindings++
 		return
@@ -432,6 +545,10 @@ func (e *engine) collect(class Class, v difftest.Verdict, detail string, r *pipe
 	// corpus — where nearly everything minimizes onto a known entry —
 	// grow the per-run shrinking bill without bound.
 	e.classCount[class]++
+	origin := "gen"
+	if mutant {
+		origin = "mutate"
+	}
 	e.pending = append(e.pending, pendingFinding{
 		class:   class,
 		verdict: v,
@@ -439,6 +556,9 @@ func (e *engine) collect(class Class, v difftest.Verdict, detail string, r *pipe
 		name:    r.Job.Name,
 		source:  r.Job.Source,
 		idx:     r.Job.Seq,
+		origin:  origin,
+		parent:  prov.parentKey,
+		ops:     prov.ops,
 	})
 }
 
@@ -451,6 +571,8 @@ func (e *engine) finalize(p pendingFinding, minimize bool) {
 		Index:         idx,
 		GenSeed:       e.cfg.Seed + idx,
 		NISeed:        e.cfg.Seed + idx,
+		Origin:        p.origin,
+		ParentKey:     p.parent,
 		Detail:        p.detail,
 		Source:        p.source,
 		OriginalBytes: len(p.source),
@@ -483,7 +605,12 @@ func (e *engine) finalize(p pendingFinding, minimize bool) {
 			Index:         idx,
 			GenSeed:       f.GenSeed,
 			NISeed:        f.NISeed,
+			NITrials:      e.trials,
+			NITrialsMax:   e.max,
 			Gen:           e.gcfg,
+			Origin:        p.origin,
+			ParentKey:     p.parent,
+			MutateOps:     p.ops,
 			Shard:         e.cfg.Shard,
 			NumShards:     e.rep.NumShards,
 			OriginalBytes: f.OriginalBytes,
@@ -562,9 +689,16 @@ func FormatReport(r *Report) string {
 	fmt.Fprintf(&b, "fuzz campaign: shard %d/%d, indices [%d, %d), seed %d, %d workers, %v\n",
 		r.Shard, r.NumShards, r.FirstIndex, r.FirstIndex+int64(r.N), r.Seed, r.Workers,
 		r.Elapsed.Round(time.Millisecond))
-	fmt.Fprintf(&b, "  gen config: depth=%d stmts=%d fields=%d actions=%v\n",
-		r.Gen.MaxDepth, r.Gen.MaxStmts, r.Gen.NumFields, r.Gen.WithActions)
+	lat := r.Gen.Lattice
+	if lat == "" {
+		lat = "two-point"
+	}
+	fmt.Fprintf(&b, "  gen config: depth=%d stmts=%d fields=%d actions=%v lattice=%s\n",
+		r.Gen.MaxDepth, r.Gen.MaxStmts, r.Gen.NumFields, r.Gen.WithActions, lat)
 	fmt.Fprintf(&b, "  analyzed %d programs, %d NI trials\n", r.Analyzed, r.TrialsRun)
+	if r.SeedPoolSize > 0 || r.MutantJobs > 0 {
+		fmt.Fprintf(&b, "  mutation: %d mutant jobs from a %d-seed pool\n", r.MutantJobs, r.SeedPoolSize)
+	}
 	fmt.Fprintf(&b, "  %-36s %8s\n", "verdict", "count")
 	for v := difftest.Verdict(0); v < difftest.NumVerdicts; v++ {
 		fmt.Fprintf(&b, "  %-36s %8d\n", v, r.Counts[v])
@@ -596,8 +730,12 @@ func FormatReport(r *Report) string {
 		if where == "" {
 			where = "(not persisted)"
 		}
-		fmt.Fprintf(&b, "\nFINDING %s (index %d, regen seed %d, %d bytes%s) %s\n  %s\n",
-			f.Class, f.Index, f.GenSeed, len(f.Source), minimizedTag(f), where, f.Detail)
+		origin := ""
+		if f.Origin == "mutate" {
+			origin = fmt.Sprintf(", mutated from %.12s", f.ParentKey)
+		}
+		fmt.Fprintf(&b, "\nFINDING %s (index %d, regen seed %d, %d bytes%s%s) %s\n  %s\n",
+			f.Class, f.Index, f.GenSeed, len(f.Source), minimizedTag(f), origin, where, f.Detail)
 	}
 	switch {
 	case r.Aborted:

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -31,14 +32,31 @@ type Meta struct {
 	// Detail is the witness, error text, or disagreement description.
 	Detail string `json:"detail"`
 	// Index is the global campaign index of the generating job; with Gen
-	// and GenSeed it regenerates the original (unminimized) program.
+	// and GenSeed it regenerates the original (unminimized) program —
+	// when Origin is "gen". Mutants are not regenerable from the seed
+	// alone (they also depend on the seed pool at mutation time); their
+	// provenance is ParentKey.
 	Index int64 `json:"index"`
 	// GenSeed is the program's generation seed (campaign seed + Index).
 	GenSeed int64 `json:"gen_seed"`
 	// NISeed seeds the program's NI experiment for exact replay.
 	NISeed int64 `json:"ni_seed"`
-	// Gen echoes the generator configuration the seeds assume.
+	// NITrials and NITrialsMax record the NI budget the finding was
+	// classified under, so -replay re-checks with the same budget (zero
+	// in pre-mutation corpora; replay then uses its own defaults).
+	NITrials    int `json:"ni_trials,omitempty"`
+	NITrialsMax int `json:"ni_trials_max,omitempty"`
+	// Gen echoes the generator configuration the seeds assume, including
+	// the campaign lattice spec.
 	Gen gen.Config `json:"gen"`
+	// Origin is "gen" for freshly generated programs and "mutate" for
+	// corpus-seeded mutants ("" in pre-mutation corpora, meaning "gen").
+	Origin string `json:"origin,omitempty"`
+	// ParentKey is the dedup key of the corpus seed a mutant was derived
+	// from ("" for fresh programs); MutateOps names the mutation operators
+	// applied, in order, for triage.
+	ParentKey string `json:"parent_key,omitempty"`
+	MutateOps string `json:"mutate_ops,omitempty"`
 	// Shard/NumShards record which shard found it (0/1 when unsharded).
 	Shard     int `json:"shard"`
 	NumShards int `json:"num_shards"`
@@ -126,6 +144,60 @@ func (c *corpus) put(f *Finding, m Meta) (string, error) {
 	}
 	c.known[f.Key] = true
 	return progPath, nil
+}
+
+// readFinding loads one persisted finding pair by its metadata filename
+// (<stem>.json next to <stem>.p4 under dir). It errors on unreadable or
+// foreign files — callers choose whether that is fatal (replay) or
+// skippable (seed pool).
+func readFinding(dir, jsonName string) (Meta, string, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, jsonName))
+	if err != nil {
+		return Meta{}, "", err
+	}
+	var m Meta
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return Meta{}, "", fmt.Errorf("campaign: %s: %w", jsonName, err)
+	}
+	if m.Key == "" || m.Class == "" {
+		return Meta{}, "", fmt.Errorf("campaign: %s: not a finding metadata file", jsonName)
+	}
+	src, err := os.ReadFile(filepath.Join(dir, strings.TrimSuffix(jsonName, ".json")+".p4"))
+	if err != nil {
+		return Meta{}, "", err
+	}
+	return m, string(src), nil
+}
+
+// forEachFinding iterates the finding pairs under dir/findings in
+// deterministic (name-sorted) order, calling fn with each pair — or with
+// the error loading it, so callers choose whether a bad pair is fatal
+// (replay) or skippable (seed pool). fn returning false stops the
+// iteration. A missing findings directory iterates nothing; any other
+// directory-level failure is returned.
+func forEachFinding(dir string, fn func(jsonName string, m Meta, src string, err error) bool) error {
+	findings := filepath.Join(dir, "findings")
+	entries, err := os.ReadDir(findings)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m, src, err := readFinding(findings, name)
+		if !fn(name, m, src, err) {
+			return nil
+		}
+	}
+	return nil
 }
 
 // shardState is the resume cursor for one shard of a campaign.

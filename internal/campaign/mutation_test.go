@@ -1,0 +1,195 @@
+package campaign
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/difftest"
+)
+
+// seedCorpus runs a small plain campaign into dir so later runs have a
+// seed pool, and returns the number of findings persisted.
+func seedCorpus(t *testing.T, dir string, cfg Config) int {
+	t.Helper()
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("seeding campaign: %v", err)
+	}
+	if rep.NewFindings == 0 {
+		t.Fatal("seeding campaign persisted nothing; mutation tests need a pool")
+	}
+	return rep.NewFindings
+}
+
+// copyFindings clones src/findings into dst so several corpus dirs share
+// one seed-pool snapshot — the precondition under which mutation-enabled
+// sharding stays partition-exact.
+func copyFindings(t *testing.T, src, dst string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Join(dst, "findings"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Join(src, "findings"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		raw, err := os.ReadFile(filepath.Join(src, "findings", e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, "findings", e.Name()), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCampaignMutationShardUnion extends the shard-union determinism
+// property to seed scheduling: with every shard holding the same corpus
+// snapshot, the mutate-or-generate coin, the weighted seed draw, and the
+// mutation itself all run off the global index's rng — so the union of
+// mutation-enabled shards still equals the unsharded campaign, verdict
+// counts, mutant counts, findings, and all.
+func TestCampaignMutationShardUnion(t *testing.T) {
+	const n, shards = 90, 3
+	seedDir := t.TempDir()
+	seedCorpus(t, seedDir, Config{
+		N: 80, Seed: 11, Gen: smallGen(), NITrials: 1, NITrialsMax: 4,
+		CorpusDir: seedDir, Minimize: true,
+	})
+
+	mk := func(dir string, shard, numShards int) *Report {
+		copyFindings(t, seedDir, dir)
+		rep, err := Run(context.Background(), Config{
+			N:           n,
+			Seed:        7,
+			Gen:         smallGen(),
+			NITrials:    1,
+			NITrialsMax: 4,
+			Workers:     2,
+			Shard:       shard,
+			NumShards:   numShards,
+			Mutate:      true,
+			CorpusDir:   dir,
+			MaxPerClass: -1,
+		})
+		if err != nil {
+			t.Fatalf("shard %d/%d: %v", shard, numShards, err)
+		}
+		if rep.SeedPoolSize == 0 {
+			t.Fatalf("shard %d/%d started with an empty seed pool", shard, numShards)
+		}
+		return rep
+	}
+
+	whole := t.TempDir()
+	repWhole := mk(whole, 0, 1)
+	if repWhole.MutantJobs == 0 {
+		t.Fatal("mutation-enabled campaign analyzed no mutants; the schedule is not firing")
+	}
+
+	var shardAnalyzed, shardMutants int
+	var shardCounts [difftest.NumVerdicts]int
+	union := map[string]bool{}
+	for s := 0; s < shards; s++ {
+		dir := t.TempDir()
+		rep := mk(dir, s, shards)
+		shardAnalyzed += rep.Analyzed
+		shardMutants += rep.MutantJobs
+		for v, c := range rep.Counts {
+			shardCounts[v] += c
+		}
+		for k := range readKeys(t, dir) {
+			union[k] = true
+		}
+	}
+
+	if shardAnalyzed != repWhole.Analyzed || shardAnalyzed != n {
+		t.Errorf("shards analyzed %d programs, unsharded %d, want %d", shardAnalyzed, repWhole.Analyzed, n)
+	}
+	if shardMutants != repWhole.MutantJobs {
+		t.Errorf("shards mutated %d jobs, unsharded %d — seed scheduling is not index-deterministic", shardMutants, repWhole.MutantJobs)
+	}
+	if shardCounts != repWhole.Counts {
+		t.Errorf("shard verdict counts %v != unsharded %v", shardCounts, repWhole.Counts)
+	}
+	wholeKeys := readKeys(t, whole)
+	if len(union) != len(wholeKeys) {
+		t.Errorf("shard corpus union has %d findings, unsharded %d", len(union), len(wholeKeys))
+	}
+	for k := range wholeKeys {
+		if !union[k] {
+			t.Errorf("finding %s missing from the shard union", k)
+		}
+	}
+}
+
+// TestCampaignChainMutationReachesNewClasses is the acceptance demo: a
+// mutation campaign over a seeded corpus on a chain-4 lattice produces
+// deduplicated findings that pure two-point gen.Random sampling cannot
+// reach — their programs annotate fields at the intermediate labels L1/L2,
+// which the two-point emitter has no way to spell. It also pins that the
+// corpus-as-seed-pool loop contributes: at least one finding is a mutant.
+func TestCampaignChainMutationReachesNewClasses(t *testing.T) {
+	dir := t.TempDir()
+	// Seed pool: a plain two-point campaign, as PR-2 nightlies left behind.
+	seedCorpus(t, dir, Config{
+		N: 80, Seed: 11, Gen: smallGen(), NITrials: 1, NITrialsMax: 4,
+		CorpusDir: dir, Minimize: true,
+	})
+
+	chainGen := smallGen()
+	chainGen.Lattice = "chain:4"
+	rep, err := Run(context.Background(), Config{
+		N:           200,
+		Seed:        5,
+		Gen:         chainGen,
+		NITrials:    1,
+		NITrialsMax: 4,
+		Workers:     2,
+		Mutate:      true,
+		CorpusDir:   dir,
+		MaxPerClass: -1,
+	})
+	if err != nil {
+		t.Fatalf("chain-4 mutation campaign: %v", err)
+	}
+	if !rep.OK() {
+		t.Fatalf("chain-4 campaign found implementation defects:\n%s", FormatReport(rep))
+	}
+	if rep.MutantJobs == 0 {
+		t.Fatal("no mutant jobs ran")
+	}
+
+	tall, mutants := 0, 0
+	for _, f := range rep.Findings {
+		if strings.Contains(f.Source, ", L1>") || strings.Contains(f.Source, ", L2>") {
+			tall++
+		}
+		if f.Origin == "mutate" {
+			mutants++
+			if f.ParentKey == "" {
+				t.Errorf("mutant finding %s lacks a parent key", f.Key)
+			}
+		}
+	}
+	if tall == 0 {
+		t.Fatalf("no finding uses an intermediate chain label; nothing here is out of two-point reach:\n%s", FormatReport(rep))
+	}
+	if mutants == 0 {
+		t.Fatal("no finding originated from a corpus mutant; the seed pool contributed nothing")
+	}
+
+	// The new findings replay like any others: the corpus stays a valid
+	// regression suite across lattices.
+	rr, err := Replay(context.Background(), ReplayConfig{CorpusDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rr.OK() {
+		t.Fatalf("mixed two-point + chain-4 corpus does not replay clean:\n%s", FormatReplayReport(rr))
+	}
+}

@@ -1,0 +1,108 @@
+// Seed scheduling for mutation-enabled campaigns: the persisted corpus
+// doubles as the seed pool of the classic coverage-guided loop. Seeds are
+// weighted by verdict class (defect classes first — a mutant of a program
+// that broke something once is the best candidate to break it again —
+// then the precision frontier) and by recency (newer findings describe
+// the current frontier; older ones have had their neighborhoods searched
+// on previous nights), and drawn per campaign index from the index's own
+// rng, so scheduling is deterministic given (seed, pool) — the shard-union
+// property survives mutation as long as shards share a pool.
+package campaign
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// seedEntry is one corpus program available for mutation.
+type seedEntry struct {
+	key    string
+	class  Class
+	source string
+}
+
+// seedPool is a weighted sampler over corpus entries.
+type seedPool struct {
+	entries []seedEntry
+	cum     []float64 // cumulative weights, parallel to entries
+	total   float64
+}
+
+// classWeight ranks finding classes by how promising their neighborhoods
+// are: defects first, then the precision frontier, then generator bugs
+// (whose mutants usually fail admission anyway).
+func classWeight(c Class) float64 {
+	switch c {
+	case ClassSoundnessViolation:
+		return 4
+	case ClassParserDisagreement, ClassRuntimeError:
+		return 3
+	case ClassRejectedClean:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// recencyDecay is the per-rank multiplier applied down the
+// newest-to-oldest order; with 0.97, the hundredth-newest seed still
+// keeps ~5% of the weight of the newest, so old seeds fade rather than
+// vanish.
+const recencyDecay = 0.97
+
+// loadSeedPool reads every finding pair under dir/findings into a weighted
+// pool. A missing directory or an empty corpus yields an empty pool (the
+// scheduler then generates everything fresh). Ordering — and therefore
+// sampling — is deterministic: entries sort newest-first by recorded
+// FoundAt with the dedup key as tiebreaker.
+func loadSeedPool(dir string) (*seedPool, error) {
+	p := &seedPool{}
+	if dir == "" {
+		return p, nil
+	}
+	type rec struct {
+		seedEntry
+		foundAt int64
+	}
+	var recs []rec
+	err := forEachFinding(dir, func(_ string, m Meta, src string, err error) bool {
+		if err != nil {
+			return true // foreign or truncated file; the pool just skips it
+		}
+		recs = append(recs, rec{
+			seedEntry: seedEntry{key: m.Key, class: m.Class, source: src},
+			foundAt:   m.FoundAt.UnixNano(),
+		})
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].foundAt != recs[j].foundAt {
+			return recs[i].foundAt > recs[j].foundAt
+		}
+		return recs[i].key < recs[j].key
+	})
+	for rank, r := range recs {
+		w := classWeight(r.class) * math.Pow(recencyDecay, float64(rank))
+		p.total += w
+		p.entries = append(p.entries, r.seedEntry)
+		p.cum = append(p.cum, p.total)
+	}
+	return p, nil
+}
+
+// size reports how many seeds the pool holds.
+func (p *seedPool) size() int { return len(p.entries) }
+
+// pick draws one seed, weight-proportionally, from rng.
+func (p *seedPool) pick(rng *rand.Rand) seedEntry {
+	x := rng.Float64() * p.total
+	i := sort.SearchFloat64s(p.cum, x)
+	if i >= len(p.entries) {
+		i = len(p.entries) - 1
+	}
+	return p.entries[i]
+}

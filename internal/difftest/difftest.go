@@ -38,7 +38,6 @@ import (
 	"time"
 
 	"repro/internal/gen"
-	"repro/internal/lattice"
 	"repro/internal/pipeline"
 )
 
@@ -157,7 +156,10 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if gcfg == (gen.Config{}) {
 		gcfg = gen.DefaultConfig()
 	}
-	lat := lattice.TwoPoint()
+	lat, err := gcfg.ResolveLattice()
+	if err != nil {
+		return nil, fmt.Errorf("difftest: %w", err)
+	}
 
 	// Generation is cheap and deterministic per index; do it up front so
 	// the pipeline measures pure analysis throughput.
@@ -256,8 +258,12 @@ func FormatReport(r *Report) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "differential soundness fuzzing: %d programs, seed %d, %d workers, %d NI trials, %v\n",
 		r.N, r.Seed, r.Workers, r.TrialsRun, r.Elapsed.Round(time.Millisecond))
-	fmt.Fprintf(&b, "  gen config: depth=%d stmts=%d fields=%d actions=%v (regen seeds assume this config)\n",
-		r.Gen.MaxDepth, r.Gen.MaxStmts, r.Gen.NumFields, r.Gen.WithActions)
+	lat := r.Gen.Lattice
+	if lat == "" {
+		lat = "two-point"
+	}
+	fmt.Fprintf(&b, "  gen config: depth=%d stmts=%d fields=%d actions=%v lattice=%s (regen seeds assume this config)\n",
+		r.Gen.MaxDepth, r.Gen.MaxStmts, r.Gen.NumFields, r.Gen.WithActions, lat)
 	fmt.Fprintf(&b, "  %-36s %8s\n", "verdict", "count")
 	for v := Verdict(0); v < NumVerdicts; v++ {
 		fmt.Fprintf(&b, "  %-36s %8d\n", v, r.Counts[v])

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+
+	"repro/internal/lattice"
 )
 
 // Synth returns a well-typed two-point-lattice program with numTables
@@ -93,10 +95,19 @@ type Config struct {
 	MaxDepth int
 	// MaxStmts bounds statements per block.
 	MaxStmts int
-	// NumFields is the number of low and of high header fields.
+	// NumFields is the number of header fields emitted per lattice label.
 	NumFields int
 	// WithActions also generates actions and direct action calls.
 	WithActions bool
+	// Lattice names the campaign lattice the program is generated and
+	// annotated against: "" or "two-point", "diamond", "chain:N", or
+	// "nparty:N" (lattice.ByName syntax). The empty spec defaults
+	// explicitly to two-point; anything unresolvable is rejected by
+	// Validate (and makes Random panic, so validate configs at the API
+	// boundary). Non-two-point lattices switch Random to the generalized
+	// emitter: one field group per lattice element, label pairs drawn
+	// against the configured order.
+	Lattice string
 }
 
 // DefaultConfig is a reasonable fuzzing configuration.
@@ -104,13 +115,59 @@ func DefaultConfig() Config {
 	return Config{MaxDepth: 3, MaxStmts: 5, NumFields: 3, WithActions: true}
 }
 
-// Random returns a random program over a two-point-labelled header. The
-// program is syntactically valid but may or may not typecheck under the
-// IFC system — that is the point: the soundness property test accepts the
-// programs the checker accepts and verifies non-interference on them, and
-// additionally checks that programs the checker rejects are rejected for a
-// flow-related rule.
+// withDefaults fills unset size knobs so a Config that only names a
+// lattice still generates sensible programs. It never changes a field the
+// caller set.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = d.MaxDepth
+	}
+	if c.MaxStmts <= 0 {
+		c.MaxStmts = d.MaxStmts
+	}
+	if c.NumFields <= 0 {
+		c.NumFields = d.NumFields
+	}
+	return c
+}
+
+// ResolveLattice resolves the Lattice spec ("" = two-point). The error is
+// the lattice package's, naming the accepted specs.
+func (c Config) ResolveLattice() (lattice.Lattice, error) {
+	return lattice.ByName(c.Lattice)
+}
+
+// Validate rejects configurations Random cannot generate from — today
+// that is exactly an unresolvable Lattice spec. Campaign entry points
+// (difftest.Run, campaign.Run, p4fuzz) call this so a bad -lattice flag is
+// a usage error, not a panic mid-campaign.
+func (c Config) Validate() error {
+	_, err := c.ResolveLattice()
+	return err
+}
+
+// Random returns a random program annotated against cfg.Lattice (the
+// two-point lattice when unset). The program is syntactically valid and
+// base-well-typed but may or may not typecheck under the IFC system — that
+// is the point: the soundness property test accepts the programs the
+// checker accepts and verifies non-interference on them, and additionally
+// checks that programs the checker rejects are rejected for a flow-related
+// rule.
+//
+// Random panics on an unresolvable cfg.Lattice; use Config.Validate at
+// configuration boundaries. For the two-point lattice the emitted program
+// is byte-identical to what earlier (pre-Lattice) versions generated from
+// the same rng, so recorded regen seeds and resume cursors stay valid.
 func Random(rng *rand.Rand, cfg Config) string {
+	cfg = cfg.withDefaults()
+	lat, err := cfg.ResolveLattice()
+	if err != nil {
+		panic(fmt.Sprintf("gen: %v (validate the Config first)", err))
+	}
+	if lat.Name() != "two-point" {
+		return randomLattice(rng, cfg, lat)
+	}
 	g := &generator{rng: rng, cfg: cfg}
 	var b strings.Builder
 	b.WriteString("header data_t {\n")

@@ -1,0 +1,209 @@
+// Generalized Random emitter for non-two-point lattices: chain-N, n-party
+// diamonds, and the four-point diamond. The two-point emitter in gen.go is
+// kept verbatim (and byte-stable) for compatibility with recorded regen
+// seeds; this file is its generalization to an arbitrary finite lattice.
+//
+// The emitted shape mirrors the two-point one — a single labelled header,
+// optional actions, a random apply block — but with one field group per
+// lattice element:
+//
+//	header data_t {
+//	    <bit<8>, E0> f0_0; ... f0_{NumFields-1};
+//	    ...
+//	    <bool, E0> b0; ...
+//	}
+//
+// Label pairs are drawn against the configured order: most assignments
+// respect it (rhs ⊑ lhs and pc ⊑ lhs, so a useful fraction of programs
+// typecheck), a minority deliberately violate it so every rejection rule
+// is exercised at every lattice height — including flows between
+// incomparable elements, which two-point programs cannot express.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/lattice"
+)
+
+// lgen carries the generalized generator's wiring: the element order as a
+// precomputed ⊑ matrix, so label draws are index arithmetic.
+type lgen struct {
+	rng  *rand.Rand
+	cfg  Config
+	lat  lattice.Lattice
+	elem []lattice.Label
+	leq  [][]bool
+	join [][]int
+	bot  int
+}
+
+func newLgen(rng *rand.Rand, cfg Config, lat lattice.Lattice) *lgen {
+	elem := lat.Elements()
+	n := len(elem)
+	g := &lgen{rng: rng, cfg: cfg, lat: lat, elem: elem}
+	g.leq = make([][]bool, n)
+	g.join = make([][]int, n)
+	idx := make(map[string]int, n)
+	for i, e := range elem {
+		idx[e.Name()] = i
+	}
+	for i := range elem {
+		g.leq[i] = make([]bool, n)
+		g.join[i] = make([]int, n)
+		for j := range elem {
+			g.leq[i][j] = lat.Leq(elem[i], elem[j])
+			g.join[i][j] = idx[lat.Join(elem[i], elem[j]).Name()]
+		}
+		if elem[i] == lat.Bottom() {
+			g.bot = i
+		}
+	}
+	return g
+}
+
+// randomLattice emits one program against lat (never two-point here).
+func randomLattice(rng *rand.Rand, cfg Config, lat lattice.Lattice) string {
+	g := newLgen(rng, cfg, lat)
+	var b strings.Builder
+	b.WriteString("header data_t {\n")
+	for i, e := range g.elem {
+		for j := 0; j < cfg.NumFields; j++ {
+			fmt.Fprintf(&b, "    <bit<8>, %s> f%d_%d;\n", e.Name(), i, j)
+		}
+	}
+	for i, e := range g.elem {
+		fmt.Fprintf(&b, "    <bool, %s> b%d;\n", e.Name(), i)
+	}
+	b.WriteString("}\nstruct headers { data_t d; }\n")
+	b.WriteString("control Rand_Ingress(inout headers hdr, inout standard_metadata_t standard_metadata) {\n")
+	if cfg.WithActions {
+		// As in the two-point emitter: action bodies are generated at pc ⊥
+		// and never call actions themselves.
+		bodyCfg := cfg
+		bodyCfg.WithActions = false
+		bodyGen := newLgen(rng, bodyCfg, lat)
+		for i := 0; i < 2; i++ {
+			fmt.Fprintf(&b, "    action act%d() {\n", i)
+			bodyGen.block(&b, 2, 2, bodyGen.bot)
+			b.WriteString("    }\n")
+		}
+	}
+	b.WriteString("    apply {\n")
+	g.block(&b, cfg.MaxDepth, cfg.MaxStmts, g.bot)
+	b.WriteString("    }\n}\n")
+	return b.String()
+}
+
+// downSet returns the element indices ⊑ max (never empty: max is in it).
+func (g *lgen) downSet(max int) []int {
+	var out []int
+	for j := range g.elem {
+		if g.leq[j][max] {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// upSet returns the element indices ⊒ min (never empty: min is in it).
+func (g *lgen) upSet(min int) []int {
+	var out []int
+	for j := range g.elem {
+		if g.leq[min][j] {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+func (g *lgen) pick(set []int) int { return set[g.rng.Intn(len(set))] }
+
+// field returns a random bit field at exactly element li.
+func (g *lgen) field(li int) string {
+	return fmt.Sprintf("hdr.d.f%d_%d", li, g.rng.Intn(g.cfg.NumFields))
+}
+
+// bitExpr returns a random bit<8> expression whose label is ⊑ elem[max]
+// (operands are fields from max's down-set, or literals).
+func (g *lgen) bitExpr(depth, max int) string {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		if g.rng.Intn(3) == 0 {
+			return fmt.Sprintf("8w%d", g.rng.Intn(256))
+		}
+		return g.field(g.pick(g.downSet(max)))
+	}
+	ops := []string{"+", "-", "&", "|", "^"}
+	return fmt.Sprintf("(%s %s %s)",
+		g.bitExpr(depth-1, max), ops[g.rng.Intn(len(ops))], g.bitExpr(depth-1, max))
+}
+
+// boolExpr returns a random bool expression whose label is ⊑ elem[max].
+func (g *lgen) boolExpr(depth, max int) string {
+	switch g.rng.Intn(4) {
+	case 0:
+		return fmt.Sprintf("hdr.d.b%d", g.pick(g.downSet(max)))
+	case 1:
+		return fmt.Sprintf("(%s == %s)", g.bitExpr(depth-1, max), g.bitExpr(depth-1, max))
+	case 2:
+		return fmt.Sprintf("(%s > %s)", g.bitExpr(depth-1, max), g.bitExpr(depth-1, max))
+	default:
+		if depth <= 0 {
+			return fmt.Sprintf("hdr.d.b%d", g.pick(g.downSet(max)))
+		}
+		return fmt.Sprintf("(%s && %s)", g.boolExpr(depth-1, max), g.boolExpr(depth-1, max))
+	}
+}
+
+// chooseTarget picks an assignment's (lhs element, rhs label bound) under
+// context pc. Most draws typecheck by construction: pc ⊑ lhs and the rhs
+// bound is lhs itself. A minority pick both ends freely, probing explicit
+// flows, implicit flows, and incomparable-element flows alike.
+func (g *lgen) chooseTarget(pc int) (lhs, rhsMax int) {
+	if g.rng.Intn(8) == 0 { // violation candidate
+		return g.rng.Intn(len(g.elem)), g.rng.Intn(len(g.elem))
+	}
+	lhs = g.pick(g.upSet(pc))
+	return lhs, lhs
+}
+
+func (g *lgen) block(b *strings.Builder, depth, maxStmts, pc int) {
+	n := 1 + g.rng.Intn(maxStmts)
+	for i := 0; i < n; i++ {
+		g.stmt(b, depth, pc)
+	}
+}
+
+func (g *lgen) stmt(b *strings.Builder, depth, pc int) {
+	choice := g.rng.Intn(10)
+	switch {
+	case choice < 5 || depth <= 0: // bit assignment
+		lhs, rhsMax := g.chooseTarget(pc)
+		fmt.Fprintf(b, "        %s = %s;\n", g.field(lhs), g.bitExpr(2, rhsMax))
+	case choice < 6: // boolean assignment
+		lhs, rhsMax := g.chooseTarget(pc)
+		fmt.Fprintf(b, "        hdr.d.b%d = %s;\n", lhs, g.boolExpr(1, rhsMax))
+	case choice < 9: // conditional
+		guard := g.bot
+		if g.rng.Intn(4) == 0 {
+			guard = g.rng.Intn(len(g.elem))
+		}
+		fmt.Fprintf(b, "        if (%s) {\n", g.boolExpr(2, guard))
+		inner := g.join[pc][guard]
+		g.block(b, depth-1, 2, inner)
+		if g.rng.Intn(2) == 0 {
+			b.WriteString("        } else {\n")
+			g.block(b, depth-1, 2, inner)
+		}
+		b.WriteString("        }\n")
+	default: // action call (only at pc ⊥, where any body is admissible)
+		if g.cfg.WithActions && pc == g.bot {
+			fmt.Fprintf(b, "        act%d();\n", g.rng.Intn(2))
+		} else {
+			lhs, rhsMax := g.chooseTarget(pc)
+			fmt.Fprintf(b, "        %s = %s;\n", g.field(lhs), g.bitExpr(1, rhsMax))
+		}
+	}
+}

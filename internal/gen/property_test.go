@@ -35,17 +35,25 @@ func mustResolve(t *testing.T, name, src string, lat lattice.Lattice) {
 }
 
 // TestRandomAlwaysParsesAndResolves is the generator's validity property
-// across 500 seeds: every gen.Random output parses, resolves, and
-// base-checks cleanly (IFC acceptance is deliberately not guaranteed).
+// across 500 seeds: every gen.Random output parses, resolves under its
+// campaign lattice, and base-checks cleanly (IFC acceptance is
+// deliberately not guaranteed). The sweep covers the legacy two-point
+// emitter and the generalized chain/n-party/diamond emitter alike.
 func TestRandomAlwaysParsesAndResolves(t *testing.T) {
-	lat := lattice.TwoPoint()
 	cfgs := []gen.Config{
 		gen.DefaultConfig(),
 		{MaxDepth: 1, MaxStmts: 2, NumFields: 1, WithActions: false},
 		{MaxDepth: 5, MaxStmts: 8, NumFields: 6, WithActions: true},
+		{MaxDepth: 3, MaxStmts: 5, NumFields: 3, WithActions: true, Lattice: "chain:4"},
+		{MaxDepth: 2, MaxStmts: 4, NumFields: 2, WithActions: true, Lattice: "nparty:3"},
+		{MaxDepth: 2, MaxStmts: 4, NumFields: 2, WithActions: false, Lattice: "diamond"},
 	}
 	for seed := int64(0); seed < 500; seed++ {
 		cfg := cfgs[seed%int64(len(cfgs))]
+		lat, err := cfg.ResolveLattice()
+		if err != nil {
+			t.Fatal(err)
+		}
 		rng := rand.New(rand.NewSource(seed))
 		src := gen.Random(rng, cfg)
 		mustResolve(t, fmt.Sprintf("random-seed-%d.p4", seed), src, lat)

@@ -17,6 +17,7 @@ package lattice
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -444,21 +445,38 @@ func (a *aliased) Lookup(name string) (Label, bool) {
 }
 
 // ByName constructs one of the named stock lattices: "two-point",
-// "diamond", or "chain-N" for a positive integer N. It is used by the CLI
-// tools' -lattice flag.
+// "diamond", "chain-N"/"chain:N", or "nparty:N" for a positive integer N.
+// It is used by the CLI tools' -lattice flags and by gen.Config.Lattice.
 func ByName(name string) (Lattice, error) {
 	switch {
 	case name == "" || name == "two-point" || name == "2pt":
 		return TwoPoint(), nil
 	case name == "diamond":
 		return Diamond(), nil
-	case strings.HasPrefix(name, "chain-"):
-		var n int
-		if _, err := fmt.Sscanf(name, "chain-%d", &n); err != nil || n < 1 {
-			return nil, fmt.Errorf("lattice: bad chain spec %q", name)
+	case strings.HasPrefix(name, "chain-"), strings.HasPrefix(name, "chain:"):
+		n, err := specArg(name)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("lattice: bad chain spec %q (want chain:N, N >= 1)", name)
 		}
 		return Chain(n), nil
+	case strings.HasPrefix(name, "nparty-"), strings.HasPrefix(name, "nparty:"):
+		n, err := specArg(name)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("lattice: bad nparty spec %q (want nparty:N, N >= 1)", name)
+		}
+		names := make([]string, n)
+		for i := range names {
+			names[i] = fmt.Sprintf("P%d", i)
+		}
+		return NParty(names...), nil
 	default:
-		return nil, fmt.Errorf("lattice: unknown lattice %q (want two-point, diamond, or chain-N)", name)
+		return nil, fmt.Errorf("lattice: unknown lattice %q (want two-point, diamond, chain:N, or nparty:N)", name)
 	}
+}
+
+// specArg parses the integer argument of a "kind:N" or "kind-N" spec,
+// rejecting trailing garbage (Sscanf would accept "chain:4x").
+func specArg(spec string) (int, error) {
+	arg := spec[strings.IndexAny(spec, ":-")+1:]
+	return strconv.Atoi(arg)
 }

@@ -266,7 +266,12 @@ func TestByName(t *testing.T) {
 		{"2pt", true, "two-point"},
 		{"diamond", true, "diamond"},
 		{"chain-3", true, "chain-3"},
+		{"chain:3", true, "chain-3"},
 		{"chain-0", false, ""},
+		{"chain:4x", false, ""},
+		{"nparty:3", true, "3-party"},
+		{"nparty-2", true, "2-party"},
+		{"nparty:0", false, ""},
 		{"weird", false, ""},
 	}
 	for _, c := range cases {

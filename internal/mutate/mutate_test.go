@@ -1,0 +1,145 @@
+package mutate
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/basecheck"
+	"repro/internal/diag"
+	"repro/internal/gen"
+	"repro/internal/lattice"
+	"repro/internal/parser"
+	"repro/internal/resolve"
+)
+
+// mustValid asserts the mutator's contract on one mutant: it parses,
+// resolves under the campaign lattice, and base-checks.
+func mustValid(t *testing.T, name, src string, lat lattice.Lattice) *ast.Program {
+	t.Helper()
+	prog, err := parser.Parse(name, src)
+	if err != nil {
+		t.Fatalf("%s does not parse: %v\n%s", name, err, src)
+	}
+	var diags diag.List
+	resolve.New(lat, &diags).CollectTypeDecls(prog)
+	if err := diags.Err(); err != nil {
+		t.Fatalf("%s does not resolve: %v\n%s", name, err, src)
+	}
+	if r := basecheck.Check(prog); !r.OK {
+		t.Fatalf("%s rejected by the baseline checker: %v\n%s", name, r.Err(), src)
+	}
+	return prog
+}
+
+// TestMutantsParseResolveAndDiffer is the mutator's validity property
+// across a 500-seed sweep spanning three campaign lattices: every mutant
+// parses, resolves under the campaign lattice, base-checks, and differs
+// from its parent's canonical print — no identity mutations. Mutation may
+// decline a seed (no admissible mutant within the retry budget), but only
+// rarely; the sweep bounds the decline rate.
+func TestMutantsParseResolveAndDiffer(t *testing.T) {
+	specs := []string{"", "chain:4", "nparty:2"}
+	gcfg := gen.Config{MaxDepth: 2, MaxStmts: 4, NumFields: 2, WithActions: true}
+	declined := 0
+	for seed := int64(0); seed < 500; seed++ {
+		spec := specs[seed%int64(len(specs))]
+		lat, err := lattice.ByName(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := gcfg
+		cfg.Lattice = spec
+		rng := rand.New(rand.NewSource(seed))
+		parentSrc := gen.Random(rng, cfg)
+		name := fmt.Sprintf("seed-%d.p4", seed)
+
+		mcfg := Config{Lattice: spec}
+		if seed%5 == 0 {
+			// Every fifth seed mutates with a donor, covering splice.
+			mcfg.Donor = gen.Random(rand.New(rand.NewSource(seed+10_000)), cfg)
+		}
+		res, err := Mutate(rng, name, parentSrc, mcfg)
+		if err != nil {
+			declined++
+			continue
+		}
+		if len(res.Ops) == 0 {
+			t.Fatalf("seed %d: mutant reports no applied operators", seed)
+		}
+		mustValid(t, name, res.Source, lat)
+		parent := parser.MustParse(name, parentSrc)
+		if res.Source == ast.Print(parent) {
+			t.Fatalf("seed %d: identity mutation (ops %v):\n%s", seed, res.Ops, res.Source)
+		}
+	}
+	if declined > 25 { // 5% of the sweep
+		t.Fatalf("mutation declined %d/500 seeds; the operator mix should almost always find a site", declined)
+	}
+}
+
+// TestMutateOperatorCoverage: across a modest sweep, every operator in the
+// registry fires at least once — a silent dead operator would quietly
+// narrow the search.
+func TestMutateOperatorCoverage(t *testing.T) {
+	seen := map[string]bool{}
+	gcfg := gen.Config{MaxDepth: 3, MaxStmts: 5, NumFields: 2, WithActions: true}
+	for seed := int64(0); seed < 300; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		src := gen.Random(rng, gcfg)
+		donor := gen.Random(rand.New(rand.NewSource(seed+777)), gcfg)
+		res, err := Mutate(rng, "cov.p4", src, Config{Donor: donor, Ops: 3})
+		if err != nil {
+			continue
+		}
+		for _, op := range res.Ops {
+			seen[op] = true
+		}
+	}
+	for _, o := range operators {
+		if !seen[o.name] {
+			t.Errorf("operator %q never fired in 300 seeds", o.name)
+		}
+	}
+}
+
+// TestMutateRejectsBadInput: unparseable seeds and unresolvable lattice
+// specs are errors, not panics.
+func TestMutateRejectsBadInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Mutate(rng, "bad.p4", "not a program", Config{}); err == nil {
+		t.Error("unparseable seed accepted")
+	}
+	src := gen.Random(rng, gen.DefaultConfig())
+	if _, err := Mutate(rng, "bad.p4", src, Config{Lattice: "chain:x"}); err == nil {
+		t.Error("unresolvable lattice spec accepted")
+	}
+}
+
+// TestMutateRelabelCrossesLattice: against chain-4, relabeling a two-point
+// seed (labels low/high, which alias L0/L3) eventually introduces an
+// intermediate label no two-point program can carry — the mechanism behind
+// the taller-lattice campaign reaching new finding classes.
+func TestMutateRelabelCrossesLattice(t *testing.T) {
+	lat, _ := lattice.ByName("chain:4")
+	src := gen.Random(rand.New(rand.NewSource(3)), gen.Config{MaxDepth: 2, MaxStmts: 3, NumFields: 2})
+	found := false
+	for seed := int64(0); seed < 50 && !found; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		res, err := Mutate(rng, "x.p4", src, Config{Lattice: "chain:4", Ops: 3})
+		if err != nil {
+			continue
+		}
+		prog := mustValid(t, "x.p4", res.Source, lat)
+		for _, st := range collect(prog).secs {
+			if st.Label == "L1" || st.Label == "L2" {
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("50 mutation draws against chain-4 never introduced an intermediate label")
+	}
+}

@@ -357,18 +357,69 @@ func runJob(job Job, opts Options, trials int) JobResult {
 		return r
 	}
 	t0 = time.Now()
-	exp := &ni.Experiment{Prog: prog, Lat: lat, Observer: opts.Observer}
-	if opts.NITrialsMax > trials && !r.IFC.OK {
-		// Adaptive budget: a rejected program is where an interference
-		// witness is likely, so escalate toward the ceiling, stopping at
-		// the first witness.
-		r.NIViolations, r.NITrialsRun, r.NIErr = exp.RunAdaptive(trials, opts.NITrialsMax, niSeed)
-	} else {
-		r.NIViolations, r.NITrialsRun, r.NIErr = exp.RunN(trials, niSeed)
+	// The oracle must observe at every level that can distinguish
+	// anything: a single bottom observer is complete for the two-point
+	// lattice (the only other observer sees everything, so nothing is
+	// randomized for it) but blind to flows between non-bottom labels of
+	// taller lattices — an L3 → L1 flow under chain:4 is invisible at L0
+	// and only witnessable at L1/L2. The trial budget is split across the
+	// observer sweep (ceil division, so every observer gets at least one
+	// trial), and the sweep stops at the first witness: one violation
+	// settles the classification. An explicit Options.Observer overrides
+	// the sweep with that single vantage point.
+	observers := []lattice.Label{opts.Observer}
+	if opts.Observer.IsZero() {
+		observers = observersFor(lat)
+	}
+	split := len(observers)
+	baseT := (trials + split - 1) / split
+	maxT := 0
+	if opts.NITrialsMax > trials {
+		maxT = (opts.NITrialsMax + split - 1) / split
+	}
+	for _, obs := range observers {
+		exp := &ni.Experiment{Prog: prog, Lat: lat, Observer: obs}
+		var vio []ni.Violation
+		var ran int
+		var err error
+		if maxT > baseT && !r.IFC.OK {
+			// Adaptive budget: a rejected program is where an interference
+			// witness is likely, so escalate toward the ceiling, stopping
+			// at the first witness.
+			vio, ran, err = exp.RunAdaptive(baseT, maxT, niSeed)
+		} else {
+			vio, ran, err = exp.RunN(baseT, niSeed)
+		}
+		r.NIViolations = append(r.NIViolations, vio...)
+		r.NITrialsRun += ran
+		if err != nil && r.NIErr == nil {
+			r.NIErr = err
+		}
+		if len(vio) > 0 {
+			break
+		}
 	}
 	r.NIRan = true
 	r.StageDur[StageNI] = time.Since(t0)
 	return r
+}
+
+// observersFor returns the observer labels worth sweeping: every element
+// except ⊤, whose observer has nothing unobservable to randomize and so
+// can never witness anything. For the two-point lattice this is exactly
+// the historical single bottom observer. A one-element lattice (where no
+// flow can violate anything) degenerates to observing at that element.
+func observersFor(lat lattice.Lattice) []lattice.Label {
+	var out []lattice.Label
+	for _, e := range lat.Elements() {
+		if e != lat.Top() {
+			out = append(out, e)
+		}
+	}
+	if len(out) == 0 {
+		out = []lattice.Label{lat.Bottom()}
+	}
+	return out
 }
 
 // FormatSummary renders the batch summary with the per-stage breakdown.

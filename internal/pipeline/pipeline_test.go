@@ -214,3 +214,49 @@ func TestFormatSummary(t *testing.T) {
 		}
 	}
 }
+
+// TestNIObserverSweep: the NI stage observes at every non-top lattice
+// element, so flows between non-bottom labels of taller lattices are
+// witnessable. A chain-4 program leaking L3 into an L1 field is invisible
+// to an L0 observer (the historical single vantage point) but must be
+// witnessed by the sweep; pinning the L0 observer explicitly must still
+// see nothing.
+func TestNIObserverSweep(t *testing.T) {
+	lat := lattice.Chain(4)
+	src := `header data_t {
+    <bit<8>, L1> f1;
+    <bit<8>, L3> f3;
+}
+struct headers { data_t d; }
+control C(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    apply {
+        hdr.d.f1 = hdr.d.f3;
+    }
+}
+`
+	job := []pipeline.Job{{Name: "midleak.p4", Source: src, Lat: lat}}
+	sum, err := pipeline.Run(context.Background(), job, pipeline.Options{
+		Workers: 1, NI: pipeline.NIAll, NITrials: 9, NISeed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sum.Results[0]
+	if r.IFCOK() {
+		t.Fatal("IFC accepted an L3 -> L1 flow")
+	}
+	if len(r.NIViolations) == 0 {
+		t.Fatal("observer sweep found no witness for a direct mid-lattice leak")
+	}
+
+	bot, _ := lat.Lookup("L0")
+	sum, err = pipeline.Run(context.Background(), job, pipeline.Options{
+		Workers: 1, NI: pipeline.NIAll, NITrials: 9, NISeed: 5, Observer: bot,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sum.Results[0].NIViolations; len(got) != 0 {
+		t.Fatalf("L0 observer witnessed a leak it cannot see: %v", got)
+	}
+}

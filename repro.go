@@ -23,6 +23,7 @@ package repro
 
 import (
 	"context"
+	"math/rand"
 
 	"repro/internal/ast"
 	"repro/internal/basecheck"
@@ -32,6 +33,7 @@ import (
 	"repro/internal/difftest"
 	"repro/internal/eval"
 	"repro/internal/lattice"
+	"repro/internal/mutate"
 	"repro/internal/ni"
 	"repro/internal/parser"
 	"repro/internal/pipeline"
@@ -235,3 +237,41 @@ func MinimizeProgram(file, src string, keep func(src string) bool) (string, erro
 	res, err := shrink.Minimize(file, src, keep)
 	return res.Source, err
 }
+
+// MutateConfig configures Mutate (see internal/mutate for the operator
+// set: relabel against the campaign lattice, operator swaps, literal
+// perturbation, clone-and-perturb, wrap-in-if, donor splicing, statement
+// deletion).
+type MutateConfig = mutate.Config
+
+// Mutate applies semantically-aware random mutations (seeded by seed) to
+// a P4 program and returns the mutant's source. The mutant is guaranteed
+// to parse, resolve under the campaign lattice named by cfg.Lattice, pass
+// the baseline checker, and differ from the input's canonical print; IFC
+// acceptance is deliberately not guaranteed. Campaigns use this through
+// CampaignConfig.Mutate — the corpus-as-seed-pool coverage-guided loop —
+// but it is equally a building block for custom search strategies.
+func Mutate(seed int64, file, src string, cfg MutateConfig) (string, error) {
+	res, err := mutate.Mutate(rand.New(rand.NewSource(seed)), file, src, cfg)
+	return res.Source, err
+}
+
+// ReplayConfig configures Replay; ReplayReport is its outcome, listing
+// any verdict drifts.
+type (
+	ReplayConfig = campaign.ReplayConfig
+	ReplayReport = campaign.ReplayReport
+)
+
+// Replay re-checks every finding persisted under cfg.CorpusDir against
+// the current checker stack: the corpus as a growing regression suite.
+// ReplayReport.OK() is false iff some finding no longer classifies the
+// way its metadata records (or could not be replayed at all) — run it as
+// a pre-merge gate to catch verdict drift before it lands.
+func Replay(ctx context.Context, cfg ReplayConfig) (*ReplayReport, error) {
+	return campaign.Replay(ctx, cfg)
+}
+
+// FormatReplayReport renders a replay report: per-class counts plus any
+// drifted findings.
+func FormatReplayReport(r *ReplayReport) string { return campaign.FormatReplayReport(r) }

@@ -1,0 +1,16 @@
+header data_t {
+    <bit<8>, low> lo0;
+    <bit<8>, high> hi0;
+    <bit<8>, low> lo2;
+    <bool, high> bhi;
+}
+struct headers {
+    data_t d;
+}
+control Rand_Ingress(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    apply {
+        if ((((8w219 == hdr.d.hi0) && hdr.d.bhi) && hdr.d.bhi)) {
+            hdr.d.lo0 = (8w147 ^ hdr.d.lo2);
+        }
+    }
+}

@@ -1,0 +1,16 @@
+header data_t {
+    <bit<8>, low> lo0;
+    <bit<8>, low> lo1;
+    <bit<8>, low> lo2;
+    <bit<8>, high> hi2;
+}
+struct headers {
+    data_t d;
+}
+control Rand_Ingress(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    action act0() {
+        hdr.d.lo1 = (hdr.d.lo0 | (hdr.d.hi2 - hdr.d.lo2));
+    }
+    apply {
+    }
+}

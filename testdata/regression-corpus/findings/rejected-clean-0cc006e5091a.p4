@@ -1,0 +1,15 @@
+header data_t {
+    <bit<8>, high> hi0;
+    <bit<8>, low> lo1;
+    <bit<8>, high> hi1;
+}
+struct headers {
+    data_t d;
+}
+control Rand_Ingress(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    action act0() {
+        hdr.d.lo1 = (hdr.d.hi1 - hdr.d.hi0);
+    }
+    apply {
+    }
+}

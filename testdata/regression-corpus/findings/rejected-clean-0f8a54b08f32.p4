@@ -1,0 +1,15 @@
+header data_t {
+    <bit<8>, low> lo0;
+    <bit<8>, high> hi1;
+    <bit<8>, low> lo2;
+}
+struct headers {
+    data_t d;
+}
+control Rand_Ingress(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    apply {
+        if (((hdr.d.hi1 | hdr.d.lo2) == hdr.d.lo2)) {
+            hdr.d.lo0 = hdr.d.lo2;
+        }
+    }
+}

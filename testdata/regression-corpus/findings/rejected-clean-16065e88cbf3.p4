@@ -1,0 +1,14 @@
+header data_t {
+    <bit<8>, low> lo0;
+    <bit<8>, high> hi2;
+}
+struct headers {
+    data_t d;
+}
+control Rand_Ingress(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    action act1() {
+        hdr.d.lo0 = hdr.d.hi2;
+    }
+    apply {
+    }
+}

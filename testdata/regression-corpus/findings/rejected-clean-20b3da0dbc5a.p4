@@ -1,0 +1,16 @@
+header data_t {
+    <bit<8>, L0> f0_0;
+    <bit<8>, L0> f0_1;
+    <bit<8>, L1> f1_2;
+    <bit<8>, L2> f2_1;
+}
+struct headers {
+    data_t d;
+}
+control Rand_Ingress(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    action act1() {
+        hdr.d.f0_0 = ((8w251 | hdr.d.f0_1) - (hdr.d.f2_1 ^ hdr.d.f1_2));
+    }
+    apply {
+    }
+}

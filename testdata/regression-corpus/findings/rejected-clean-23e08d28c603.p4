@@ -1,0 +1,19 @@
+header data_t {
+    <bit<8>, low> lo0;
+    <bit<8>, high> hi0;
+    <bit<8>, low> lo1;
+    <bool, high> bhi;
+}
+struct headers {
+    data_t d;
+}
+control Rand_Ingress(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    action act0() {
+        if (((hdr.d.hi0 > hdr.d.hi0) && (hdr.d.bhi && (hdr.d.hi0 == 8w83)))) {
+        } else {
+            hdr.d.lo1 = ((hdr.d.lo0 & hdr.d.lo1) | hdr.d.lo0);
+        }
+    }
+    apply {
+    }
+}

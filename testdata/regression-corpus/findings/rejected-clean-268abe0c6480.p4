@@ -1,0 +1,12 @@
+header data_t {
+    <bit<8>, high> hi2;
+    <bool, low> blo;
+}
+struct headers {
+    data_t d;
+}
+control Rand_Ingress(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    apply {
+        hdr.d.blo = (8w167 == hdr.d.hi2);
+    }
+}

@@ -1,0 +1,16 @@
+header data_t {
+    <bit<8>, low> lo0;
+    <bit<8>, low> lo2;
+    <bit<8>, high> hi2;
+    <bool, L2> blo;
+}
+struct headers {
+    data_t d;
+}
+control Rand_Ingress(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    apply {
+        if (((hdr.d.blo && (8w229 == hdr.d.lo0)) && hdr.d.blo)) {
+            hdr.d.lo2 = ((8w140 + hdr.d.hi2) | (8w192 ^ 8w96));
+        }
+    }
+}
