@@ -3,6 +3,7 @@ package repro_test
 
 import (
 	"context"
+	"os"
 	"strings"
 	"testing"
 
@@ -68,6 +69,79 @@ func TestCampaignPublicAPI(t *testing.T) {
 	}
 	if rep3.SeedPoolSize == 0 || rep3.MutantJobs == 0 {
 		t.Errorf("mutation campaign: pool %d, mutants %d; want both > 0", rep3.SeedPoolSize, rep3.MutantJobs)
+	}
+}
+
+// TestTriageAndRetirePublicAPI drives the triage facade over a freshly
+// persisted corpus, then retires an injected "fixed" finding through it.
+func TestTriageAndRetirePublicAPI(t *testing.T) {
+	dir := t.TempDir()
+	rep, err := repro.Campaign(context.Background(), repro.CampaignConfig{
+		N:        60,
+		Seed:     42,
+		Gen:      gen.Config{MaxDepth: 2, MaxStmts: 3, NumFields: 2, WithActions: true},
+		NITrials: 2, NITrialsMax: 8,
+		CorpusDir: dir,
+		Minimize:  true,
+	})
+	if err != nil {
+		t.Fatalf("Campaign: %v", err)
+	}
+	if rep.NewFindings == 0 {
+		t.Fatal("campaign persisted nothing to triage")
+	}
+
+	trep, err := repro.Triage(repro.TriageConfig{CorpusDir: dir})
+	if err != nil {
+		t.Fatalf("Triage: %v", err)
+	}
+	if !trep.OK() || trep.Total != rep.NewFindings || len(trep.Clusters) == 0 {
+		t.Fatalf("triage: ok=%v total=%d clusters=%d, campaign persisted %d",
+			trep.OK(), trep.Total, len(trep.Clusters), rep.NewFindings)
+	}
+	out := repro.FormatTriageReport(trep)
+	for _, want := range []string{"triage:", "size", "shape", "CLUSTER", "PASS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("triage report missing %q:\n%s", want, out)
+		}
+	}
+	if raw, err := repro.MarshalTriageReport(trep); err != nil || !strings.Contains(string(raw), "\"clusters\"") {
+		t.Errorf("MarshalTriageReport: %v", err)
+	}
+
+	// Fingerprints from the facade match the clusters' notion of shape.
+	prog, err := repro.Parse("x.p4", trep.Clusters[0].Exemplar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp := repro.FingerprintProgram(prog); fp != trep.Clusters[0].Fingerprint {
+		t.Errorf("FingerprintProgram = %s, cluster says %s", fp, trep.Clusters[0].Fingerprint)
+	}
+
+	// "Fix" one finding and retire it through the facade.
+	victim := rep.Findings[0]
+	fixed := `header data_t { <bit<8>, low> f; }
+struct headers { data_t d; }
+control C(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    apply { hdr.d.f = 8w7; }
+}
+`
+	if err := os.WriteFile(victim.Path, []byte(fixed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	promote := t.TempDir()
+	rrep, err := repro.Retire(context.Background(), repro.RetireConfig{CorpusDir: dir, PromoteDir: promote})
+	if err != nil {
+		t.Fatalf("Retire: %v", err)
+	}
+	if !rrep.OK() || len(rrep.Retired) != 1 || rrep.Retired[0].Path != victim.Path {
+		t.Fatalf("retire: ok=%v retired=%v", rrep.OK(), rrep.Retired)
+	}
+	if !strings.Contains(repro.FormatRetireReport(rrep), "RETIRED") {
+		t.Error("retire report missing RETIRED entry")
+	}
+	if rr, err := repro.Replay(context.Background(), repro.ReplayConfig{CorpusDir: promote}); err != nil || !rr.OK() {
+		t.Errorf("retired corpus does not replay clean: %v", err)
 	}
 }
 

@@ -7,9 +7,11 @@
 //
 //	p4fuzz [-n 1000] [-seed 1] [-trials 8] [-trials-max 0] [-workers 0]
 //	       [-depth 3] [-stmts 5] [-fields 3] [-timeout 0]
-//	       [-lattice two-point|diamond|chain:N|nparty:N]
+//	       [-lattice two-point|diamond|chain:N|nparty:N|powerset:N]
 //	       [-corpus-dir DIR] [-minimize] [-shard i/n] [-resume] [-mutate]
+//	       [-triage]
 //	p4fuzz -replay DIR [-trials 4] [-trials-max 32]
+//	p4fuzz -retire DIR [-promote-dir DIR] [-trials 4] [-trials-max 32]
 //
 // With none of the campaign flags, p4fuzz is the one-shot harness: the
 // whole corpus is generated up front, checked, and forgotten. Any of
@@ -21,16 +23,30 @@
 // continues from the persisted per-shard cursor with -resume.
 //
 // -lattice selects the campaign lattice in either mode: generated programs
-// are annotated against it and checked under it, so chain:N and nparty:N
-// campaigns exercise label flows two-point programs cannot express.
+// are annotated against it and checked under it, so chain:N, nparty:N, and
+// powerset:N campaigns exercise label flows two-point programs cannot
+// express (powerset elements spell label-safely as p_a_b, so they work
+// in source annotations; brace forms remain programmatic Lookup aliases).
 // -mutate closes the coverage-guided loop: half the jobs become AST-level
 // mutants of persisted corpus findings (seed pool weighted by verdict
 // class and recency) instead of fresh gen.Random samples.
+//
+// -triage prints the corpus's ranked triage summary (finding clusters by
+// verdict class, cited rule, and AST shape fingerprint — see p4triage for
+// the full report) after the campaign, so a nightly log ends with what
+// the corpus *means*, not just how much it grew.
 //
 // -replay DIR re-checks every finding persisted under DIR against the
 // current checker stack and exits 1 on any verdict drift — the corpus as a
 // regression suite. Findings recorded with their NI budget replay under
 // it; older corpora use the -trials/-trials-max defaults.
+//
+// -retire DIR is the corpus hygiene pass: findings whose recorded defect
+// the current stack no longer reproduces (replay drift from a deliberate
+// fix) are first promoted into -promote-dir as a retired regression
+// corpus — re-recorded under their current classification, so the fix
+// stays guarded — and then removed from the live corpus. Exit 1 if any
+// entry could not be processed.
 //
 // -trials is the per-program NI budget; when -trials-max exceeds it, the
 // budget is adaptive — accepted programs get -trials, rejected programs
@@ -71,13 +87,16 @@ func main() {
 	stmts := flag.Int("stmts", 5, "max statements per generated block")
 	fields := flag.Int("fields", 3, "low/high header fields in generated programs")
 	timeout := flag.Duration("timeout", 0, "overall campaign timeout (0 = none)")
-	latSpec := flag.String("lattice", "", "campaign lattice: two-point (default), diamond, chain:N, or nparty:N")
+	latSpec := flag.String("lattice", "", "campaign lattice: two-point (default), diamond, chain:N, nparty:N, or powerset:N")
 	corpusDir := flag.String("corpus-dir", "", "persistent corpus directory (enables the campaign engine)")
 	minimize := flag.Bool("minimize", false, "shrink findings to minimal reproducers before persisting")
 	shard := flag.String("shard", "", "shard assignment i/n (0-based), e.g. 0/4")
 	resume := flag.Bool("resume", false, "continue from the corpus's per-shard cursor")
 	mutateSeeds := flag.Bool("mutate", false, "mutate persisted corpus findings for half the jobs (coverage-guided loop)")
+	triageAfter := flag.Bool("triage", false, "print the corpus's triage cluster summary after the campaign (requires -corpus-dir)")
 	replayDir := flag.String("replay", "", "replay mode: re-check every finding under this corpus dir and exit 1 on verdict drift")
+	retireDir := flag.String("retire", "", "retire mode: promote replay-drifted findings under this corpus dir to -promote-dir, then remove them")
+	promoteDir := flag.String("promote-dir", "", "retired-corpus directory for -retire (default <corpus>/../retired-corpus)")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -85,6 +104,25 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *retireDir != "" {
+		rep, err := repro.Retire(ctx, repro.RetireConfig{
+			CorpusDir:   *retireDir,
+			PromoteDir:  *promoteDir,
+			NITrials:    *trials,
+			NITrialsMax: *trialsMax,
+			Log:         os.Stderr,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p4fuzz: retire: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Print(repro.FormatRetireReport(rep))
+		if !rep.OK() {
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *replayDir != "" {
@@ -117,7 +155,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	campaignMode := *corpusDir != "" || *minimize || *shard != "" || *resume || *mutateSeeds
+	campaignMode := *corpusDir != "" || *minimize || *shard != "" || *resume || *mutateSeeds || *triageAfter
+	if *triageAfter && *corpusDir == "" {
+		fmt.Fprintln(os.Stderr, "p4fuzz: -triage needs -corpus-dir (triage reads the persisted corpus)")
+		os.Exit(2)
+	}
 	if !campaignMode {
 		t := *trials
 		if t == 0 {
@@ -183,7 +225,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "p4fuzz: campaign aborted after %v: %v\n", rep.Elapsed.Round(time.Millisecond), err)
 	}
 	fmt.Print(repro.FormatCampaignReport(rep))
-	if !rep.OK() || err != nil {
+	triageClean := true
+	if *triageAfter {
+		// The summary covers the whole corpus the campaign just grew, so
+		// the nightly log ends with what the findings mean: the ranked
+		// (class, rule, shape) clusters and the seed-novelty standings.
+		trep, terr := repro.Triage(repro.TriageConfig{CorpusDir: *corpusDir})
+		if terr != nil {
+			fmt.Fprintf(os.Stderr, "p4fuzz: triage: %v\n", terr)
+			os.Exit(2)
+		}
+		fmt.Println()
+		fmt.Print(repro.FormatTriageReport(trep))
+		// A malformed corpus entry fails the run just as it fails
+		// p4triage: a green job must mean the corpus is trustworthy.
+		triageClean = trep.OK()
+	}
+	if !rep.OK() || !triageClean || err != nil {
 		os.Exit(1)
 	}
 }

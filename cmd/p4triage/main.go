@@ -1,0 +1,72 @@
+// Command p4triage turns a fuzz-campaign corpus into structured
+// analytics: every persisted finding gets an AST shape fingerprint (a
+// canonical skeleton hash that abstracts identifiers and literals but
+// keeps statement structure, label positions, and operator type-classes),
+// findings are clustered by (verdict class, cited typing rule, shape),
+// and the clusters are printed ranked by size with exemplar programs,
+// gen-vs-mutant origin mix, discovery-time brackets, NI budgets at
+// detection, and the corpus's seed-novelty ranking.
+//
+// Usage:
+//
+//	p4triage [-corpus DIR] [-json] [-novelty N] [-o FILE]
+//
+// -corpus names the corpus directory (default testdata/regression-corpus,
+// the checked-in regression seeds). -json emits the report as JSON
+// instead of text — the form the nightly campaign workflow uploads as an
+// artifact. -novelty caps the seed-productivity ranking (-1 = unlimited).
+// -o writes the report to a file instead of stdout.
+//
+// Exit status 0 when every corpus entry triaged cleanly, 1 when any
+// entry is malformed (unreadable finding pair, metadata that is not a
+// finding's, a program the current frontend cannot parse) — so a CI gate
+// over a checked-in corpus fails the moment its metadata rots — and 2 on
+// usage or I/O errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	corpusDir := flag.String("corpus", "testdata/regression-corpus", "corpus directory to triage")
+	asJSON := flag.Bool("json", false, "emit the report as JSON instead of text")
+	novelty := flag.Int("novelty", 10, "max seeds in the novelty ranking (-1 = unlimited)")
+	outPath := flag.String("o", "", "write the report to this file instead of stdout")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "p4triage: unexpected arguments %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	rep, err := repro.Triage(repro.TriageConfig{CorpusDir: *corpusDir, MaxNovelty: *novelty})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p4triage: %v\n", err)
+		os.Exit(2)
+	}
+
+	var out []byte
+	if *asJSON {
+		if out, err = repro.MarshalTriageReport(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "p4triage: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		out = []byte(repro.FormatTriageReport(rep))
+	}
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, out, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "p4triage: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		os.Stdout.Write(out)
+	}
+	if !rep.OK() {
+		os.Exit(1)
+	}
+}

@@ -81,6 +81,22 @@ const (
 	ClassParserDisagreement Class = "parser-disagreement"
 )
 
+// Retired-corpus classes: campaigns never persist these, but retiring a
+// drifted finding (internal/triage) re-records it under the class the
+// *current* stack assigns, so the retired entry guards the fix — if the
+// old defect returns, the re-recorded class drifts and replay goes red.
+// Replay understands all three.
+const (
+	// ClassSound marks a retired entry that now IFC-accepts and runs NI-clean.
+	ClassSound Class = "sound"
+	// ClassRejectedWitnessed marks a retired rejected-clean entry whose
+	// rejection now has an interference witness (a true positive after all).
+	ClassRejectedWitnessed Class = "rejected-witnessed"
+	// ClassRoundtripClean marks a retired parser-disagreement entry whose
+	// parse → print → reparse is now a fixed point.
+	ClassRoundtripClean Class = "roundtrip-clean"
+)
+
 // classOf maps a difftest verdict to its corpus class, if persisted.
 func classOf(v difftest.Verdict) (Class, bool) {
 	switch v {
@@ -165,6 +181,9 @@ type Finding struct {
 	// mutant came from.
 	Origin    string
 	ParentKey string
+	// Rule is the typing rule the IFC checker cited on rejection ("" when
+	// the finding class involves no IFC rejection).
+	Rule string
 	// Detail is the witness, error text, or disagreement description.
 	Detail string
 	// Source is the finding as persisted — minimized when Minimize was on
@@ -253,6 +272,15 @@ type engine struct {
 	log        io.Writer
 	rep        *Report
 	pending    []pendingFinding
+	// novelty accumulates this run's per-parent-seed productivity deltas
+	// (mutants analyzed, new keys persisted), merged into the shard's
+	// novelty file at the end of the run. credited marks job indices
+	// whose parent already received a NewKeys credit: one mutant job can
+	// surface two findings (a verdict class and a parser disagreement),
+	// but it is one mutant, so it earns at most one credit — keeping
+	// NewKeys <= Mutants per seed.
+	novelty  map[string]NoveltyStat
+	credited map[int64]bool
 
 	// prov records mutant provenance by global index, written by the job
 	// producer and read by the result consumer (concurrent goroutines).
@@ -282,6 +310,7 @@ type pendingFinding struct {
 	origin  string // "gen" or "mutate"
 	parent  string // dedup key of the mutated seed, for mutants
 	ops     string // comma-joined mutation operators, for mutants
+	rule    string // typing rule cited by the IFC rejection, if any
 }
 
 // Run executes one campaign run (one shard's worth of one index window).
@@ -315,6 +344,8 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		classCount: map[Class]int{},
 		log:        cfg.Log,
 		prov:       map[int64]provenance{},
+		novelty:    map[string]NoveltyStat{},
+		credited:   map[int64]bool{},
 	}
 	if e.gcfg == (gen.Config{}) {
 		e.gcfg = gen.DefaultConfig()
@@ -424,6 +455,14 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	for _, p := range e.pending {
 		e.finalize(p, cfg.Minimize && !aborted)
 	}
+	if e.corp != nil {
+		// Novelty deltas persist even on abort, like the findings above: an
+		// interrupted run's mutant outcomes are real coverage evidence. A
+		// save failure costs feedback quality, not findings — log and go on.
+		if err := e.corp.saveNoveltyDeltas(e.novelty, cfg.Shard, numShards); err != nil {
+			fmt.Fprintf(e.log, "campaign: %v (novelty feedback lost for this run)\n", err)
+		}
+	}
 	e.rep.Elapsed = time.Since(start)
 
 	if aborted {
@@ -507,9 +546,13 @@ func (e *engine) consume(r *pipeline.JobResult) {
 	prov, mutant := e.provenanceOf(r.Job.Seq)
 	if mutant {
 		e.rep.MutantJobs++
+		st := e.novelty[prov.parentKey]
+		st.Mutants++
+		e.novelty[prov.parentKey] = st
 	}
 	v, detail := difftest.Classify(r)
 	e.rep.Counts[v]++
+	rule := r.CitedRule()
 	if r.IFC != nil && !r.IFC.OK {
 		for _, d := range r.IFC.Diags {
 			if d.Rule != "" {
@@ -522,12 +565,14 @@ func (e *engine) consume(r *pipeline.JobResult) {
 		}
 	}
 	if class, interesting := classOf(v); interesting {
-		e.collect(class, v, detail, r, prov, mutant)
+		e.collect(class, v, detail, rule, r, prov, mutant)
 	}
 	if r.Prog != nil {
 		if detail, bad := roundtripDisagreement(r.Job.Name, r.Prog); bad {
 			e.rep.ParserDisagreements++
-			e.collect(ClassParserDisagreement, v, detail, r, prov, mutant)
+			// The roundtrip defect is a frontend matter; the IFC rule (if
+			// any) belongs to the verdict finding, not this one.
+			e.collect(ClassParserDisagreement, v, detail, "", r, prov, mutant)
 		}
 	}
 }
@@ -535,7 +580,7 @@ func (e *engine) consume(r *pipeline.JobResult) {
 // collect notes one interesting program for post-stream processing,
 // charging the per-class cap up front so both pending memory and the
 // later shrinking bill stay bounded.
-func (e *engine) collect(class Class, v difftest.Verdict, detail string, r *pipeline.JobResult, prov provenance, mutant bool) {
+func (e *engine) collect(class Class, v difftest.Verdict, detail, rule string, r *pipeline.JobResult, prov provenance, mutant bool) {
 	if e.perClass > 0 && e.classCount[class] >= e.perClass {
 		e.rep.CappedFindings++
 		return
@@ -559,6 +604,7 @@ func (e *engine) collect(class Class, v difftest.Verdict, detail string, r *pipe
 		origin:  origin,
 		parent:  prov.parentKey,
 		ops:     prov.ops,
+		rule:    rule,
 	})
 }
 
@@ -573,6 +619,7 @@ func (e *engine) finalize(p pendingFinding, minimize bool) {
 		NISeed:        e.cfg.Seed + idx,
 		Origin:        p.origin,
 		ParentKey:     p.parent,
+		Rule:          p.rule,
 		Detail:        p.detail,
 		Source:        p.source,
 		OriginalBytes: len(p.source),
@@ -587,7 +634,7 @@ func (e *engine) finalize(p pendingFinding, minimize bool) {
 			f.Source = res.Source
 		}
 	}
-	f.Key = dedupKey(class, f.Source)
+	f.Key = DedupKey(class, f.Source)
 	switch {
 	case e.seen[f.Key]:
 		e.rep.DupFindings++
@@ -601,6 +648,7 @@ func (e *engine) finalize(p pendingFinding, minimize bool) {
 	if e.corp != nil {
 		path, err := e.corp.put(&f, Meta{
 			Class:         class,
+			Rule:          p.rule,
 			Detail:        p.detail,
 			Index:         idx,
 			GenSeed:       f.GenSeed,
@@ -626,6 +674,15 @@ func (e *engine) finalize(p pendingFinding, minimize bool) {
 		} else {
 			f.Path = path
 		}
+	}
+	if p.parent != "" && !e.credited[p.idx] {
+		// A mutant that landed as a new dedup key is the scheduler's
+		// coverage signal: credit the parent seed, once per mutant job.
+		e.credited[p.idx] = true
+		st := e.novelty[p.parent]
+		st.NewKeys++
+		st.LastNewAt = time.Now()
+		e.novelty[p.parent] = st
 	}
 	e.rep.NewFindings++
 	e.rep.Findings = append(e.rep.Findings, f)

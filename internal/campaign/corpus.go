@@ -29,6 +29,12 @@ import (
 type Meta struct {
 	// Class is the finding's corpus class (the filename prefix).
 	Class Class `json:"class"`
+	// Rule is the typing rule the IFC checker cited when it rejected the
+	// program (e.g. "T-Assign"), "" when the class involves no IFC
+	// rejection or the corpus predates rule recording. Triage clusters
+	// findings by it; old corpora fall back to extracting the rule from
+	// Detail's trailing "[Rule]" marker.
+	Rule string `json:"rule,omitempty"`
 	// Detail is the witness, error text, or disagreement description.
 	Detail string `json:"detail"`
 	// Index is the global campaign index of the generating job; with Gen
@@ -69,14 +75,21 @@ type Meta struct {
 	Key string `json:"key"`
 	// FoundAt is the wall-clock time the finding was persisted.
 	FoundAt time.Time `json:"found_at"`
+	// RetiredFrom and RetiredAt are set only on entries of a retired
+	// corpus (see internal/triage): the class the finding was originally
+	// recorded under before its defect was fixed and the entry was
+	// re-recorded under the current stack's verdict, and when.
+	RetiredFrom Class     `json:"retired_from,omitempty"`
+	RetiredAt   time.Time `json:"retired_at,omitzero"`
 }
 
-// dedupKey is the corpus identity of a finding: programs with the same
+// DedupKey is the corpus identity of a finding: programs with the same
 // class and (post-minimization) source are the same finding, regardless of
 // which seed, shard, or run produced them. Minimization canonicalizes
 // aggressively, so -minimize collapses families of equivalent findings
-// onto one corpus entry.
-func dedupKey(class Class, source string) string {
+// onto one corpus entry. Exported so internal/triage can re-key entries
+// it re-records under a new class when retiring them.
+func DedupKey(class Class, source string) string {
 	h := sha256.New()
 	h.Write([]byte(class))
 	h.Write([]byte{0})
@@ -127,20 +140,30 @@ func openCorpus(dir string) (*corpus, error) {
 // has reports whether key is already persisted.
 func (c *corpus) has(key string) bool { return c != nil && c.known[key] }
 
+// WriteMeta encodes m as indented JSON at path — the corpus metadata
+// file format. Exported for internal/triage's retired-corpus writer, so
+// promoted entries stay byte-compatible with campaign-written ones.
+func WriteMeta(path string, m Meta) error {
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("campaign: encode metadata: %w", err)
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return fmt.Errorf("campaign: persist metadata: %w", err)
+	}
+	return nil
+}
+
 // put persists one finding and returns the program file's path.
 func (c *corpus) put(f *Finding, m Meta) (string, error) {
 	stem := fmt.Sprintf("%s-%s", f.Class, f.Key[:12])
 	progPath := filepath.Join(c.dir, "findings", stem+".p4")
 	metaPath := filepath.Join(c.dir, "findings", stem+".json")
-	raw, err := json.MarshalIndent(m, "", "  ")
-	if err != nil {
-		return "", fmt.Errorf("campaign: encode metadata: %w", err)
-	}
 	if err := os.WriteFile(progPath, []byte(f.Source), 0o644); err != nil {
 		return "", fmt.Errorf("campaign: persist finding: %w", err)
 	}
-	if err := os.WriteFile(metaPath, append(raw, '\n'), 0o644); err != nil {
-		return "", fmt.Errorf("campaign: persist finding: %w", err)
+	if err := WriteMeta(metaPath, m); err != nil {
+		return "", err
 	}
 	c.known[f.Key] = true
 	return progPath, nil
@@ -169,13 +192,16 @@ func readFinding(dir, jsonName string) (Meta, string, error) {
 	return m, string(src), nil
 }
 
-// forEachFinding iterates the finding pairs under dir/findings in
+// ForEachFinding iterates the finding pairs under dir/findings in
 // deterministic (name-sorted) order, calling fn with each pair — or with
 // the error loading it, so callers choose whether a bad pair is fatal
-// (replay) or skippable (seed pool). fn returning false stops the
-// iteration. A missing findings directory iterates nothing; any other
-// directory-level failure is returned.
-func forEachFinding(dir string, fn func(jsonName string, m Meta, src string, err error) bool) error {
+// (replay, triage's malformed-metadata gate) or skippable (seed pool).
+// fn returning false stops the iteration. A missing findings directory
+// iterates nothing; any other directory-level failure is returned.
+// jsonName is the metadata filename relative to dir/findings; the program
+// file sits next to it with a .p4 suffix. internal/triage builds its
+// corpus analytics on this iterator.
+func ForEachFinding(dir string, fn func(jsonName string, m Meta, src string, err error) bool) error {
 	findings := filepath.Join(dir, "findings")
 	entries, err := os.ReadDir(findings)
 	if os.IsNotExist(err) {

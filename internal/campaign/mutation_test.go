@@ -47,6 +47,35 @@ func copyFindings(t *testing.T, src, dst string) {
 	}
 }
 
+// copyNoveltyState clones src/state's novelty-*.json files into dst so
+// shard dirs share the full scheduling snapshot — findings and novelty
+// records — under which mutation-enabled sharding stays partition-exact.
+func copyNoveltyState(t *testing.T, src, dst string) {
+	t.Helper()
+	entries, err := os.ReadDir(filepath.Join(src, "state"))
+	if os.IsNotExist(err) {
+		return
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dst, "state"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.HasPrefix(e.Name(), "novelty-") {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(src, "state", e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, "state", e.Name()), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 // TestCampaignMutationShardUnion extends the shard-union determinism
 // property to seed scheduling: with every shard holding the same corpus
 // snapshot, the mutate-or-generate coin, the weighted seed draw, and the
@@ -127,6 +156,98 @@ func TestCampaignMutationShardUnion(t *testing.T) {
 	}
 }
 
+// TestCampaignMutationShardUnionWithNovelty re-proves the shard-union
+// property with novelty feedback in play: the seed corpus now carries
+// real novelty records (from a prior mutation run), the pool weights are
+// therefore class × recency × novelty, and the union of shards must
+// still equal the unsharded campaign exactly — scheduling depends only
+// on the shared (findings, novelty) snapshot, never on which shard asks.
+func TestCampaignMutationShardUnionWithNovelty(t *testing.T) {
+	const n, shards = 90, 3
+	seedDir := t.TempDir()
+	seedCorpus(t, seedDir, Config{
+		N: 80, Seed: 11, Gen: smallGen(), NITrials: 1, NITrialsMax: 4,
+		CorpusDir: seedDir, Minimize: true,
+	})
+	// A mutation run over the seeded corpus leaves novelty records behind.
+	prior, err := Run(context.Background(), Config{
+		N: 100, Seed: 23, Gen: smallGen(), NITrials: 1, NITrialsMax: 4,
+		Mutate: true, CorpusDir: seedDir, MaxPerClass: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prior.MutantJobs == 0 {
+		t.Fatal("prior run mutated nothing; the test needs novelty data")
+	}
+	if stats, err := LoadNovelty(seedDir); err != nil || len(stats) == 0 {
+		t.Fatalf("no novelty records after a mutation run (err=%v)", err)
+	}
+
+	mk := func(dir string, shard, numShards int) *Report {
+		copyFindings(t, seedDir, dir)
+		copyNoveltyState(t, seedDir, dir)
+		rep, err := Run(context.Background(), Config{
+			N:           n,
+			Seed:        7,
+			Gen:         smallGen(),
+			NITrials:    1,
+			NITrialsMax: 4,
+			Workers:     2,
+			Shard:       shard,
+			NumShards:   numShards,
+			Mutate:      true,
+			CorpusDir:   dir,
+			MaxPerClass: -1,
+		})
+		if err != nil {
+			t.Fatalf("shard %d/%d: %v", shard, numShards, err)
+		}
+		return rep
+	}
+
+	whole := t.TempDir()
+	repWhole := mk(whole, 0, 1)
+	if repWhole.MutantJobs == 0 {
+		t.Fatal("mutation-enabled campaign analyzed no mutants")
+	}
+
+	var shardAnalyzed, shardMutants int
+	var shardCounts [difftest.NumVerdicts]int
+	union := map[string]bool{}
+	for s := 0; s < shards; s++ {
+		dir := t.TempDir()
+		rep := mk(dir, s, shards)
+		shardAnalyzed += rep.Analyzed
+		shardMutants += rep.MutantJobs
+		for v, c := range rep.Counts {
+			shardCounts[v] += c
+		}
+		for k := range readKeys(t, dir) {
+			union[k] = true
+		}
+	}
+
+	if shardAnalyzed != repWhole.Analyzed || shardAnalyzed != n {
+		t.Errorf("shards analyzed %d programs, unsharded %d, want %d", shardAnalyzed, repWhole.Analyzed, n)
+	}
+	if shardMutants != repWhole.MutantJobs {
+		t.Errorf("shards mutated %d jobs, unsharded %d — novelty weighting broke index-determinism", shardMutants, repWhole.MutantJobs)
+	}
+	if shardCounts != repWhole.Counts {
+		t.Errorf("shard verdict counts %v != unsharded %v", shardCounts, repWhole.Counts)
+	}
+	wholeKeys := readKeys(t, whole)
+	if len(union) != len(wholeKeys) {
+		t.Errorf("shard corpus union has %d findings, unsharded %d", len(union), len(wholeKeys))
+	}
+	for k := range wholeKeys {
+		if !union[k] {
+			t.Errorf("finding %s missing from the shard union", k)
+		}
+	}
+}
+
 // TestCampaignChainMutationReachesNewClasses is the acceptance demo: a
 // mutation campaign over a seeded corpus on a chain-4 lattice produces
 // deduplicated findings that pure two-point gen.Random sampling cannot
@@ -191,5 +312,86 @@ func TestCampaignChainMutationReachesNewClasses(t *testing.T) {
 	}
 	if !rr.OK() {
 		t.Fatalf("mixed two-point + chain-4 corpus does not replay clean:\n%s", FormatReplayReport(rr))
+	}
+}
+
+// TestCampaignChainNoveltyCoversStaticPriorClasses is the novelty
+// acceptance lock: under identical seeds and configuration, a chain-4
+// mutation campaign whose seed pool carries real novelty records must
+// discover at least the finding classes the static class × recency prior
+// discovers. (A corpus *without* novelty records schedules identically
+// to the static prior by construction — TestSeedPoolStaticPriorWithoutNovelty
+// — so the static baseline here is simply the same campaign over the
+// snapshot minus its novelty files.)
+func TestCampaignChainNoveltyCoversStaticPriorClasses(t *testing.T) {
+	seedDir := t.TempDir()
+	seedCorpus(t, seedDir, Config{
+		N: 80, Seed: 11, Gen: smallGen(), NITrials: 1, NITrialsMax: 4,
+		CorpusDir: seedDir, Minimize: true,
+	})
+	// Generate novelty records with a two-point mutation run, then reset
+	// the findings to the original snapshot so both campaigns below start
+	// from the same pool membership — only the weights differ.
+	noveltyDir := t.TempDir()
+	copyFindings(t, seedDir, noveltyDir)
+	if _, err := Run(context.Background(), Config{
+		N: 100, Seed: 23, Gen: smallGen(), NITrials: 1, NITrialsMax: 4,
+		Mutate: true, CorpusDir: noveltyDir, MaxPerClass: -1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	chainGen := smallGen()
+	chainGen.Lattice = "chain:4"
+	campaignOver := func(dir string) map[Class]bool {
+		rep, err := Run(context.Background(), Config{
+			N:           200,
+			Seed:        5,
+			Gen:         chainGen,
+			NITrials:    1,
+			NITrialsMax: 4,
+			Workers:     2,
+			Mutate:      true,
+			CorpusDir:   dir,
+			MaxPerClass: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK() {
+			t.Fatalf("chain-4 campaign found implementation defects:\n%s", FormatReport(rep))
+		}
+		if rep.MutantJobs == 0 {
+			t.Fatal("no mutant jobs ran")
+		}
+		classes := map[Class]bool{}
+		for _, f := range rep.Findings {
+			classes[f.Class] = true
+		}
+		return classes
+	}
+
+	// Static prior: the original findings snapshot, no novelty data.
+	staticDir := t.TempDir()
+	copyFindings(t, seedDir, staticDir)
+	staticClasses := campaignOver(staticDir)
+
+	// Novelty weighting: same findings snapshot plus the recorded novelty.
+	weightedDir := t.TempDir()
+	copyFindings(t, seedDir, weightedDir)
+	copyNoveltyState(t, noveltyDir, weightedDir)
+	if stats, err := LoadNovelty(weightedDir); err != nil || len(stats) == 0 {
+		t.Fatalf("novelty snapshot missing (err=%v)", err)
+	}
+	noveltyClasses := campaignOver(weightedDir)
+
+	if len(staticClasses) == 0 {
+		t.Fatal("static-prior campaign found nothing; the comparison is vacuous")
+	}
+	for c := range staticClasses {
+		if !noveltyClasses[c] {
+			t.Errorf("novelty-weighted campaign missed class %s that the static prior found (static %v, novelty %v)",
+				c, staticClasses, noveltyClasses)
+		}
 	}
 }

@@ -52,9 +52,12 @@ type Drift struct {
 // ReplayReport is a replay's outcome.
 type ReplayReport struct {
 	// Total counts findings replayed; ByClass splits them by recorded
-	// class.
-	Total   int
-	ByClass map[Class]int
+	// class. Reproduced counts findings whose replayed class matched the
+	// recorded one — Total minus drifts minus entries that errored after
+	// being counted.
+	Total      int
+	Reproduced int
+	ByClass    map[Class]int
 	// Drifts holds every verdict drift; Errors every finding that could
 	// not be replayed at all (unreadable pair, unresolvable lattice).
 	Drifts []Drift
@@ -89,7 +92,7 @@ func Replay(ctx context.Context, cfg ReplayConfig) (*ReplayReport, error) {
 
 	findings := filepath.Join(cfg.CorpusDir, "findings")
 	var ctxErr error
-	err := forEachFinding(cfg.CorpusDir, func(name string, m Meta, src string, err error) bool {
+	err := ForEachFinding(cfg.CorpusDir, func(name string, m Meta, src string, err error) bool {
 		if ctxErr = ctx.Err(); ctxErr != nil {
 			return false
 		}
@@ -108,6 +111,8 @@ func Replay(ctx context.Context, cfg ReplayConfig) (*ReplayReport, error) {
 		if got != string(m.Class) {
 			rep.Drifts = append(rep.Drifts, Drift{Path: path, Recorded: m.Class, Got: got, Detail: detail})
 			fmt.Fprintf(log, "drift: %s recorded %s, now %s (%s)\n", path, m.Class, got, detail)
+		} else {
+			rep.Reproduced++
 		}
 		return true
 	})
@@ -121,7 +126,7 @@ func Replay(ctx context.Context, cfg ReplayConfig) (*ReplayReport, error) {
 // class the current stack assigns, or a description when the result has
 // no corpus class ("sound", "rejected-witnessed", "roundtrip-clean", ...).
 func replayOne(ctx context.Context, m Meta, src string, trials, max int) (string, string, error) {
-	if m.Class == ClassParserDisagreement {
+	if m.Class == ClassParserDisagreement || m.Class == ClassRoundtripClean {
 		prog, err := parser.Parse("replay.p4", src)
 		if err != nil {
 			// The persisted program itself no longer parses — the frontend
@@ -131,7 +136,7 @@ func replayOne(ctx context.Context, m Meta, src string, trials, max int) (string
 		if detail, bad := roundtripDisagreement("replay.p4", prog); bad {
 			return string(ClassParserDisagreement), detail, nil
 		}
-		return "roundtrip-clean", "parse → print → reparse is now a fixed point", nil
+		return string(ClassRoundtripClean), "parse → print → reparse is now a fixed point", nil
 	}
 
 	lat, err := m.Gen.ResolveLattice()
@@ -163,9 +168,9 @@ func replayOne(ctx context.Context, m Meta, src string, trials, max int) (string
 	}
 	switch v {
 	case difftest.Sound:
-		return "sound", "IFC-accepted and NI-clean", nil
+		return string(ClassSound), "IFC-accepted and NI-clean", nil
 	case difftest.RejectedWitnessed:
-		return "rejected-witnessed", detail, nil
+		return string(ClassRejectedWitnessed), detail, nil
 	}
 	return v.String(), detail, nil
 }

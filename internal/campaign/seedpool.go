@@ -1,12 +1,26 @@
 // Seed scheduling for mutation-enabled campaigns: the persisted corpus
 // doubles as the seed pool of the classic coverage-guided loop. Seeds are
-// weighted by verdict class (defect classes first — a mutant of a program
-// that broke something once is the best candidate to break it again —
-// then the precision frontier) and by recency (newer findings describe
-// the current frontier; older ones have had their neighborhoods searched
-// on previous nights), and drawn per campaign index from the index's own
-// rng, so scheduling is deterministic given (seed, pool) — the shard-union
-// property survives mutation as long as shards share a pool.
+// weighted by three multiplied factors:
+//
+//   - verdict class: defect classes first — a mutant of a program that
+//     broke something once is the best candidate to break it again — then
+//     the precision frontier;
+//   - recency: newer findings describe the current frontier; older ones
+//     have had their neighborhoods searched on previous nights;
+//   - novelty: true coverage feedback from the corpus's novelty records
+//     (state/novelty-*.json) — seeds whose mutants keep landing as new
+//     dedup keys are boosted, seeds whose neighborhoods are mined out
+//     fade, and seeds never mutated yet carry an exploration bonus.
+//
+// A corpus with no novelty records multiplies every seed by the same
+// neutral constant, so the distribution reduces exactly to the historical
+// class × recency prior — pre-novelty corpora and freshly seeded pools
+// schedule byte-identically to PR 3's scheduler.
+//
+// Seeds are drawn per campaign index from the index's own rng, so
+// scheduling is deterministic given (seed, pool): the shard-union
+// property survives mutation as long as shards share a corpus snapshot —
+// which now includes the novelty files alongside the findings.
 package campaign
 
 import (
@@ -51,22 +65,53 @@ func classWeight(c Class) float64 {
 // vanish.
 const recencyDecay = 0.97
 
+// Novelty-boost constants. An unexplored seed sits at the neutral
+// exploration bonus; an explored seed interpolates from noveltyFloor (all
+// mutants were duplicates) up to noveltyFloor+noveltyGain (every mutant
+// was a new key). The floor is positive so barren seeds fade rather than
+// vanish — their neighborhoods may still pay off under a different
+// lattice or operator mix — and the ceiling exceeds the bonus so proven
+// producers outrank unexplored ones.
+const (
+	noveltyExploreBonus = 1.5
+	noveltyFloor        = 0.5
+	noveltyGain         = 3.0
+)
+
+// noveltyBoost maps a seed's productivity record to a weight multiplier.
+// Seeds with no record (or no analyzed mutants yet) are "unexplored".
+func noveltyBoost(st NoveltyStat, known bool) float64 {
+	if !known || st.Mutants == 0 {
+		return noveltyExploreBonus
+	}
+	p := float64(st.NewKeys) / float64(st.Mutants)
+	if p > 1 {
+		p = 1 // defensive: hand-edited or merged-twice records
+	}
+	return noveltyFloor + noveltyGain*p
+}
+
 // loadSeedPool reads every finding pair under dir/findings into a weighted
-// pool. A missing directory or an empty corpus yields an empty pool (the
-// scheduler then generates everything fresh). Ordering — and therefore
-// sampling — is deterministic: entries sort newest-first by recorded
-// FoundAt with the dedup key as tiebreaker.
+// pool, applying the corpus's novelty records. A missing directory or an
+// empty corpus yields an empty pool (the scheduler then generates
+// everything fresh). Ordering — and therefore sampling — is
+// deterministic: entries sort newest-first by recorded FoundAt with the
+// dedup key as tiebreaker.
 func loadSeedPool(dir string) (*seedPool, error) {
 	p := &seedPool{}
 	if dir == "" {
 		return p, nil
+	}
+	novelty, err := LoadNovelty(dir)
+	if err != nil {
+		return nil, err
 	}
 	type rec struct {
 		seedEntry
 		foundAt int64
 	}
 	var recs []rec
-	err := forEachFinding(dir, func(_ string, m Meta, src string, err error) bool {
+	err = ForEachFinding(dir, func(_ string, m Meta, src string, err error) bool {
 		if err != nil {
 			return true // foreign or truncated file; the pool just skips it
 		}
@@ -86,7 +131,8 @@ func loadSeedPool(dir string) (*seedPool, error) {
 		return recs[i].key < recs[j].key
 	})
 	for rank, r := range recs {
-		w := classWeight(r.class) * math.Pow(recencyDecay, float64(rank))
+		st, known := novelty[r.key]
+		w := classWeight(r.class) * math.Pow(recencyDecay, float64(rank)) * noveltyBoost(st, known)
 		p.total += w
 		p.entries = append(p.entries, r.seedEntry)
 		p.cum = append(p.cum, p.total)
@@ -105,4 +151,13 @@ func (p *seedPool) pick(rng *rand.Rand) seedEntry {
 		i = len(p.entries) - 1
 	}
 	return p.entries[i]
+}
+
+// weightOf returns the sampling weight of the seed at index i (test and
+// triage introspection; the pool's public behavior is pick).
+func (p *seedPool) weightOf(i int) float64 {
+	if i == 0 {
+		return p.cum[0]
+	}
+	return p.cum[i] - p.cum[i-1]
 }

@@ -100,8 +100,8 @@ type Config struct {
 	// WithActions also generates actions and direct action calls.
 	WithActions bool
 	// Lattice names the campaign lattice the program is generated and
-	// annotated against: "" or "two-point", "diamond", "chain:N", or
-	// "nparty:N" (lattice.ByName syntax). The empty spec defaults
+	// annotated against: "" or "two-point", "diamond", "chain:N",
+	// "nparty:N", or "powerset:N" (lattice.ByName syntax). The empty spec defaults
 	// explicitly to two-point; anything unresolvable is rejected by
 	// Validate (and makes Random panic, so validate configs at the API
 	// boundary). Non-two-point lattices switch Random to the generalized

@@ -16,13 +16,13 @@ import (
 // lattice's programs, which is what the pre-Lattice generator effectively
 // did by ignoring height entirely).
 func TestConfigLatticeValidation(t *testing.T) {
-	for _, good := range []string{"", "two-point", "diamond", "chain:4", "chain-8", "nparty:3"} {
+	for _, good := range []string{"", "two-point", "diamond", "chain:4", "chain-8", "nparty:3", "powerset:2"} {
 		cfg := gen.Config{Lattice: good}
 		if err := cfg.Validate(); err != nil {
 			t.Errorf("Validate(%q): %v", good, err)
 		}
 	}
-	for _, bad := range []string{"chain:0", "chain:x", "chain:4x", "nparty:-1", "powerset:2", "tall"} {
+	for _, bad := range []string{"chain:0", "chain:x", "chain:4x", "nparty:-1", "powerset:0", "powerset:9", "tall"} {
 		cfg := gen.Config{Lattice: bad}
 		if err := cfg.Validate(); err == nil {
 			t.Errorf("Validate(%q) accepted a spec Random cannot honor", bad)
@@ -58,6 +58,34 @@ func TestRandomChainLabelEmission(t *testing.T) {
 	for _, want := range []string{"L0", "L1", "L2", "L3"} {
 		if !seen[want] {
 			t.Errorf("no generated program annotated a field at %s; chain height is being ignored", want)
+		}
+	}
+}
+
+// TestRandomPowersetLabelEmission: the label-spelling scheme end-to-end.
+// Powerset elements spell as identifiers ("p_a_b"), so the generalized
+// emitter can annotate fields at every subset — including the
+// incomparable singletons — and the programs resolve against the
+// lattice. This is the path `-lattice powerset:2` campaigns take.
+func TestRandomPowersetLabelEmission(t *testing.T) {
+	cfg := gen.Config{MaxDepth: 2, MaxStmts: 4, NumFields: 2, WithActions: true, Lattice: "powerset:2"}
+	lat, err := lattice.ByName("powerset:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for seed := int64(0); seed < 20; seed++ {
+		src := gen.Random(rand.New(rand.NewSource(seed)), cfg)
+		mustResolve(t, fmt.Sprintf("pset2-seed-%d.p4", seed), src, lat)
+		for _, e := range lat.Elements() {
+			if strings.Contains(src, "<bit<8>, "+e.Name()+">") {
+				seen[e.Name()] = true
+			}
+		}
+	}
+	for _, want := range []string{"p_", "p_a", "p_b", "p_a_b"} {
+		if !seen[want] {
+			t.Errorf("no generated program annotated a field at %s; the powerset spelling is not reaching the emitter", want)
 		}
 	}
 }

@@ -344,9 +344,16 @@ func Chain(n int) Lattice {
 }
 
 // Powerset returns the lattice of subsets of the given atoms ordered by
-// inclusion: ⊥ = {} and ⊤ = the full set. Element names are sorted
-// comma-joined atom lists in braces, e.g. "{a,b}"; "{}" is bottom.
-// Powerset lattices model decentralized-label-style policies.
+// inclusion: ⊥ = {} and ⊤ = the full set. Element names use the
+// label-safe spelling "p_" + "_"-joined sorted atoms — "p_a_b" for
+// {a,b}, the bare "p_" for the empty set — so every element lexes as a
+// P4 identifier and powerset lattices work end-to-end through generated
+// and hand-written annotations alike. The historical brace spellings
+// ("{a,b}", "{}") remain accepted by Lookup as aliases, as is each bare
+// atom for its singleton. Atoms must be alphanumeric starting with a
+// letter and must not contain underscores (which would make the "_"
+// joiner ambiguous). Powerset lattices model decentralized-label-style
+// policies.
 func Powerset(atoms ...string) Lattice {
 	if len(atoms) == 0 {
 		panic("lattice: Powerset requires at least one atom")
@@ -354,19 +361,24 @@ func Powerset(atoms ...string) Lattice {
 	if len(atoms) > 10 {
 		panic("lattice: Powerset limited to 10 atoms")
 	}
+	for _, a := range atoms {
+		if !atomOK(a) {
+			panic(fmt.Sprintf("lattice: Powerset atom %q must be alphanumeric (letter first, no underscores)", a))
+		}
+	}
 	sorted := append([]string(nil), atoms...)
 	sort.Strings(sorted)
 	n := 1 << len(sorted)
 	elems := make([]string, n)
 	for m := 0; m < n; m++ {
-		elems[m] = subsetName(sorted, m)
+		elems[m] = subsetLabel(sorted, m)
 	}
 	covers := make(map[string][]string)
 	for m := 0; m < n; m++ {
 		var ups []string
 		for b := 0; b < len(sorted); b++ {
 			if m&(1<<b) == 0 {
-				ups = append(ups, subsetName(sorted, m|1<<b))
+				ups = append(ups, subsetLabel(sorted, m|1<<b))
 			}
 		}
 		covers[elems[m]] = ups
@@ -377,12 +389,48 @@ func Powerset(atoms ...string) Lattice {
 	}
 	al := map[string]string{"low": elems[0], "bot": elems[0], "high": elems[n-1], "top": elems[n-1]}
 	for i, a := range sorted {
-		al[a] = subsetName(sorted, 1<<i)
+		al[a] = subsetLabel(sorted, 1<<i)
+	}
+	for m := 0; m < n; m++ {
+		al[subsetBraces(sorted, m)] = elems[m]
 	}
 	return &aliased{t, al}
 }
 
-func subsetName(atoms []string, mask int) string {
+// atomOK reports whether a powerset atom yields unambiguous, lexable
+// element names: letters and digits only, starting with a letter.
+func atomOK(a string) bool {
+	for i, r := range a {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return a != ""
+}
+
+// subsetLabel spells a subset as a lexable identifier: "p_a_b" for
+// {a,b}, "p_" for the empty set.
+func subsetLabel(atoms []string, mask int) string {
+	name := "p"
+	for i, a := range atoms {
+		if mask&(1<<i) != 0 {
+			name += "_" + a
+		}
+	}
+	if name == "p" {
+		return "p_"
+	}
+	return name
+}
+
+// subsetBraces is the historical brace spelling, kept as a Lookup alias.
+func subsetBraces(atoms []string, mask int) string {
 	var parts []string
 	for i, a := range atoms {
 		if mask&(1<<i) != 0 {
@@ -445,8 +493,13 @@ func (a *aliased) Lookup(name string) (Label, bool) {
 }
 
 // ByName constructs one of the named stock lattices: "two-point",
-// "diamond", "chain-N"/"chain:N", or "nparty:N" for a positive integer N.
-// It is used by the CLI tools' -lattice flags and by gen.Config.Lattice.
+// "diamond", "chain-N"/"chain:N", "nparty:N", or "powerset:N" for a
+// positive integer N. It is used by the CLI tools' -lattice flags and by
+// gen.Config.Lattice. A powerset:N lattice has atoms a, b, c, … and
+// 2^N elements spelled label-safely ("p_a_b"), so powerset campaigns
+// work end-to-end; N is capped at 6 here — 64 elements already means 64
+// generated field groups per program, and beyond that the spec is almost
+// certainly a typo.
 func ByName(name string) (Lattice, error) {
 	switch {
 	case name == "" || name == "two-point" || name == "2pt":
@@ -469,8 +522,18 @@ func ByName(name string) (Lattice, error) {
 			names[i] = fmt.Sprintf("P%d", i)
 		}
 		return NParty(names...), nil
+	case strings.HasPrefix(name, "powerset-"), strings.HasPrefix(name, "powerset:"):
+		n, err := specArg(name)
+		if err != nil || n < 1 || n > 6 {
+			return nil, fmt.Errorf("lattice: bad powerset spec %q (want powerset:N, 1 <= N <= 6)", name)
+		}
+		atoms := make([]string, n)
+		for i := range atoms {
+			atoms[i] = string(rune('a' + i))
+		}
+		return Powerset(atoms...), nil
 	default:
-		return nil, fmt.Errorf("lattice: unknown lattice %q (want two-point, diamond, chain:N, or nparty:N)", name)
+		return nil, fmt.Errorf("lattice: unknown lattice %q (want two-point, diamond, chain:N, nparty:N, or powerset:N)", name)
 	}
 }
 

@@ -214,11 +214,43 @@ func TestPowerset(t *testing.T) {
 	if l.Leq(a, b) || l.Leq(b, a) {
 		t.Error("singletons should be incomparable")
 	}
-	if l.Join(a, b).Name() != "{a,b}" {
-		t.Errorf("join = %s, want {a,b}", l.Join(a, b))
+	if l.Join(a, b).Name() != "p_a_b" {
+		t.Errorf("join = %s, want p_a_b", l.Join(a, b))
 	}
-	if l.Meet(a, b).Name() != "{}" {
-		t.Errorf("meet = %s, want {}", l.Meet(a, b))
+	if l.Meet(a, b).Name() != "p_" {
+		t.Errorf("meet = %s, want p_", l.Meet(a, b))
+	}
+	// Every element name must lex as a P4 identifier — the label-spelling
+	// scheme that makes powerset campaigns expressible in annotations.
+	for _, e := range l.Elements() {
+		for i, r := range e.Name() {
+			ok := r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || (i > 0 && r >= '0' && r <= '9')
+			if !ok {
+				t.Errorf("element %q is not a lexable label", e.Name())
+			}
+		}
+	}
+	// The historical brace spellings stay available as Lookup aliases.
+	for alias, want := range map[string]string{"{a,b}": "p_a_b", "{}": "p_", "{b}": "p_b", "a": "p_a"} {
+		got, ok := l.Lookup(alias)
+		if !ok || got.Name() != want {
+			t.Errorf("Lookup(%q) = %v, %v; want %s", alias, got, ok, want)
+		}
+	}
+}
+
+// TestPowersetAtomValidation: atoms that would make the "_"-joined
+// spelling ambiguous or unlexable are rejected up front.
+func TestPowersetAtomValidation(t *testing.T) {
+	for _, bad := range []string{"a_b", "", "1a", "a,b", "{x}"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Powerset(%q) did not panic", bad)
+				}
+			}()
+			Powerset(bad)
+		}()
 	}
 }
 
@@ -272,6 +304,11 @@ func TestByName(t *testing.T) {
 		{"nparty:3", true, "3-party"},
 		{"nparty-2", true, "2-party"},
 		{"nparty:0", false, ""},
+		{"powerset:2", true, "powerset-2"},
+		{"powerset-3", true, "powerset-3"},
+		{"powerset:0", false, ""},
+		{"powerset:7", false, ""},
+		{"powerset:2x", false, ""},
 		{"weird", false, ""},
 	}
 	for _, c := range cases {

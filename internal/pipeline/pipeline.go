@@ -161,6 +161,40 @@ func (r *JobResult) BaseOK() bool { return r.Base != nil && r.Base.OK }
 // IFCOK reports whether the IFC checker accepted the job.
 func (r *JobResult) IFCOK() bool { return r.IFC != nil && r.IFC.OK }
 
+// CitedRule returns the typing rule the IFC checker's first rule-bearing
+// diagnostic cites (e.g. "T-Assign"), or "" when the job was accepted,
+// never reached the IFC stage, or was rejected without a rule attribution.
+// Downstream triage clusters findings by this rule, so it is exposed here
+// rather than re-parsed out of rendered diagnostic text.
+func (r *JobResult) CitedRule() string {
+	if r.IFC == nil {
+		return ""
+	}
+	for _, d := range r.IFC.Diags {
+		if d.Rule != "" {
+			return d.Rule
+		}
+	}
+	return ""
+}
+
+// CitedRules returns every distinct typing rule the IFC checker cited on
+// this job, in first-citation order.
+func (r *JobResult) CitedRules() []string {
+	if r.IFC == nil {
+		return nil
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, d := range r.IFC.Diags {
+		if d.Rule != "" && !seen[d.Rule] {
+			seen[d.Rule] = true
+			out = append(out, d.Rule)
+		}
+	}
+	return out
+}
+
 // Summary aggregates a batch run.
 type Summary struct {
 	// Results holds one entry per job, in job order.

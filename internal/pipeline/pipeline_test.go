@@ -163,12 +163,22 @@ func TestRunStageTiming(t *testing.T) {
 // TestRunSpeedup is the acceptance check: on a machine with >= 4 cores the
 // worker pool must beat the sequential path by >= 3x on a 200-program
 // corpus. On smaller machines the parallel path must merely not be
-// pathologically slower.
+// pathologically slower. Every assertion is gated on the *physical* core
+// count (runtime.NumCPU, not GOMAXPROCS, which callers can set above it):
+// a single-core CI runner cannot exhibit parallel speedup, and timing two
+// schedules against each other there measures only scheduler noise — so
+// the test skips outright rather than flake.
 func TestRunSpeedup(t *testing.T) {
 	if testing.Short() {
 		t.Skip("speedup measurement skipped in -short mode")
 	}
+	if runtime.NumCPU() < 2 {
+		t.Skipf("speedup is meaningless on %d core(s); skipping", runtime.NumCPU())
+	}
 	cores := runtime.GOMAXPROCS(0)
+	if cores > runtime.NumCPU() {
+		cores = runtime.NumCPU() // oversubscription adds no parallelism
+	}
 	jobs := corpus(200)
 	opts := pipeline.Options{NI: pipeline.NIAccepted, NITrials: 8, NISeed: 1}
 
@@ -192,7 +202,7 @@ func TestRunSpeedup(t *testing.T) {
 	par := measure(cores)
 	speedup := float64(seq) / float64(par)
 	t.Logf("cores=%d: sequential %v, parallel %v, speedup %.2fx", cores, seq, par, speedup)
-	if cores >= 4 {
+	if cores >= 4 && runtime.NumCPU() >= 4 {
 		if speedup < 3 {
 			t.Errorf("speedup %.2fx < 3x on %d cores", speedup, cores)
 		}

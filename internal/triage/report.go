@@ -1,0 +1,112 @@
+// Report rendering: the ranked cluster table as text (for terminals and
+// CI logs) and as JSON (for artifacts and downstream tooling — the JSON
+// form is just the Report struct, so the two never drift).
+package triage
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// FormatReport renders the triage report as text: header, per-class
+// counts, the ranked cluster table, exemplars, novelty ranking, errors.
+func FormatReport(r *Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "triage: %s, %d findings, %d clusters\n", r.CorpusDir, r.Total, len(r.Clusters))
+	classes := make([]campaign.Class, 0, len(r.ByClass))
+	for c := range r.ByClass {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	for _, c := range classes {
+		fmt.Fprintf(&b, "  %-24s %6d\n", c, r.ByClass[c])
+	}
+	if len(r.Clusters) > 0 {
+		fmt.Fprintf(&b, "\n  %4s  %-22s %-12s %-12s %9s %11s %9s\n",
+			"size", "class", "rule", "shape", "origin", "ni-budget", "last-seen")
+		for _, cl := range r.Clusters {
+			fmt.Fprintf(&b, "  %4d  %-22s %-12s %-12s %4dg/%dm %11s %9s\n",
+				cl.Size, cl.Class, cl.Rule, cl.Fingerprint,
+				cl.GenOrigin, cl.MutantOrigin, budgetRange(&cl), ago(cl.LastSeen))
+		}
+		for _, cl := range r.Clusters {
+			fmt.Fprintf(&b, "\nCLUSTER %s/%s/%s (%d findings, first %s, last %s)\n",
+				cl.Class, cl.Rule, cl.Fingerprint, cl.Size,
+				cl.FirstSeen.Format("2006-01-02"), cl.LastSeen.Format("2006-01-02"))
+			fmt.Fprintf(&b, "  exemplar %s\n  %s\n", cl.ExemplarPath, cl.ExemplarDetail)
+			for _, line := range strings.Split(strings.TrimRight(cl.Exemplar, "\n"), "\n") {
+				b.WriteString("    | ")
+				b.WriteString(line)
+				b.WriteByte('\n')
+			}
+		}
+	}
+	if len(r.Novelty) > 0 {
+		fmt.Fprintf(&b, "\n  novelty: most productive seeds (new keys / mutants tried)\n")
+		for _, n := range r.Novelty {
+			class := n.Class
+			if class == "" {
+				class = "(retired)"
+			}
+			fmt.Fprintf(&b, "  %12.12s  %-22s %d/%d\n", n.Key, class, n.NewKeys, n.Mutants)
+		}
+	}
+	for _, e := range r.Errors {
+		fmt.Fprintf(&b, "\nERROR %s\n", e)
+	}
+	switch {
+	case !r.OK():
+		fmt.Fprintf(&b, "FAIL: %d corpus entries could not be triaged (see above)\n", len(r.Errors))
+	case r.Total == 0:
+		b.WriteString("empty corpus: nothing to triage\n")
+	default:
+		fmt.Fprintf(&b, "PASS: %d findings triaged into %d clusters\n", r.Total, len(r.Clusters))
+	}
+	return b.String()
+}
+
+// MarshalJSONReport renders the report as indented JSON (the artifact
+// form uploaded by the nightly campaign workflow).
+func MarshalJSONReport(r *Report) ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("triage: encode report: %w", err)
+	}
+	return append(out, '\n'), nil
+}
+
+// budgetRange renders a cluster's NI escalation-ceiling bracket.
+func budgetRange(cl *Cluster) string {
+	switch {
+	case cl.NIBudgetMax == 0:
+		return "-"
+	case cl.NIBudgetMin == cl.NIBudgetMax:
+		return fmt.Sprintf("%d", cl.NIBudgetMax)
+	default:
+		return fmt.Sprintf("%d..%d", cl.NIBudgetMin, cl.NIBudgetMax)
+	}
+}
+
+// ago renders a timestamp as a coarse age ("3d", "2h", "now"); zero
+// timestamps (pre-FoundAt corpora) render as "-".
+func ago(t time.Time) string {
+	if t.IsZero() {
+		return "-"
+	}
+	d := time.Since(t)
+	switch {
+	case d < 0:
+		return "now"
+	case d < time.Hour:
+		return fmt.Sprintf("%dm", int(d.Minutes()))
+	case d < 48*time.Hour:
+		return fmt.Sprintf("%dh", int(d.Hours()))
+	default:
+		return fmt.Sprintf("%dd", int(d.Hours()/24))
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/progs"
 	"repro/internal/shrink"
+	"repro/internal/triage"
 )
 
 // Program is a parsed P4 program.
@@ -82,8 +83,13 @@ func Diamond() Lattice { return lattice.Diamond() }
 // NParty generalizes Diamond to the named parties.
 func NParty(names ...string) Lattice { return lattice.NParty(names...) }
 
-// LatticeByName resolves "two-point", "diamond", or "chain-N".
+// LatticeByName resolves "two-point", "diamond", "chain:N", "nparty:N",
+// or "powerset:N".
 func LatticeByName(name string) (Lattice, error) { return lattice.ByName(name) }
+
+// Powerset returns the subset lattice over the given atoms, with
+// label-safe element spellings ("p_a_b"; brace forms stay as aliases).
+func Powerset(atoms ...string) Lattice { return lattice.Powerset(atoms...) }
 
 // ControlPlane holds installed match-action table entries; see the
 // controlplane helpers re-exported below.
@@ -275,3 +281,51 @@ func Replay(ctx context.Context, cfg ReplayConfig) (*ReplayReport, error) {
 // FormatReplayReport renders a replay report: per-class counts plus any
 // drifted findings.
 func FormatReplayReport(r *ReplayReport) string { return campaign.FormatReplayReport(r) }
+
+// TriageConfig configures Triage; TriageReport is its outcome and
+// TriageCluster one (class, rule, shape) group of findings (see
+// internal/triage for the fingerprint and clustering semantics).
+type (
+	TriageConfig  = triage.Config
+	TriageReport  = triage.Report
+	TriageCluster = triage.Cluster
+)
+
+// Triage turns a corpus into structured analytics: every finding gets an
+// AST shape fingerprint (a canonical skeleton hash abstracting
+// identifiers and literals but keeping statement structure, label
+// positions, and operator type-classes), findings are clustered by
+// (verdict class, cited typing rule, shape), and the clusters are ranked
+// by size with exemplars, origin mix, discovery-time brackets, and NI
+// budgets. TriageReport.OK() is false iff some corpus entry is malformed
+// (unreadable pair, non-finding metadata, unparseable program) — run it
+// as a gate to keep corpus metadata trustworthy.
+func Triage(cfg TriageConfig) (*TriageReport, error) { return triage.Triage(cfg) }
+
+// FormatTriageReport renders the ranked cluster table as text;
+// MarshalTriageReport as indented JSON.
+func FormatTriageReport(r *TriageReport) string           { return triage.FormatReport(r) }
+func MarshalTriageReport(r *TriageReport) ([]byte, error) { return triage.MarshalJSONReport(r) }
+
+// FingerprintProgram returns the AST shape fingerprint triage clusters
+// by: equal fingerprints mean equal canonical skeletons.
+func FingerprintProgram(prog *Program) string { return triage.Fingerprint(prog) }
+
+// RetireConfig configures Retire; RetireReport is its outcome.
+type (
+	RetireConfig = triage.RetireConfig
+	RetireReport = triage.RetireReport
+)
+
+// Retire is the corpus hygiene pass: it replays cfg.CorpusDir, promotes
+// every finding whose recorded defect the current stack no longer
+// reproduces into a retired corpus (re-recorded under its current
+// classification, so the fix gains a regression guard), and removes it
+// from the live corpus. Entries whose defect still reproduces are kept
+// untouched.
+func Retire(ctx context.Context, cfg RetireConfig) (*RetireReport, error) {
+	return triage.Retire(ctx, cfg)
+}
+
+// FormatRetireReport renders a retire pass's outcome.
+func FormatRetireReport(r *RetireReport) string { return triage.FormatRetireReport(r) }

@@ -82,6 +82,12 @@ func TestLatticeConstructors(t *testing.T) {
 	if _, err := repro.LatticeByName("garbage"); err == nil {
 		t.Error("garbage lattice resolved")
 	}
+	if lat, err := repro.LatticeByName("powerset:2"); err != nil || len(lat.Elements()) != 4 {
+		t.Errorf("powerset:2 = %v, %v", lat, err)
+	}
+	if repro.Powerset("a", "b").Top().Name() != "p_a_b" {
+		t.Error("Powerset label spelling")
+	}
 }
 
 func TestCaseStudiesComplete(t *testing.T) {

@@ -1,0 +1,14 @@
+header hdr_t {
+    <bit<8>, low> dst0;
+    <bit<8>, high> key2;
+}
+struct headers {
+    hdr_t d;
+}
+control Rand_Ingress(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    action fwd1() {
+        hdr.d.dst0 = hdr.d.key2;
+    }
+    apply {
+    }
+}

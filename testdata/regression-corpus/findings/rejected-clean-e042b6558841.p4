@@ -1,0 +1,14 @@
+header frame_t {
+    <bit<8>, low> pkt0;
+    <bit<8>, high> sec2;
+}
+struct headers {
+    frame_t d;
+}
+control Rand_Ingress(inout headers hdr, inout <standard_metadata_t, L1> standard_metadata) {
+    action emit0() {
+        hdr.d.pkt0 = hdr.d.sec2;
+    }
+    apply {
+    }
+}
