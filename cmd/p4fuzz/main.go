@@ -1,20 +1,28 @@
-// Command p4fuzz runs differential soundness-fuzzing against the P4BID
-// checker: it generates random programs, cross-checks the IFC checker
-// against the baseline checker and the non-interference harness, and
-// prints a verdict table.
+// Command p4fuzz runs the campaign stack: differential soundness-fuzzing
+// against the P4BID checker, corpus replay, triage, and corpus hygiene,
+// all over one persistent finding corpus through the repro.Session API.
 //
 // Usage:
 //
-//	p4fuzz [-n 1000] [-seed 1] [-trials 8] [-trials-max 0] [-workers 0]
-//	       [-depth 3] [-stmts 5] [-fields 3] [-timeout 0]
-//	       [-lattice two-point|diamond|chain:N|nparty:N|powerset:N]
-//	       [-corpus-dir DIR] [-minimize] [-shard i/n] [-resume] [-mutate]
-//	       [-triage]
-//	p4fuzz -replay DIR [-trials 4] [-trials-max 32]
-//	p4fuzz -retire DIR [-promote-dir DIR] [-trials 4] [-trials-max 32]
+//	p4fuzz run    [-n 1000] [-seed 1] [-trials N] [-trials-max N]
+//	              [-workers 0] [-depth 3] [-stmts 5] [-fields 3]
+//	              [-timeout 0] [-lattice SPEC] [-corpus-dir DIR]
+//	              [-minimize] [-shard i/n] [-resume] [-mutate] [-triage]
+//	              [-events]
+//	p4fuzz replay [-trials 4] [-trials-max 32] [-events] [DIR]
+//	p4fuzz triage [-json] [-novelty N] [-o FILE] [-events] [DIR]
+//	p4fuzz retire [-promote-dir DIR] [-trials 4] [-trials-max 32]
+//	              [-events] [DIR]
 //
-// With none of the campaign flags, p4fuzz is the one-shot harness: the
-// whole corpus is generated up front, checked, and forgotten. Any of
+// The pre-subcommand flag spellings (p4fuzz -corpus-dir ... -mutate,
+// p4fuzz -replay DIR, p4fuzz -retire DIR, p4fuzz -triage) keep working
+// unchanged and produce byte-identical reports — both forms run the same
+// Session underneath.
+//
+// # run
+//
+// With none of the campaign flags, run is the one-shot harness: the whole
+// corpus is generated up front, checked, and forgotten. Any of
 // -corpus-dir, -minimize, -shard, -resume, or -mutate switches to the
 // streaming campaign engine, which generates jobs lazily, deduplicates and
 // persists interesting programs (with verdict metadata) under -corpus-dir,
@@ -22,31 +30,43 @@
 // with -shard i/n (0-based; shard corpus dirs merge by file copy), and
 // continues from the persisted per-shard cursor with -resume.
 //
-// -lattice selects the campaign lattice in either mode: generated programs
-// are annotated against it and checked under it, so chain:N, nparty:N, and
-// powerset:N campaigns exercise label flows two-point programs cannot
-// express (powerset elements spell label-safely as p_a_b, so they work
-// in source annotations; brace forms remain programmatic Lookup aliases).
-// -mutate closes the coverage-guided loop: half the jobs become AST-level
-// mutants of persisted corpus findings (seed pool weighted by verdict
-// class and recency) instead of fresh gen.Random samples.
+// -lattice selects the campaign lattice in either mode: two-point
+// (default), diamond, chain:N, nparty:N, powerset:N, or product:a,b
+// (components themselves specs, e.g. product:two-point,diamond).
+// Generated programs are annotated against it and checked under it, so
+// taller and wider lattices exercise label flows two-point programs cannot
+// express; powerset and product elements spell label-safely (p_a_b,
+// x_low_high), so they work in source annotations. -mutate closes the
+// coverage-guided loop: half the jobs become AST-level mutants of
+// persisted corpus findings (seed pool weighted by verdict class,
+// recency, novelty, and triage-cluster saturation). -triage appends the
+// corpus's ranked cluster summary after the campaign.
 //
-// -triage prints the corpus's ranked triage summary (finding clusters by
-// verdict class, cited rule, and AST shape fingerprint — see p4triage for
-// the full report) after the campaign, so a nightly log ends with what
-// the corpus *means*, not just how much it grew.
+// -events streams structured progress to stderr while any campaign-mode
+// or corpus subcommand runs: coarse progress ticks and drift/cluster/
+// retired lines as they happen, plus one finding line per new finding as
+// the post-analysis phase minimizes and persists it — the live view CI
+// logs tail, where the final report is the summary. (The one-shot
+// harness has no event stream; -events without a campaign flag says so.)
 //
-// -replay DIR re-checks every finding persisted under DIR against the
-// current checker stack and exits 1 on any verdict drift — the corpus as a
-// regression suite. Findings recorded with their NI budget replay under
-// it; older corpora use the -trials/-trials-max defaults.
+// # replay, retire
 //
-// -retire DIR is the corpus hygiene pass: findings whose recorded defect
-// the current stack no longer reproduces (replay drift from a deliberate
-// fix) are first promoted into -promote-dir as a retired regression
-// corpus — re-recorded under their current classification, so the fix
-// stays guarded — and then removed from the live corpus. Exit 1 if any
-// entry could not be processed.
+// replay re-checks every finding persisted under DIR (default
+// testdata/regression-corpus) against the current checker stack and exits
+// 1 on any verdict drift — the corpus as a regression suite. retire is
+// the corpus hygiene pass: findings whose recorded defect the current
+// stack no longer reproduces are first promoted into -promote-dir as a
+// retired regression corpus — re-recorded under their current
+// classification, so the fix stays guarded — and then removed from the
+// live corpus; exit 1 if any entry could not be processed.
+//
+// # triage
+//
+// triage prints the corpus's ranked cluster table (findings grouped by
+// verdict class, cited typing rule, and AST shape fingerprint) as text or
+// JSON (-json), optionally to a file (-o). Exit 1 when any corpus entry
+// is malformed. cmd/p4triage is a thin alias of this subcommand that
+// additionally diffs two reports (-diff).
 //
 // -trials is the per-program NI budget; when -trials-max exceeds it, the
 // budget is adaptive — accepted programs get -trials, rejected programs
@@ -54,14 +74,11 @@
 // defaults to an adaptive 4/32 split where the one-shot harness keeps the
 // flat 8.
 //
-// Exit status 0 if the run found no implementation defects (no
-// IFC-accepted program interfered, no generated program failed to parse or
-// base-check, no runtime errors, no parser roundtrip disagreements),
-// 1 on any defect or an aborted run, 2 on usage errors. Every finding is
-// reported with its per-program generation seed, so a failure replays with
-// p4fuzz -n 1 -seed <that seed> — passing the same -depth/-stmts/-fields
-// flags as the original campaign (the seed only determines the program for
-// a fixed generator configuration; reports and corpus metadata echo it).
+// Exit status 0 if the operation found no defects, 1 on any defect,
+// drift, malformed corpus entry, or aborted run, 2 on usage errors.
+// Every finding is reported with its per-program generation seed, so a
+// failure replays with p4fuzz run -n 1 -seed <that seed> — passing the
+// same -depth/-stmts/-fields flags as the original campaign.
 package main
 
 import (
@@ -78,26 +95,100 @@ import (
 )
 
 func main() {
-	n := flag.Int("n", 1000, "number of programs to generate and cross-check")
-	seed := flag.Int64("seed", 1, "base generation seed (program i uses seed+i)")
-	trials := flag.Int("trials", 0, "base NI trials per program (0 = 8 one-shot, 4 campaign)")
-	trialsMax := flag.Int("trials-max", 0, "adaptive NI ceiling for rejected programs (0 = campaign default, <0 or <= -trials disables)")
-	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-	depth := flag.Int("depth", 3, "max conditional nesting in generated programs")
-	stmts := flag.Int("stmts", 5, "max statements per generated block")
-	fields := flag.Int("fields", 3, "low/high header fields in generated programs")
-	timeout := flag.Duration("timeout", 0, "overall campaign timeout (0 = none)")
-	latSpec := flag.String("lattice", "", "campaign lattice: two-point (default), diamond, chain:N, nparty:N, or powerset:N")
-	corpusDir := flag.String("corpus-dir", "", "persistent corpus directory (enables the campaign engine)")
-	minimize := flag.Bool("minimize", false, "shrink findings to minimal reproducers before persisting")
-	shard := flag.String("shard", "", "shard assignment i/n (0-based), e.g. 0/4")
-	resume := flag.Bool("resume", false, "continue from the corpus's per-shard cursor")
-	mutateSeeds := flag.Bool("mutate", false, "mutate persisted corpus findings for half the jobs (coverage-guided loop)")
-	triageAfter := flag.Bool("triage", false, "print the corpus's triage cluster summary after the campaign (requires -corpus-dir)")
-	replayDir := flag.String("replay", "", "replay mode: re-check every finding under this corpus dir and exit 1 on verdict drift")
-	retireDir := flag.String("retire", "", "retire mode: promote replay-drifted findings under this corpus dir to -promote-dir, then remove them")
-	promoteDir := flag.String("promote-dir", "", "retired-corpus directory for -retire (default <corpus>/../retired-corpus)")
-	flag.Parse()
+	args := os.Args[1:]
+	if len(args) > 0 {
+		switch args[0] {
+		case "run":
+			os.Exit(runMain(args[1:]))
+		case "replay":
+			os.Exit(replayMain(args[1:]))
+		case "triage":
+			os.Exit(triageMain(args[1:]))
+		case "retire":
+			os.Exit(retireMain(args[1:]))
+		}
+	}
+	// Legacy flag form: p4fuzz -corpus-dir ... / -replay DIR / -retire DIR.
+	// Same parser, same Session, byte-identical reports.
+	os.Exit(runMain(args))
+}
+
+// watchEvents starts the live event renderer when enabled: structured
+// progress to stderr while the operation runs. The returned stop function
+// closes the session's stream and waits for the renderer to drain.
+func watchEvents(s *repro.Session, enabled bool) (stop func()) {
+	if !enabled {
+		return func() { s.Close() }
+	}
+	ch := s.Events()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for ev := range ch {
+			switch ev.Kind {
+			case repro.EventProgress:
+				fmt.Fprintf(os.Stderr, "[%s] %d/%d done\n", ev.Op, ev.Done, ev.Total)
+			case repro.EventFinding:
+				fmt.Fprintf(os.Stderr, "[%s] finding %s (index %d): %s\n", ev.Op, ev.Class, ev.Index, ev.Detail)
+			case repro.EventDrift:
+				fmt.Fprintf(os.Stderr, "[%s] drift %s: recorded %s, %s\n", ev.Op, ev.Path, ev.Class, ev.Detail)
+			case repro.EventCluster:
+				fmt.Fprintf(os.Stderr, "[%s] cluster %s/%s/%s: %d findings\n", ev.Op, ev.Class, ev.Rule, ev.Detail, ev.Done)
+			case repro.EventRetired:
+				fmt.Fprintf(os.Stderr, "[%s] retired %s: %s\n", ev.Op, ev.Path, ev.Detail)
+			}
+		}
+	}()
+	return func() {
+		s.Close()
+		<-done
+	}
+}
+
+// corpusArg resolves a subcommand's corpus directory: the positional
+// argument if given, else the flag/default. More than one positional is a
+// usage error.
+func corpusArg(fs *flag.FlagSet, def string) (string, bool) {
+	switch fs.NArg() {
+	case 0:
+		return def, true
+	case 1:
+		return fs.Arg(0), true
+	default:
+		fmt.Fprintf(os.Stderr, "p4fuzz: unexpected arguments %v\n", fs.Args()[1:])
+		return "", false
+	}
+}
+
+func runMain(args []string) int {
+	fs := flag.NewFlagSet("p4fuzz run", flag.ExitOnError)
+	n := fs.Int("n", 1000, "number of programs to generate and cross-check")
+	seed := fs.Int64("seed", 1, "base generation seed (program i uses seed+i)")
+	trials := fs.Int("trials", 0, "base NI trials per program (0 = 8 one-shot, 4 campaign)")
+	trialsMax := fs.Int("trials-max", 0, "adaptive NI ceiling for rejected programs (0 = campaign default, <0 or <= -trials disables)")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	depth := fs.Int("depth", 3, "max conditional nesting in generated programs")
+	stmts := fs.Int("stmts", 5, "max statements per generated block")
+	fields := fs.Int("fields", 3, "low/high header fields in generated programs")
+	timeout := fs.Duration("timeout", 0, "overall campaign timeout (0 = none)")
+	latSpec := fs.String("lattice", "", "campaign lattice: two-point (default), diamond, chain:N, nparty:N, powerset:N, or product:a,b")
+	corpusDir := fs.String("corpus-dir", "", "persistent corpus directory (enables the campaign engine)")
+	minimize := fs.Bool("minimize", false, "shrink findings to minimal reproducers before persisting")
+	shard := fs.String("shard", "", "shard assignment i/n (0-based), e.g. 0/4")
+	resume := fs.Bool("resume", false, "continue from the corpus's per-shard cursor")
+	mutateSeeds := fs.Bool("mutate", false, "mutate persisted corpus findings for half the jobs (coverage-guided loop)")
+	triageAfter := fs.Bool("triage", false, "print the corpus's triage cluster summary after the campaign (requires -corpus-dir)")
+	liveEvents := fs.Bool("events", false, "stream structured progress events to stderr while running")
+	// Legacy mode spellings, kept so pre-subcommand invocations work
+	// unchanged; the subcommands are the documented surface.
+	replayDir := fs.String("replay", "", "legacy spelling of the replay subcommand: corpus dir to replay")
+	retireDir := fs.String("retire", "", "legacy spelling of the retire subcommand: corpus dir to retire drifted findings from")
+	promoteDir := fs.String("promote-dir", "", "retired-corpus directory for -retire (default <corpus>/../retired-corpus)")
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "p4fuzz: unexpected arguments %v\n", fs.Args())
+		return 2
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -107,40 +198,10 @@ func main() {
 	}
 
 	if *retireDir != "" {
-		rep, err := repro.Retire(ctx, repro.RetireConfig{
-			CorpusDir:   *retireDir,
-			PromoteDir:  *promoteDir,
-			NITrials:    *trials,
-			NITrialsMax: *trialsMax,
-			Log:         os.Stderr,
-		})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "p4fuzz: retire: %v\n", err)
-			os.Exit(2)
-		}
-		fmt.Print(repro.FormatRetireReport(rep))
-		if !rep.OK() {
-			os.Exit(1)
-		}
-		return
+		return retire(ctx, *retireDir, *promoteDir, *trials, *trialsMax, *liveEvents)
 	}
-
 	if *replayDir != "" {
-		rep, err := repro.Replay(ctx, repro.ReplayConfig{
-			CorpusDir:   *replayDir,
-			NITrials:    *trials,
-			NITrialsMax: *trialsMax,
-			Log:         os.Stderr,
-		})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "p4fuzz: replay: %v\n", err)
-			os.Exit(2)
-		}
-		fmt.Print(repro.FormatReplayReport(rep))
-		if !rep.OK() {
-			os.Exit(1)
-		}
-		return
+		return replay(ctx, *replayDir, *trials, *trialsMax, *liveEvents)
 	}
 
 	gcfg := gen.Config{
@@ -152,15 +213,21 @@ func main() {
 	}
 	if err := gcfg.Validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "p4fuzz: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
 
 	campaignMode := *corpusDir != "" || *minimize || *shard != "" || *resume || *mutateSeeds || *triageAfter
 	if *triageAfter && *corpusDir == "" {
 		fmt.Fprintln(os.Stderr, "p4fuzz: -triage needs -corpus-dir (triage reads the persisted corpus)")
-		os.Exit(2)
+		return 2
 	}
 	if !campaignMode {
+		if *liveEvents {
+			// The one-shot harness materializes and classifies its whole
+			// corpus through DiffFuzz, which has no event stream; say so
+			// instead of silently eating the flag.
+			fmt.Fprintln(os.Stderr, "p4fuzz: -events has no effect in one-shot mode (add a campaign flag such as -corpus-dir)")
+		}
 		t := *trials
 		if t == 0 {
 			t = 8
@@ -175,16 +242,16 @@ func main() {
 		})
 		if rep == nil {
 			fmt.Fprintf(os.Stderr, "p4fuzz: %v\n", err)
-			os.Exit(2)
+			return 2
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "p4fuzz: campaign aborted after %v: %v\n", rep.Elapsed.Round(time.Millisecond), err)
 		}
 		fmt.Print(repro.FormatFuzzReport(rep))
 		if !rep.OK() || err != nil {
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	shardIdx, numShards := 0, 1
@@ -199,27 +266,38 @@ func main() {
 		}
 		if !ok || err1 != nil || err2 != nil {
 			fmt.Fprintf(os.Stderr, "p4fuzz: -shard wants i/n (e.g. 0/4), got %q\n", *shard)
-			os.Exit(2)
+			return 2
 		}
 	}
-	rep, err := repro.Campaign(ctx, repro.CampaignConfig{
-		N:           *n,
-		Seed:        *seed,
-		Gen:         gcfg,
-		NITrials:    *trials,
-		NITrialsMax: *trialsMax,
-		Workers:     *workers,
-		Shard:       shardIdx,
-		NumShards:   numShards,
-		Mutate:      *mutateSeeds,
-		CorpusDir:   *corpusDir,
-		Resume:      *resume,
-		Minimize:    *minimize,
-		Log:         os.Stderr,
-	})
+	opts := []repro.SessionOption{
+		repro.WithSeed(*seed),
+		repro.WithGenConfig(gcfg),
+		repro.WithNIBudget(*trials, *trialsMax),
+		repro.WithWorkers(*workers),
+		repro.WithShard(shardIdx, numShards),
+		repro.WithCorpus(*corpusDir),
+		repro.WithLog(os.Stderr),
+	}
+	if *mutateSeeds {
+		opts = append(opts, repro.WithMutation(0))
+	}
+	if *minimize {
+		opts = append(opts, repro.WithMinimize())
+	}
+	if *resume {
+		opts = append(opts, repro.WithResume())
+	}
+	s, err := repro.NewSession(opts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p4fuzz: %v\n", err)
+		return 2
+	}
+	stop := watchEvents(s, *liveEvents)
+	defer stop()
+	rep, err := s.Campaign(ctx, *n)
 	if rep == nil {
 		fmt.Fprintf(os.Stderr, "p4fuzz: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "p4fuzz: campaign aborted after %v: %v\n", rep.Elapsed.Round(time.Millisecond), err)
@@ -230,10 +308,10 @@ func main() {
 		// The summary covers the whole corpus the campaign just grew, so
 		// the nightly log ends with what the findings mean: the ranked
 		// (class, rule, shape) clusters and the seed-novelty standings.
-		trep, terr := repro.Triage(repro.TriageConfig{CorpusDir: *corpusDir})
+		trep, terr := s.Triage()
 		if terr != nil {
 			fmt.Fprintf(os.Stderr, "p4fuzz: triage: %v\n", terr)
-			os.Exit(2)
+			return 2
 		}
 		fmt.Println()
 		fmt.Print(repro.FormatTriageReport(trep))
@@ -242,6 +320,145 @@ func main() {
 		triageClean = trep.OK()
 	}
 	if !rep.OK() || !triageClean || err != nil {
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+func replayMain(args []string) int {
+	fs := flag.NewFlagSet("p4fuzz replay", flag.ExitOnError)
+	trials := fs.Int("trials", 0, "base NI trials for findings recorded without a budget (0 = 4)")
+	trialsMax := fs.Int("trials-max", 0, "adaptive NI ceiling for findings recorded without a budget (0 = 32)")
+	liveEvents := fs.Bool("events", false, "stream structured progress events to stderr while running")
+	fs.Parse(args)
+	dir, ok := corpusArg(fs, "testdata/regression-corpus")
+	if !ok {
+		return 2
+	}
+	return replay(context.Background(), dir, *trials, *trialsMax, *liveEvents)
+}
+
+func replay(ctx context.Context, dir string, trials, trialsMax int, liveEvents bool) int {
+	s, err := repro.NewSession(
+		repro.WithCorpus(dir),
+		repro.WithNIBudget(trials, trialsMax),
+		repro.WithLog(os.Stderr),
+	)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p4fuzz: replay: %v\n", err)
+		return 2
+	}
+	stop := watchEvents(s, liveEvents)
+	rep, err := s.Replay(ctx)
+	stop()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p4fuzz: replay: %v\n", err)
+		return 2
+	}
+	fmt.Print(repro.FormatReplayReport(rep))
+	if !rep.OK() {
+		return 1
+	}
+	return 0
+}
+
+func retireMain(args []string) int {
+	fs := flag.NewFlagSet("p4fuzz retire", flag.ExitOnError)
+	promoteDir := fs.String("promote-dir", "", "retired-corpus directory (default <corpus>/../retired-corpus)")
+	trials := fs.Int("trials", 0, "base NI trials for findings recorded without a budget (0 = 4)")
+	trialsMax := fs.Int("trials-max", 0, "adaptive NI ceiling for findings recorded without a budget (0 = 32)")
+	liveEvents := fs.Bool("events", false, "stream structured progress events to stderr while running")
+	fs.Parse(args)
+	// No default corpus here, deliberately: retire deletes drifted entries
+	// from the live corpus, and a bare `p4fuzz retire` must not clean the
+	// checked-in regression seeds by accident.
+	dir, ok := corpusArg(fs, "")
+	if !ok {
+		return 2
+	}
+	if dir == "" {
+		fmt.Fprintln(os.Stderr, "p4fuzz: retire needs an explicit corpus directory (it removes drifted findings)")
+		return 2
+	}
+	return retire(context.Background(), dir, *promoteDir, *trials, *trialsMax, *liveEvents)
+}
+
+func retire(ctx context.Context, dir, promoteDir string, trials, trialsMax int, liveEvents bool) int {
+	s, err := repro.NewSession(
+		repro.WithCorpus(dir),
+		repro.WithPromoteDir(promoteDir),
+		repro.WithNIBudget(trials, trialsMax),
+		repro.WithLog(os.Stderr),
+	)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p4fuzz: retire: %v\n", err)
+		return 2
+	}
+	stop := watchEvents(s, liveEvents)
+	rep, err := s.Retire(ctx)
+	stop()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p4fuzz: retire: %v\n", err)
+		return 2
+	}
+	fmt.Print(repro.FormatRetireReport(rep))
+	if !rep.OK() {
+		return 1
+	}
+	return 0
+}
+
+func triageMain(args []string) int {
+	fs := flag.NewFlagSet("p4fuzz triage", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the report as JSON instead of text")
+	novelty := fs.Int("novelty", 10, "max seeds in the novelty ranking (-1 = unlimited)")
+	outPath := fs.String("o", "", "write the report to this file instead of stdout")
+	liveEvents := fs.Bool("events", false, "stream structured progress events to stderr while running")
+	fs.Parse(args)
+	dir, ok := corpusArg(fs, "testdata/regression-corpus")
+	if !ok {
+		return 2
+	}
+	return triageReport(dir, *asJSON, *novelty, *outPath, *liveEvents)
+}
+
+// triageReport renders one corpus's triage report — the same Session
+// calls cmd/p4triage's shim makes.
+func triageReport(dir string, asJSON bool, novelty int, outPath string, liveEvents bool) int {
+	s, err := repro.NewSession(
+		repro.WithCorpus(dir),
+		repro.WithMaxNovelty(novelty),
+	)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p4fuzz: triage: %v\n", err)
+		return 2
+	}
+	stop := watchEvents(s, liveEvents)
+	rep, err := s.Triage()
+	stop()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p4fuzz: triage: %v\n", err)
+		return 2
+	}
+	var out []byte
+	if asJSON {
+		if out, err = repro.MarshalTriageReport(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "p4fuzz: triage: %v\n", err)
+			return 2
+		}
+	} else {
+		out = []byte(repro.FormatTriageReport(rep))
+	}
+	if outPath != "" {
+		if err := os.WriteFile(outPath, out, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "p4fuzz: triage: %v\n", err)
+			return 2
+		}
+	} else {
+		os.Stdout.Write(out)
+	}
+	if !rep.OK() {
+		return 1
+	}
+	return 0
 }

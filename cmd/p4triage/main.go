@@ -1,7 +1,6 @@
 // Command p4triage turns a fuzz-campaign corpus into structured
-// analytics: every persisted finding gets an AST shape fingerprint (a
-// canonical skeleton hash that abstracts identifiers and literals but
-// keeps statement structure, label positions, and operator type-classes),
+// analytics. It is a thin shim over the same repro.Session surface as
+// `p4fuzz triage`: every persisted finding gets an AST shape fingerprint,
 // findings are clustered by (verdict class, cited typing rule, shape),
 // and the clusters are printed ranked by size with exemplar programs,
 // gen-vs-mutant origin mix, discovery-time brackets, NI budgets at
@@ -10,6 +9,7 @@
 // Usage:
 //
 //	p4triage [-corpus DIR] [-json] [-novelty N] [-o FILE]
+//	p4triage -diff OLD.json NEW.json [-md] [-o FILE]
 //
 // -corpus names the corpus directory (default testdata/regression-corpus,
 // the checked-in regression seeds). -json emits the report as JSON
@@ -17,11 +17,18 @@
 // artifact. -novelty caps the seed-productivity ranking (-1 = unlimited).
 // -o writes the report to a file instead of stdout.
 //
-// Exit status 0 when every corpus entry triaged cleanly, 1 when any
-// entry is malformed (unreadable finding pair, metadata that is not a
-// finding's, a program the current frontend cannot parse) — so a CI gate
-// over a checked-in corpus fails the moment its metadata rots — and 2 on
-// usage or I/O errors.
+// -diff compares two JSON reports (the artifact form) as a time series:
+// clusters present only in NEW are new defect classes, grown ones are
+// more of a known class, gone ones emptied out. -md renders the diff as a
+// GitHub-flavored Markdown fragment — the form the nightly workflow
+// appends to its job summary.
+//
+// Exit status 0 when every corpus entry triaged cleanly (for -diff:
+// always, unless inputs are unreadable), 1 when any entry is malformed
+// (unreadable finding pair, metadata that is not a finding's, a program
+// the current frontend cannot parse) — so a CI gate over a checked-in
+// corpus fails the moment its metadata rots — and 2 on usage or I/O
+// errors.
 package main
 
 import (
@@ -37,13 +44,28 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit the report as JSON instead of text")
 	novelty := flag.Int("novelty", 10, "max seeds in the novelty ranking (-1 = unlimited)")
 	outPath := flag.String("o", "", "write the report to this file instead of stdout")
+	diff := flag.Bool("diff", false, "diff mode: compare two JSON reports (old, new) given as arguments")
+	md := flag.Bool("md", false, "with -diff, render the diff as Markdown (for CI job summaries)")
 	flag.Parse()
+
+	if *diff {
+		os.Exit(diffMain(flag.Args(), *md, *outPath))
+	}
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "p4triage: unexpected arguments %v\n", flag.Args())
 		os.Exit(2)
 	}
 
-	rep, err := repro.Triage(repro.TriageConfig{CorpusDir: *corpusDir, MaxNovelty: *novelty})
+	s, err := repro.NewSession(
+		repro.WithCorpus(*corpusDir),
+		repro.WithMaxNovelty(*novelty),
+	)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p4triage: %v\n", err)
+		os.Exit(2)
+	}
+	defer s.Close()
+	rep, err := s.Triage()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "p4triage: %v\n", err)
 		os.Exit(2)
@@ -58,15 +80,53 @@ func main() {
 	} else {
 		out = []byte(repro.FormatTriageReport(rep))
 	}
-	if *outPath != "" {
-		if err := os.WriteFile(*outPath, out, 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "p4triage: %v\n", err)
-			os.Exit(2)
-		}
-	} else {
-		os.Stdout.Write(out)
+	if err := emit(*outPath, out); err != nil {
+		fmt.Fprintf(os.Stderr, "p4triage: %v\n", err)
+		os.Exit(2)
 	}
 	if !rep.OK() {
 		os.Exit(1)
 	}
+}
+
+// diffMain loads two JSON triage reports and prints their cluster-level
+// diff.
+func diffMain(args []string, md bool, outPath string) int {
+	if len(args) != 2 {
+		fmt.Fprintf(os.Stderr, "p4triage: -diff wants exactly two report files (old.json new.json), got %d\n", len(args))
+		return 2
+	}
+	reports := make([]*repro.TriageReport, 2)
+	for i, path := range args {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p4triage: %v\n", err)
+			return 2
+		}
+		if reports[i], err = repro.UnmarshalTriageReport(raw); err != nil {
+			fmt.Fprintf(os.Stderr, "p4triage: %s: %v\n", path, err)
+			return 2
+		}
+	}
+	d := repro.DiffTriageReports(reports[0], reports[1])
+	var out string
+	if md {
+		out = repro.MarkdownTriageDiff(d)
+	} else {
+		out = repro.FormatTriageDiff(d)
+	}
+	if err := emit(outPath, []byte(out)); err != nil {
+		fmt.Fprintf(os.Stderr, "p4triage: %v\n", err)
+		return 2
+	}
+	return 0
+}
+
+// emit writes out to path, or stdout when path is empty.
+func emit(path string, out []byte) error {
+	if path == "" {
+		_, err := os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
 }

@@ -1,0 +1,105 @@
+// Command campaignstack demonstrates the campaign stack twice over: the
+// Session + Corpus API (the current surface) and the deprecated
+// standalone wrappers (the pre-Session surface). CI builds this example
+// to guarantee the deprecated wrappers keep compiling with exactly the
+// signatures existing callers use — the compatibility contract of the
+// Session redesign, enforced at build time.
+//
+// Usage: campaignstack [corpus-dir]   (default: a temp directory)
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	dir := ""
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	} else {
+		var err error
+		if dir, err = os.MkdirTemp("", "campaignstack-*"); err != nil {
+			fail(err)
+		}
+		defer os.RemoveAll(dir)
+	}
+	ctx := context.Background()
+
+	// The current surface: one Session, many operations, live events.
+	s, err := repro.NewSession(
+		repro.WithCorpus(dir),
+		repro.WithLattice("chain:4"),
+		repro.WithSeed(1),
+		repro.WithNIBudget(2, 8),
+		repro.WithMutation(0.5),
+	)
+	if err != nil {
+		fail(err)
+	}
+	events := s.Events()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for ev := range events {
+			if ev.Kind == repro.EventFinding || ev.Kind == repro.EventProgress {
+				fmt.Printf("  [%s] %s %s %d/%d\n", ev.Op, ev.Kind, ev.Class, ev.Done, ev.Total)
+			}
+		}
+	}()
+	rep, err := s.Campaign(ctx, 40)
+	if err != nil {
+		fail(err)
+	}
+	rr, err := s.Replay(ctx)
+	if err != nil {
+		fail(err)
+	}
+	tr, err := s.Triage()
+	if err != nil {
+		fail(err)
+	}
+	s.Close()
+	<-done
+	fmt.Printf("session: %d analyzed, %d findings, replay ok=%v, %d clusters\n",
+		rep.Analyzed, rep.NewFindings, rr.OK(), len(tr.Clusters))
+
+	// The corpus handle: filtered iteration and stats.
+	c, err := repro.OpenCorpus(dir)
+	if err != nil {
+		fail(err)
+	}
+	for e := range c.Select(repro.CorpusFilter{Class: "rejected-clean"}) {
+		fmt.Printf("  rejected-clean: %s cites %s\n", e.Name, e.Rule())
+	}
+	fmt.Printf("corpus: %+v\n", c.Stats())
+
+	// The deprecated pre-Session wrappers: every signature existing
+	// callers rely on, still compiling and still running the same engine.
+	if _, err := repro.Campaign(ctx, repro.CampaignConfig{N: 10, Seed: 2, CorpusDir: dir, NITrials: 1}); err != nil {
+		fail(err)
+	}
+	if _, err := repro.Replay(ctx, repro.ReplayConfig{CorpusDir: dir}); err != nil {
+		fail(err)
+	}
+	if _, err := repro.Triage(repro.TriageConfig{CorpusDir: dir}); err != nil {
+		fail(err)
+	}
+	if _, err := repro.Retire(ctx, repro.RetireConfig{CorpusDir: dir, PromoteDir: dir + "-retired"}); err != nil {
+		fail(err)
+	}
+	const tiny = "header d_t { <bit<8>, low> lo; }\nstruct H { d_t d; }\ncontrol c(inout H hdr) { apply { hdr.d.lo = 8w1; } }\n"
+	min, err := repro.MinimizeProgram("ex.p4", tiny, func(string) bool { return true })
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("deprecated wrappers: compiled and ran (minimized %d -> %d bytes)\n", len(tiny), len(min))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "campaignstack:", err)
+	os.Exit(1)
+}

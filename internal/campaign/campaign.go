@@ -54,7 +54,9 @@ import (
 	"time"
 
 	"repro/internal/ast"
+	"repro/internal/corpus"
 	"repro/internal/difftest"
+	"repro/internal/events"
 	"repro/internal/gen"
 	"repro/internal/lattice"
 	"repro/internal/mutate"
@@ -62,9 +64,6 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/shrink"
 )
-
-// Class names a corpus finding class; it prefixes corpus filenames.
-type Class string
 
 // Corpus classes: difftest's interesting verdicts plus the campaign's own
 // parser-disagreement check.
@@ -165,6 +164,15 @@ type Config struct {
 	MaxPerClass int
 	// Log receives one line per persisted finding (nil = discard).
 	Log io.Writer
+	// Events receives the run's structured event stream: job-done and
+	// progress while the analysis stream runs, then one finding event per
+	// new finding as the post-stream finalize phase minimizes and
+	// persists it (finding events therefore trail the job-done event of
+	// the job that produced them — minimization is deferred so it cannot
+	// park the worker pool). nil discards. Events are emitted
+	// synchronously, so sinks must be fast and non-blocking — the
+	// Session layer's buffered fan-out is the intended consumer.
+	Events events.Sink
 }
 
 // Finding is one interesting program collected by the campaign.
@@ -265,13 +273,18 @@ type engine struct {
 	trials     int
 	max        int
 	perClass   int
-	corp       *corpus
+	corp       *corpus.Corpus
 	pool       *seedPool
 	seen       map[string]bool
 	classCount map[Class]int
 	log        io.Writer
-	rep        *Report
-	pending    []pendingFinding
+	sink       events.Sink
+	// shardJobs is how many indices this shard covers; tickEvery spaces
+	// the progress-tick events (deterministic in the job count).
+	shardJobs int
+	tickEvery int
+	rep       *Report
+	pending   []pendingFinding
 	// novelty accumulates this run's per-parent-seed productivity deltas
 	// (mutants analyzed, new keys persisted), merged into the shard's
 	// novelty file at the end of the run. credited marks job indices
@@ -331,7 +344,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("campaign: Resume requires CorpusDir — without a corpus there is no cursor, and every run would silently re-cover [0, N)")
 	}
 	if cfg.MutateFrac < 0 || cfg.MutateFrac > 1 {
-		return nil, fmt.Errorf("campaign: MutateFrac %v out of (0, 1]", cfg.MutateFrac)
+		return nil, fmt.Errorf("campaign: MutateFrac %v out of [0, 1] (0 = the default 0.5)", cfg.MutateFrac)
 	}
 	e := &engine{
 		ctx:        ctx,
@@ -343,6 +356,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		seen:       map[string]bool{},
 		classCount: map[Class]int{},
 		log:        cfg.Log,
+		sink:       cfg.Events,
 		prov:       map[int64]provenance{},
 		novelty:    map[string]NoveltyStat{},
 		credited:   map[int64]bool{},
@@ -374,18 +388,20 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	if e.corp, err = openCorpus(cfg.CorpusDir); err != nil {
-		return nil, err
+	if cfg.CorpusDir != "" {
+		if e.corp, err = corpus.Open(cfg.CorpusDir); err != nil {
+			return nil, fmt.Errorf("campaign: %w", err)
+		}
 	}
 	if cfg.Mutate {
-		if e.pool, err = loadSeedPool(cfg.CorpusDir); err != nil {
+		if e.pool, err = loadSeedPool(e.corp); err != nil {
 			return nil, fmt.Errorf("campaign: seed pool: %w", err)
 		}
 	}
 	var first int64
 	var prior shardState
 	if e.corp != nil {
-		if prior, err = e.corp.loadState(cfg.Shard, numShards); err != nil {
+		if prior, err = loadState(cfg.CorpusDir, cfg.Shard, numShards); err != nil {
 			return nil, err
 		}
 		if cfg.Resume && prior.NextIndex > 0 {
@@ -414,6 +430,18 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	if e.pool != nil {
 		e.rep.SeedPoolSize = e.pool.size()
+	}
+	for idx := first; idx < end; idx++ {
+		if idx%int64(numShards) == int64(cfg.Shard) {
+			e.shardJobs++
+		}
+	}
+	// Progress ticks land every ~5% of the shard's jobs (at least every
+	// job on tiny runs), so a listener renders a steady bar without the
+	// engine emitting one tick per program on top of the job-done events.
+	e.tickEvery = e.shardJobs / 20
+	if e.tickEvery < 1 {
+		e.tickEvery = 1
 	}
 	start := time.Now()
 
@@ -459,7 +487,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		// Novelty deltas persist even on abort, like the findings above: an
 		// interrupted run's mutant outcomes are real coverage evidence. A
 		// save failure costs feedback quality, not findings — log and go on.
-		if err := e.corp.saveNoveltyDeltas(e.novelty, cfg.Shard, numShards); err != nil {
+		if err := saveNoveltyDeltas(cfg.CorpusDir, e.novelty, cfg.Shard, numShards); err != nil {
 			fmt.Fprintf(e.log, "campaign: %v (novelty feedback lost for this run)\n", err)
 		}
 	}
@@ -484,7 +512,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 				Runs:      prior.Runs + 1,
 				UpdatedAt: time.Now(),
 			}
-			if err := e.corp.saveState(st, cfg.Shard, numShards); err != nil {
+			if err := saveState(cfg.CorpusDir, st, cfg.Shard, numShards); err != nil {
 				return e.rep, err
 			}
 		}
@@ -553,6 +581,16 @@ func (e *engine) consume(r *pipeline.JobResult) {
 	v, detail := difftest.Classify(r)
 	e.rep.Counts[v]++
 	rule := r.CitedRule()
+	e.sink.Emit(events.Event{
+		Kind: events.KindJobDone, Op: "campaign",
+		Index: r.Job.Seq, Class: v.String(), Rule: rule,
+	})
+	if e.rep.Analyzed%e.tickEvery == 0 || e.rep.Analyzed == e.shardJobs {
+		e.sink.Emit(events.Event{
+			Kind: events.KindProgress, Op: "campaign",
+			Done: e.rep.Analyzed, Total: e.shardJobs,
+		})
+	}
 	if r.IFC != nil && !r.IFC.OK {
 		for _, d := range r.IFC.Diags {
 			if d.Rule != "" {
@@ -639,14 +677,14 @@ func (e *engine) finalize(p pendingFinding, minimize bool) {
 	case e.seen[f.Key]:
 		e.rep.DupFindings++
 		return
-	case e.corp.has(f.Key):
+	case e.corp.Has(f.Key):
 		e.seen[f.Key] = true
 		e.rep.KnownFindings++
 		return
 	}
 	e.seen[f.Key] = true
 	if e.corp != nil {
-		path, err := e.corp.put(&f, Meta{
+		path, err := e.corp.Put(Meta{
 			Class:         class,
 			Rule:          p.rule,
 			Detail:        p.detail,
@@ -666,7 +704,7 @@ func (e *engine) finalize(p pendingFinding, minimize bool) {
 			Minimized:     f.Minimized,
 			Key:           f.Key,
 			FoundAt:       time.Now(),
-		})
+		}, f.Source)
 		if err != nil {
 			// Persistence failure must not lose the finding; keep it in
 			// the report and say so.
@@ -686,6 +724,11 @@ func (e *engine) finalize(p pendingFinding, minimize bool) {
 	}
 	e.rep.NewFindings++
 	e.rep.Findings = append(e.rep.Findings, f)
+	e.sink.Emit(events.Event{
+		Kind: events.KindFinding, Op: "campaign",
+		Index: idx, Class: string(class), Rule: p.rule,
+		Detail: p.detail, Key: f.Key, Path: f.Path,
+	})
 	fmt.Fprintf(e.log, "finding: %s (index %d, %d bytes%s): %s\n",
 		class, idx, len(f.Source), minimizedTag(f), p.detail)
 }

@@ -231,11 +231,7 @@ func TestCampaignCancellation(t *testing.T) {
 	if err == nil || !rep.Aborted {
 		t.Fatalf("cancelled campaign returned err=%v aborted=%v", err, rep.Aborted)
 	}
-	c, err := openCorpus(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	st, err := c.loadState(0, 1)
+	st, err := loadState(dir, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,11 +258,7 @@ func TestCampaignCursorNeverRegresses(t *testing.T) {
 	if rep.NextIndex != 40 {
 		t.Errorf("short run reports NextIndex %d, want the preserved 40", rep.NextIndex)
 	}
-	c, err := openCorpus(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	st, err := c.loadState(0, 1)
+	st, err := loadState(dir, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

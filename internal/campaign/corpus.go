@@ -1,225 +1,64 @@
-// On-disk corpus: content-addressed finding files with JSON verdict
-// metadata, plus per-shard resume state. The layout is merge-friendly by
-// construction — finding filenames are derived from a hash of (class,
-// source), so copying the findings/ directories of two shards (or two
-// machines) into one corpus deduplicates identical findings by collision
-// and never clobbers distinct ones; state files are namespaced per
-// (shard, numShards) pair and never collide across shards.
-//
-//	<dir>/findings/<class>-<key12>.p4    the (possibly minimized) program
-//	<dir>/findings/<class>-<key12>.json  verdict metadata (Meta below)
-//	<dir>/state/shard-<i>-of-<n>.json    resume cursor for one shard
+// Corpus access for the campaign engine. The on-disk layout, metadata
+// schema, dedup keys, and the cached iteration everything in the stack
+// shares live in internal/corpus; this file keeps the campaign-flavored
+// names as aliases (the campaign introduced the format, and its tests and
+// consumers spell these names) plus the campaign-private resume cursors,
+// which are scheduling state rather than corpus content.
 package campaign
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
-	"strings"
 	"time"
 
+	"repro/internal/corpus"
 	"repro/internal/gen"
 )
 
+// Class names a corpus finding class; it prefixes corpus filenames.
+type Class = corpus.Class
+
 // Meta is the verdict metadata persisted next to each finding.
-type Meta struct {
-	// Class is the finding's corpus class (the filename prefix).
-	Class Class `json:"class"`
-	// Rule is the typing rule the IFC checker cited when it rejected the
-	// program (e.g. "T-Assign"), "" when the class involves no IFC
-	// rejection or the corpus predates rule recording. Triage clusters
-	// findings by it; old corpora fall back to extracting the rule from
-	// Detail's trailing "[Rule]" marker.
-	Rule string `json:"rule,omitempty"`
-	// Detail is the witness, error text, or disagreement description.
-	Detail string `json:"detail"`
-	// Index is the global campaign index of the generating job; with Gen
-	// and GenSeed it regenerates the original (unminimized) program —
-	// when Origin is "gen". Mutants are not regenerable from the seed
-	// alone (they also depend on the seed pool at mutation time); their
-	// provenance is ParentKey.
-	Index int64 `json:"index"`
-	// GenSeed is the program's generation seed (campaign seed + Index).
-	GenSeed int64 `json:"gen_seed"`
-	// NISeed seeds the program's NI experiment for exact replay.
-	NISeed int64 `json:"ni_seed"`
-	// NITrials and NITrialsMax record the NI budget the finding was
-	// classified under, so -replay re-checks with the same budget (zero
-	// in pre-mutation corpora; replay then uses its own defaults).
-	NITrials    int `json:"ni_trials,omitempty"`
-	NITrialsMax int `json:"ni_trials_max,omitempty"`
-	// Gen echoes the generator configuration the seeds assume, including
-	// the campaign lattice spec.
-	Gen gen.Config `json:"gen"`
-	// Origin is "gen" for freshly generated programs and "mutate" for
-	// corpus-seeded mutants ("" in pre-mutation corpora, meaning "gen").
-	Origin string `json:"origin,omitempty"`
-	// ParentKey is the dedup key of the corpus seed a mutant was derived
-	// from ("" for fresh programs); MutateOps names the mutation operators
-	// applied, in order, for triage.
-	ParentKey string `json:"parent_key,omitempty"`
-	MutateOps string `json:"mutate_ops,omitempty"`
-	// Shard/NumShards record which shard found it (0/1 when unsharded).
-	Shard     int `json:"shard"`
-	NumShards int `json:"num_shards"`
-	// OriginalBytes and Bytes are the program size before and after
-	// minimization (equal when minimization was off or unproductive).
-	OriginalBytes int  `json:"original_bytes"`
-	Bytes         int  `json:"bytes"`
-	Minimized     bool `json:"minimized"`
-	// Key is the full dedup key (hex SHA-256 over class and source).
-	Key string `json:"key"`
-	// FoundAt is the wall-clock time the finding was persisted.
-	FoundAt time.Time `json:"found_at"`
-	// RetiredFrom and RetiredAt are set only on entries of a retired
-	// corpus (see internal/triage): the class the finding was originally
-	// recorded under before its defect was fixed and the entry was
-	// re-recorded under the current stack's verdict, and when.
-	RetiredFrom Class     `json:"retired_from,omitempty"`
-	RetiredAt   time.Time `json:"retired_at,omitzero"`
-}
+type Meta = corpus.Meta
 
 // DedupKey is the corpus identity of a finding: programs with the same
 // class and (post-minimization) source are the same finding, regardless of
-// which seed, shard, or run produced them. Minimization canonicalizes
-// aggressively, so -minimize collapses families of equivalent findings
-// onto one corpus entry. Exported so internal/triage can re-key entries
-// it re-records under a new class when retiring them.
-func DedupKey(class Class, source string) string {
-	h := sha256.New()
-	h.Write([]byte(class))
-	h.Write([]byte{0})
-	h.Write([]byte(source))
-	return hex.EncodeToString(h.Sum(nil))
-}
-
-// corpus is an open corpus directory; nil means "no persistence".
-type corpus struct {
-	dir   string
-	known map[string]bool // dedup keys already on disk
-}
-
-// openCorpus creates the corpus layout under dir (if needed) and indexes
-// the dedup keys of every finding already present.
-func openCorpus(dir string) (*corpus, error) {
-	if dir == "" {
-		return nil, nil
-	}
-	for _, sub := range []string{"findings", "state"} {
-		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
-			return nil, fmt.Errorf("campaign: corpus dir: %w", err)
-		}
-	}
-	c := &corpus{dir: dir, known: map[string]bool{}}
-	entries, err := os.ReadDir(filepath.Join(dir, "findings"))
-	if err != nil {
-		return nil, fmt.Errorf("campaign: corpus dir: %w", err)
-	}
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
-			continue
-		}
-		raw, err := os.ReadFile(filepath.Join(dir, "findings", e.Name()))
-		if err != nil {
-			return nil, fmt.Errorf("campaign: corpus dir: %w", err)
-		}
-		var m Meta
-		if err := json.Unmarshal(raw, &m); err != nil || m.Key == "" {
-			// A foreign or truncated file; leave it alone and move on.
-			continue
-		}
-		c.known[m.Key] = true
-	}
-	return c, nil
-}
-
-// has reports whether key is already persisted.
-func (c *corpus) has(key string) bool { return c != nil && c.known[key] }
+// which seed, shard, or run produced them.
+//
+// Deprecated: use corpus.DedupKey; this forwarder remains for existing
+// callers.
+func DedupKey(class Class, source string) string { return corpus.DedupKey(class, source) }
 
 // WriteMeta encodes m as indented JSON at path — the corpus metadata
-// file format. Exported for internal/triage's retired-corpus writer, so
-// promoted entries stay byte-compatible with campaign-written ones.
-func WriteMeta(path string, m Meta) error {
-	raw, err := json.MarshalIndent(m, "", "  ")
-	if err != nil {
-		return fmt.Errorf("campaign: encode metadata: %w", err)
-	}
-	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
-		return fmt.Errorf("campaign: persist metadata: %w", err)
-	}
-	return nil
-}
-
-// put persists one finding and returns the program file's path.
-func (c *corpus) put(f *Finding, m Meta) (string, error) {
-	stem := fmt.Sprintf("%s-%s", f.Class, f.Key[:12])
-	progPath := filepath.Join(c.dir, "findings", stem+".p4")
-	metaPath := filepath.Join(c.dir, "findings", stem+".json")
-	if err := os.WriteFile(progPath, []byte(f.Source), 0o644); err != nil {
-		return "", fmt.Errorf("campaign: persist finding: %w", err)
-	}
-	if err := WriteMeta(metaPath, m); err != nil {
-		return "", err
-	}
-	c.known[f.Key] = true
-	return progPath, nil
-}
-
-// readFinding loads one persisted finding pair by its metadata filename
-// (<stem>.json next to <stem>.p4 under dir). It errors on unreadable or
-// foreign files — callers choose whether that is fatal (replay) or
-// skippable (seed pool).
-func readFinding(dir, jsonName string) (Meta, string, error) {
-	raw, err := os.ReadFile(filepath.Join(dir, jsonName))
-	if err != nil {
-		return Meta{}, "", err
-	}
-	var m Meta
-	if err := json.Unmarshal(raw, &m); err != nil {
-		return Meta{}, "", fmt.Errorf("campaign: %s: %w", jsonName, err)
-	}
-	if m.Key == "" || m.Class == "" {
-		return Meta{}, "", fmt.Errorf("campaign: %s: not a finding metadata file", jsonName)
-	}
-	src, err := os.ReadFile(filepath.Join(dir, strings.TrimSuffix(jsonName, ".json")+".p4"))
-	if err != nil {
-		return Meta{}, "", err
-	}
-	return m, string(src), nil
-}
+// file format.
+//
+// Deprecated: use corpus.WriteMeta; this forwarder remains for existing
+// callers.
+func WriteMeta(path string, m Meta) error { return corpus.WriteMeta(path, m) }
 
 // ForEachFinding iterates the finding pairs under dir/findings in
 // deterministic (name-sorted) order, calling fn with each pair — or with
-// the error loading it, so callers choose whether a bad pair is fatal
-// (replay, triage's malformed-metadata gate) or skippable (seed pool).
-// fn returning false stops the iteration. A missing findings directory
-// iterates nothing; any other directory-level failure is returned.
-// jsonName is the metadata filename relative to dir/findings; the program
-// file sits next to it with a .p4 suffix. internal/triage builds its
-// corpus analytics on this iterator.
+// the error loading it. fn returning false stops the iteration. A missing
+// findings directory iterates nothing; any other directory-level failure
+// is returned.
+//
+// Deprecated: open a corpus.Corpus and range its Entries (or Select)
+// instead — the handle caches metadata, sources, parses, and fingerprints
+// across consumers where this walker re-reads the directory every call.
+// The forwarder remains so pre-Session callers keep compiling; it is one
+// Open away from the real thing.
 func ForEachFinding(dir string, fn func(jsonName string, m Meta, src string, err error) bool) error {
-	findings := filepath.Join(dir, "findings")
-	entries, err := os.ReadDir(findings)
-	if os.IsNotExist(err) {
-		return nil
+	if dir == "" {
+		dir = "."
 	}
+	c, err := corpus.Open(dir)
 	if err != nil {
 		return err
 	}
-	names := make([]string, 0, len(entries))
-	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
-			names = append(names, e.Name())
-		}
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		m, src, err := readFinding(findings, name)
-		if !fn(name, m, src, err) {
+	for e, err := range c.Entries() {
+		if !fn(e.Name, e.Meta, e.Source, err) {
 			return nil
 		}
 	}
@@ -242,14 +81,14 @@ type shardState struct {
 	UpdatedAt time.Time `json:"updated_at"`
 }
 
-func (c *corpus) statePath(shard, numShards int) string {
-	return filepath.Join(c.dir, "state", fmt.Sprintf("shard-%d-of-%d.json", shard, numShards))
+func statePath(dir string, shard, numShards int) string {
+	return filepath.Join(dir, "state", fmt.Sprintf("shard-%d-of-%d.json", shard, numShards))
 }
 
 // loadState reads the shard's cursor; a missing file is a zero cursor.
-func (c *corpus) loadState(shard, numShards int) (shardState, error) {
+func loadState(dir string, shard, numShards int) (shardState, error) {
 	var st shardState
-	raw, err := os.ReadFile(c.statePath(shard, numShards))
+	raw, err := os.ReadFile(statePath(dir, shard, numShards))
 	if os.IsNotExist(err) {
 		return st, nil
 	}
@@ -257,18 +96,21 @@ func (c *corpus) loadState(shard, numShards int) (shardState, error) {
 		return st, fmt.Errorf("campaign: resume state: %w", err)
 	}
 	if err := json.Unmarshal(raw, &st); err != nil {
-		return st, fmt.Errorf("campaign: resume state %s: %w", c.statePath(shard, numShards), err)
+		return st, fmt.Errorf("campaign: resume state %s: %w", statePath(dir, shard, numShards), err)
 	}
 	return st, nil
 }
 
 // saveState writes the shard's cursor.
-func (c *corpus) saveState(st shardState, shard, numShards int) error {
+func saveState(dir string, st shardState, shard, numShards int) error {
+	if err := os.MkdirAll(filepath.Join(dir, "state"), 0o755); err != nil {
+		return fmt.Errorf("campaign: save state: %w", err)
+	}
 	raw, err := json.MarshalIndent(st, "", "  ")
 	if err != nil {
 		return fmt.Errorf("campaign: encode state: %w", err)
 	}
-	if err := os.WriteFile(c.statePath(shard, numShards), append(raw, '\n'), 0o644); err != nil {
+	if err := os.WriteFile(statePath(dir, shard, numShards), append(raw, '\n'), 0o644); err != nil {
 		return fmt.Errorf("campaign: save state: %w", err)
 	}
 	return nil

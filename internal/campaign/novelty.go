@@ -110,13 +110,16 @@ func LoadNovelty(dir string) (map[string]NoveltyStat, error) {
 }
 
 // saveNoveltyDeltas merges one run's per-seed deltas into the shard's own
-// novelty file. Other shards' files are never written, so shard corpus
-// dirs still merge by file copy.
-func (c *corpus) saveNoveltyDeltas(deltas map[string]NoveltyStat, shard, numShards int) error {
+// novelty file under dir. Other shards' files are never written, so shard
+// corpus dirs still merge by file copy.
+func saveNoveltyDeltas(dir string, deltas map[string]NoveltyStat, shard, numShards int) error {
 	if len(deltas) == 0 {
 		return nil
 	}
-	path := noveltyPath(c.dir, shard, numShards)
+	if err := os.MkdirAll(filepath.Join(dir, "state"), 0o755); err != nil {
+		return fmt.Errorf("campaign: save novelty: %w", err)
+	}
+	path := noveltyPath(dir, shard, numShards)
 	f := noveltyFile{Seeds: map[string]NoveltyStat{}}
 	raw, err := os.ReadFile(path)
 	switch {

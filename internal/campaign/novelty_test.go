@@ -10,6 +10,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/corpus"
 )
 
 // writePoolFinding drops one synthetic finding pair into dir so seed-pool
@@ -32,14 +34,23 @@ func writePoolFinding(t *testing.T, dir string, class Class, src string, foundAt
 	return key
 }
 
+// poolOf opens dir as a corpus handle and builds its seed pool — the
+// two-step form every seed-pool test wants in one call.
+func poolOf(dir string) (*seedPool, error) {
+	c, err := corpus.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return loadSeedPool(c)
+}
+
 // writeNovelty persists one shard's novelty records directly.
 func writeNovelty(t *testing.T, dir string, shard, numShards int, seeds map[string]NoveltyStat) {
 	t.Helper()
 	if err := os.MkdirAll(filepath.Join(dir, "state"), 0o755); err != nil {
 		t.Fatal(err)
 	}
-	c := &corpus{dir: dir}
-	if err := c.saveNoveltyDeltas(seeds, shard, numShards); err != nil {
+	if err := saveNoveltyDeltas(dir, seeds, shard, numShards); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -81,7 +92,7 @@ func TestNoveltyLoadRejectsCorrupt(t *testing.T) {
 	if _, err := LoadNovelty(dir); err == nil {
 		t.Fatal("corrupt novelty file loaded without error")
 	}
-	if _, err := loadSeedPool(dir); err == nil {
+	if _, err := poolOf(dir); err == nil {
 		t.Fatal("seed pool built over a corrupt novelty file without error")
 	}
 }
@@ -98,7 +109,7 @@ func TestSeedPoolStaticPriorWithoutNovelty(t *testing.T) {
 	writePoolFinding(t, dir, ClassSoundnessViolation, "src-b", base.Add(2*time.Hour))
 	writePoolFinding(t, dir, ClassRejectedClean, "src-c", base.Add(1*time.Hour))
 
-	pool, err := loadSeedPool(dir)
+	pool, err := poolOf(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +141,7 @@ func TestSeedPoolNoveltyDistribution(t *testing.T) {
 		barrenKey: {Mutants: 10, NewKeys: 0},
 	})
 
-	pool, err := loadSeedPool(dir)
+	pool, err := poolOf(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,5 +256,112 @@ func TestCampaignMetaRecordsRule(t *testing.T) {
 		if m.Rule != "" && !strings.Contains(m.Detail, "["+m.Rule+"]") {
 			t.Errorf("persisted rule %q not the one cited in detail %q", m.Rule, m.Detail)
 		}
+	}
+}
+
+// Cluster-saturation fixtures: progShape1 and progShape1Twin differ only
+// in identifier spellings (same AST shape fingerprint); progShape2 has a
+// different statement structure (a different fingerprint).
+const (
+	progShape1 = `header d_t { <bit<8>, low> lo; <bit<8>, high> hi; }
+struct H { d_t d; }
+control c(inout H hdr) { apply { hdr.d.lo = hdr.d.lo + 8w1; } }
+`
+	progShape1Twin = `header pkt_t { <bit<8>, low> pub; <bit<8>, high> sec; }
+struct H { pkt_t d; }
+control ingress(inout H hdr) { apply { hdr.d.pub = hdr.d.pub + 8w7; } }
+`
+	progShape2 = `header d_t { <bit<8>, low> lo; <bit<8>, high> hi; }
+struct H { d_t d; }
+control c(inout H hdr) { apply { hdr.d.lo = 8w1; } }
+`
+)
+
+// TestSeedPoolClusterSaturationDistribution is the cluster-weighting
+// lock: when every *explored* member of a shape class is mined out, its
+// unexplored members fade too — the whole (class, rule, shape) cluster
+// carries the evidence, not just the individual seed. Two individually
+// unexplored seeds of the same class: the one sharing a fingerprint with
+// a mined-out sibling must be drawn measurably less often than the one in
+// an untouched shape class.
+func TestSeedPoolClusterSaturationDistribution(t *testing.T) {
+	dir := t.TempDir()
+	base := time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+	minedKey := writePoolFinding(t, dir, ClassRejectedClean, progShape1, base.Add(3*time.Hour))    // rank 0
+	twinKey := writePoolFinding(t, dir, ClassRejectedClean, progShape1Twin, base.Add(2*time.Hour)) // rank 1, unexplored
+	freshKey := writePoolFinding(t, dir, ClassRejectedClean, progShape2, base.Add(1*time.Hour))    // rank 2, unexplored
+	writeNovelty(t, dir, 0, 1, map[string]NoveltyStat{minedKey: {Mutants: 30, NewKeys: 0}})
+
+	pool, err := poolOf(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.size() != 3 {
+		t.Fatalf("pool size %d, want 3", pool.size())
+	}
+	weight := map[string]float64{}
+	for i := range pool.entries {
+		weight[pool.entries[i].key] = pool.weightOf(i)
+	}
+	// Exact weights: classWeight(rejected-clean)=2 throughout.
+	//   mined (rank 0): 2 · 0.97⁰ · floor(0.5)   · cluster(0/30 → 0.5)
+	//   twin  (rank 1): 2 · 0.97¹ · explore(1.5) · cluster(0/30 → 0.5)
+	//   fresh (rank 2): 2 · 0.97² · explore(1.5) · cluster(neutral 1.0)
+	wants := map[string]float64{
+		minedKey: 2 * noveltyFloor * clusterFloor,
+		twinKey:  2 * recencyDecay * noveltyExploreBonus * clusterFloor,
+		freshKey: 2 * recencyDecay * recencyDecay * noveltyExploreBonus,
+	}
+	for key, want := range wants {
+		if got := weight[key]; math.Abs(got-want) > 1e-9 {
+			t.Errorf("seed %.12s weight %v, want %v", key, got, want)
+		}
+	}
+	// The distribution lock: the untouched shape class dominates the
+	// mined-out class's unexplored twin (expected ratio ≈ 1/clusterFloor
+	// modulo one recency step ≈ 1.94x; assert a decisive 1.5x), and the
+	// twin still outdraws its explored mined-out sibling.
+	rng := rand.New(rand.NewSource(7))
+	draws := map[string]int{}
+	for i := 0; i < 20000; i++ {
+		draws[pool.pick(rng).key]++
+	}
+	if r := float64(draws[freshKey]) / float64(draws[twinKey]); r < 1.5 {
+		t.Errorf("fresh-shape seed drawn only %.2fx as often as the mined-out cluster's twin (%d vs %d); cluster saturation is not steering the pool",
+			r, draws[freshKey], draws[twinKey])
+	}
+	if draws[twinKey] <= draws[minedKey] {
+		t.Errorf("unexplored twin (%d draws) did not outdraw its explored mined-out sibling (%d)", draws[twinKey], draws[minedKey])
+	}
+}
+
+// TestSeedPoolClusterLiftsProductiveShapes: the converse — a cluster
+// whose explored member keeps finding new keys lifts its unexplored
+// members above a neutral untouched shape class.
+func TestSeedPoolClusterLiftsProductiveShapes(t *testing.T) {
+	dir := t.TempDir()
+	base := time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+	prodKey := writePoolFinding(t, dir, ClassRejectedClean, progShape1, base.Add(3*time.Hour))
+	twinKey := writePoolFinding(t, dir, ClassRejectedClean, progShape1Twin, base.Add(2*time.Hour))
+	writePoolFinding(t, dir, ClassRejectedClean, progShape2, base.Add(1*time.Hour))
+	writeNovelty(t, dir, 0, 1, map[string]NoveltyStat{prodKey: {Mutants: 10, NewKeys: 10}})
+
+	pool, err := poolOf(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var twinW, freshW float64
+	for i := range pool.entries {
+		switch pool.entries[i].key {
+		case twinKey:
+			twinW = pool.weightOf(i)
+		case prodKey:
+		default:
+			freshW = pool.weightOf(i)
+		}
+	}
+	// twin: 0.97¹ · 1.5 · cluster(10/10 → 1.5); fresh: 0.97² · 1.5 · 1.0.
+	if twinW <= freshW {
+		t.Errorf("productive cluster's twin (%v) does not outweigh the untouched shape (%v)", twinW, freshW)
 	}
 }

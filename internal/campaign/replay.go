@@ -12,12 +12,13 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"path/filepath"
 	"sort"
 	"strings"
 	"time"
 
+	"repro/internal/corpus"
 	"repro/internal/difftest"
+	"repro/internal/events"
 	"repro/internal/parser"
 	"repro/internal/pipeline"
 )
@@ -35,6 +36,9 @@ type ReplayConfig struct {
 	NITrialsMax int
 	// Log receives one line per drifted finding (nil = discard).
 	Log io.Writer
+	// Events receives the replay's structured event stream (job-done per
+	// replayed finding, drift per mismatch); nil discards.
+	Events events.Sink
 }
 
 // Drift is one finding whose replayed classification no longer matches
@@ -90,36 +94,51 @@ func Replay(ctx context.Context, cfg ReplayConfig) (*ReplayReport, error) {
 	start := time.Now()
 	defer func() { rep.Elapsed = time.Since(start) }()
 
-	findings := filepath.Join(cfg.CorpusDir, "findings")
-	var ctxErr error
-	err := ForEachFinding(cfg.CorpusDir, func(name string, m Meta, src string, err error) bool {
-		if ctxErr = ctx.Err(); ctxErr != nil {
-			return false
-		}
-		if err != nil {
-			rep.Errors = append(rep.Errors, err.Error())
-			return true
-		}
-		rep.Total++
-		rep.ByClass[m.Class]++
-		path := filepath.Join(findings, strings.TrimSuffix(name, ".json")+".p4")
-		got, detail, err := replayOne(ctx, m, src, trials, max)
-		if err != nil {
-			rep.Errors = append(rep.Errors, fmt.Sprintf("%s: %v", path, err))
-			return true
-		}
-		if got != string(m.Class) {
-			rep.Drifts = append(rep.Drifts, Drift{Path: path, Recorded: m.Class, Got: got, Detail: detail})
-			fmt.Fprintf(log, "drift: %s recorded %s, now %s (%s)\n", path, m.Class, got, detail)
-		} else {
-			rep.Reproduced++
-		}
-		return true
-	})
+	dir := cfg.CorpusDir
+	if dir == "" {
+		dir = "."
+	}
+	c, err := corpus.Open(dir)
 	if err != nil {
 		return rep, fmt.Errorf("campaign: replay: %w", err)
 	}
-	return rep, ctxErr
+	var seq int64
+	for e, err := range c.Entries() {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return rep, ctxErr
+		}
+		if err != nil {
+			rep.Errors = append(rep.Errors, err.Error())
+			continue
+		}
+		rep.Total++
+		rep.ByClass[e.Meta.Class]++
+		got, detail, err := replayOne(ctx, e.Meta, e.Source, trials, max)
+		if err != nil {
+			rep.Errors = append(rep.Errors, fmt.Sprintf("%s: %v", e.Path, err))
+			continue
+		}
+		cfg.Events.Emit(events.Event{
+			Kind: events.KindJobDone, Op: "replay",
+			Index: seq, Class: got, Key: e.Meta.Key, Path: e.Path,
+		})
+		seq++
+		if got != string(e.Meta.Class) {
+			rep.Drifts = append(rep.Drifts, Drift{Path: e.Path, Recorded: e.Meta.Class, Got: got, Detail: detail})
+			cfg.Events.Emit(events.Event{
+				Kind: events.KindDrift, Op: "replay",
+				Class: string(e.Meta.Class), Detail: fmt.Sprintf("now %s: %s", got, detail),
+				Key: e.Meta.Key, Path: e.Path,
+			})
+			fmt.Fprintf(log, "drift: %s recorded %s, now %s (%s)\n", e.Path, e.Meta.Class, got, detail)
+		} else {
+			rep.Reproduced++
+		}
+	}
+	cfg.Events.Emit(events.Event{
+		Kind: events.KindProgress, Op: "replay", Done: rep.Total, Total: rep.Total,
+	})
+	return rep, nil
 }
 
 // replayOne re-classifies one finding. The returned string is the corpus

@@ -1,6 +1,6 @@
 // Seed scheduling for mutation-enabled campaigns: the persisted corpus
 // doubles as the seed pool of the classic coverage-guided loop. Seeds are
-// weighted by three multiplied factors:
+// weighted by four multiplied factors:
 //
 //   - verdict class: defect classes first — a mutant of a program that
 //     broke something once is the best candidate to break it again — then
@@ -10,30 +10,41 @@
 //   - novelty: true coverage feedback from the corpus's novelty records
 //     (state/novelty-*.json) — seeds whose mutants keep landing as new
 //     dedup keys are boosted, seeds whose neighborhoods are mined out
-//     fade, and seeds never mutated yet carry an exploration bonus.
+//     fade, and seeds never mutated yet carry an exploration bonus;
+//   - cluster saturation: the same novelty evidence aggregated over the
+//     seed's whole (class, rule, shape-fingerprint) triage cluster — when
+//     every explored member of a shape class stopped producing new keys,
+//     the *unexplored* members of that class fade too, because they are
+//     the same kind of program; a shape class still paying off lifts all
+//     its members. Mined-out shape classes fade wholesale, not seed by
+//     seed.
 //
 // A corpus with no novelty records multiplies every seed by the same
-// neutral constant, so the distribution reduces exactly to the historical
+// neutral constants, so the distribution reduces exactly to the historical
 // class × recency prior — pre-novelty corpora and freshly seeded pools
-// schedule byte-identically to PR 3's scheduler.
+// schedule byte-identically to PR 3's scheduler (the cluster factor is
+// derived from the same records and is neutral without them).
 //
 // Seeds are drawn per campaign index from the index's own rng, so
 // scheduling is deterministic given (seed, pool): the shard-union
 // property survives mutation as long as shards share a corpus snapshot —
-// which now includes the novelty files alongside the findings.
+// findings and novelty files alike.
 package campaign
 
 import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"repro/internal/corpus"
 )
 
 // seedEntry is one corpus program available for mutation.
 type seedEntry struct {
-	key    string
-	class  Class
-	source string
+	key     string
+	class   Class
+	source  string
+	cluster string // (class, rule, fingerprint) key; unique for unparseable seeds
 }
 
 // seedPool is a weighted sampler over corpus entries.
@@ -78,6 +89,19 @@ const (
 	noveltyGain         = 3.0
 )
 
+// Cluster-saturation constants. A cluster none of whose members has been
+// mutated yet is neutral (1.0 — the per-seed exploration bonus already
+// rewards unexplored seeds); an explored cluster interpolates from
+// clusterFloor (every mutant of every member was a duplicate: the shape
+// class is mined out and all its members fade, explored or not) up to
+// clusterFloor+clusterGain (the class keeps producing). The range brackets
+// 1.0 so the factor is a genuine correction around the per-seed signal,
+// never the dominant term.
+const (
+	clusterFloor = 0.5
+	clusterGain  = 1.0
+)
+
 // noveltyBoost maps a seed's productivity record to a weight multiplier.
 // Seeds with no record (or no analyzed mutants yet) are "unexplored".
 func noveltyBoost(st NoveltyStat, known bool) float64 {
@@ -91,18 +115,32 @@ func noveltyBoost(st NoveltyStat, known bool) float64 {
 	return noveltyFloor + noveltyGain*p
 }
 
-// loadSeedPool reads every finding pair under dir/findings into a weighted
-// pool, applying the corpus's novelty records. A missing directory or an
-// empty corpus yields an empty pool (the scheduler then generates
-// everything fresh). Ordering — and therefore sampling — is
-// deterministic: entries sort newest-first by recorded FoundAt with the
-// dedup key as tiebreaker.
-func loadSeedPool(dir string) (*seedPool, error) {
+// clusterBoost maps a cluster's aggregated productivity (mutants and new
+// keys summed over every member's novelty record) to a weight multiplier
+// shared by all its members.
+func clusterBoost(mutants, newKeys int) float64 {
+	if mutants == 0 {
+		return 1
+	}
+	p := float64(newKeys) / float64(mutants)
+	if p > 1 {
+		p = 1
+	}
+	return clusterFloor + clusterGain*p
+}
+
+// loadSeedPool builds a weighted pool over the open corpus's well-formed
+// entries, applying the corpus's novelty records both per seed and
+// aggregated per (class, rule, shape) cluster. A nil handle or an empty
+// corpus yields an empty pool (the scheduler then generates everything
+// fresh). Ordering — and therefore sampling — is deterministic: entries
+// sort newest-first by recorded FoundAt with the dedup key as tiebreaker.
+func loadSeedPool(c *corpus.Corpus) (*seedPool, error) {
 	p := &seedPool{}
-	if dir == "" {
+	if c == nil {
 		return p, nil
 	}
-	novelty, err := LoadNovelty(dir)
+	novelty, err := LoadNovelty(c.Dir())
 	if err != nil {
 		return nil, err
 	}
@@ -111,18 +149,18 @@ func loadSeedPool(dir string) (*seedPool, error) {
 		foundAt int64
 	}
 	var recs []rec
-	err = ForEachFinding(dir, func(_ string, m Meta, src string, err error) bool {
-		if err != nil {
-			return true // foreign or truncated file; the pool just skips it
-		}
+	clusterMutants := map[string]int{}
+	clusterNewKeys := map[string]int{}
+	for e := range c.Select(corpus.Filter{}) {
+		ck := clusterKeyOf(e)
 		recs = append(recs, rec{
-			seedEntry: seedEntry{key: m.Key, class: m.Class, source: src},
-			foundAt:   m.FoundAt.UnixNano(),
+			seedEntry: seedEntry{key: e.Meta.Key, class: e.Meta.Class, source: e.Source, cluster: ck},
+			foundAt:   e.Meta.FoundAt.UnixNano(),
 		})
-		return true
-	})
-	if err != nil {
-		return nil, err
+		if st, known := novelty[e.Meta.Key]; known {
+			clusterMutants[ck] += st.Mutants
+			clusterNewKeys[ck] += st.NewKeys
+		}
 	}
 	sort.Slice(recs, func(i, j int) bool {
 		if recs[i].foundAt != recs[j].foundAt {
@@ -132,12 +170,27 @@ func loadSeedPool(dir string) (*seedPool, error) {
 	})
 	for rank, r := range recs {
 		st, known := novelty[r.key]
-		w := classWeight(r.class) * math.Pow(recencyDecay, float64(rank)) * noveltyBoost(st, known)
+		w := classWeight(r.class) * math.Pow(recencyDecay, float64(rank)) *
+			noveltyBoost(st, known) * clusterBoost(clusterMutants[r.cluster], clusterNewKeys[r.cluster])
 		p.total += w
 		p.entries = append(p.entries, r.seedEntry)
 		p.cum = append(p.cum, p.total)
 	}
 	return p, nil
+}
+
+// clusterKeyOf groups a seed into its triage cluster: (class, cited rule,
+// shape fingerprint) — the same triple internal/triage clusters report
+// rows by, computed from the same cached parse. A seed whose program does
+// not parse (generator-bug entries can be unparseable) has no shape;
+// it forms a singleton cluster keyed by its own dedup key, so unknowable
+// shapes neither pool their evidence nor damp each other.
+func clusterKeyOf(e *corpus.Entry) string {
+	fp, err := e.Fingerprint()
+	if err != nil {
+		return "!unparsed\x00" + e.Meta.Key
+	}
+	return string(e.Meta.Class) + "\x00" + e.Rule() + "\x00" + fp
 }
 
 // size reports how many seeds the pool holds.

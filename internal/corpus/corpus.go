@@ -1,0 +1,489 @@
+// Package corpus is the single source of truth for on-disk finding
+// corpora: the content-addressed layout every campaign-stack operation
+// (campaign persistence, replay, triage, retire, the mutation seed pool)
+// reads and writes. Before this package existed each of those re-opened,
+// re-walked, and re-parsed the same directory with its own ad-hoc walker;
+// now they all share one cached, validated handle.
+//
+//	<dir>/findings/<class>-<key12>.p4    the (possibly minimized) program
+//	<dir>/findings/<class>-<key12>.json  verdict metadata (Meta below)
+//	<dir>/state/...                      per-shard cursors and novelty files
+//
+// Open reads the findings directory once, in deterministic (name-sorted)
+// order, and caches every entry — metadata, source, and load error alike
+// (memory is proportional to corpus size; campaigns cap per-class growth
+// and minimize entries, so a corpus is megabytes, not gigabytes).
+// Iteration is iter.Seq2-based (Entries, Select); each entry parses its
+// program and computes its shape fingerprint at most once, no matter how
+// many consumers ask (single-parse-per-entry caching). The layout is
+// merge-friendly by construction: finding filenames derive from a hash of
+// (class, source), so copying the findings/ directories of two shards into
+// one corpus deduplicates identical findings by collision and never
+// clobbers distinct ones.
+package corpus
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"iter"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/gen"
+	"repro/internal/parser"
+)
+
+// Class names a corpus finding class; it prefixes corpus filenames. The
+// class vocabulary (soundness-violation, rejected-clean, ...) is defined
+// by internal/campaign, which owns the mapping from differential verdicts
+// to classes; this package treats classes as opaque grouping keys.
+type Class string
+
+// Meta is the verdict metadata persisted next to each finding.
+type Meta struct {
+	// Class is the finding's corpus class (the filename prefix).
+	Class Class `json:"class"`
+	// Rule is the typing rule the IFC checker cited when it rejected the
+	// program (e.g. "T-Assign"), "" when the class involves no IFC
+	// rejection or the corpus predates rule recording. Triage clusters
+	// findings by it; old corpora fall back to extracting the rule from
+	// Detail's trailing "[Rule]" marker (see CitedRule).
+	Rule string `json:"rule,omitempty"`
+	// Detail is the witness, error text, or disagreement description.
+	Detail string `json:"detail"`
+	// Index is the global campaign index of the generating job; with Gen
+	// and GenSeed it regenerates the original (unminimized) program —
+	// when Origin is "gen". Mutants are not regenerable from the seed
+	// alone (they also depend on the seed pool at mutation time); their
+	// provenance is ParentKey.
+	Index int64 `json:"index"`
+	// GenSeed is the program's generation seed (campaign seed + Index).
+	GenSeed int64 `json:"gen_seed"`
+	// NISeed seeds the program's NI experiment for exact replay.
+	NISeed int64 `json:"ni_seed"`
+	// NITrials and NITrialsMax record the NI budget the finding was
+	// classified under, so replay re-checks with the same budget (zero
+	// in pre-mutation corpora; replay then uses its own defaults).
+	NITrials    int `json:"ni_trials,omitempty"`
+	NITrialsMax int `json:"ni_trials_max,omitempty"`
+	// Gen echoes the generator configuration the seeds assume, including
+	// the campaign lattice spec.
+	Gen gen.Config `json:"gen"`
+	// Origin is "gen" for freshly generated programs and "mutate" for
+	// corpus-seeded mutants ("" in pre-mutation corpora, meaning "gen").
+	Origin string `json:"origin,omitempty"`
+	// ParentKey is the dedup key of the corpus seed a mutant was derived
+	// from ("" for fresh programs); MutateOps names the mutation operators
+	// applied, in order, for triage.
+	ParentKey string `json:"parent_key,omitempty"`
+	MutateOps string `json:"mutate_ops,omitempty"`
+	// Shard/NumShards record which shard found it (0/1 when unsharded).
+	Shard     int `json:"shard"`
+	NumShards int `json:"num_shards"`
+	// OriginalBytes and Bytes are the program size before and after
+	// minimization (equal when minimization was off or unproductive).
+	OriginalBytes int  `json:"original_bytes"`
+	Bytes         int  `json:"bytes"`
+	Minimized     bool `json:"minimized"`
+	// Key is the full dedup key (hex SHA-256 over class and source).
+	Key string `json:"key"`
+	// FoundAt is the wall-clock time the finding was persisted.
+	FoundAt time.Time `json:"found_at"`
+	// RetiredFrom and RetiredAt are set only on entries of a retired
+	// corpus (see internal/triage): the class the finding was originally
+	// recorded under before its defect was fixed and the entry was
+	// re-recorded under the current stack's verdict, and when.
+	RetiredFrom Class     `json:"retired_from,omitempty"`
+	RetiredAt   time.Time `json:"retired_at,omitzero"`
+}
+
+// CitedRule returns the typing rule this finding's rejection cited: the
+// recorded Rule field when present, otherwise (pre-rule corpora) the
+// trailing "[Rule]" marker diag.Diagnostic renders into the detail text;
+// "-" when there is none. Triage clusters and the seed pool's cluster
+// weighting both group by it.
+func (m *Meta) CitedRule() string {
+	if m.Rule != "" {
+		return m.Rule
+	}
+	if i := strings.LastIndex(m.Detail, "["); i >= 0 {
+		if j := strings.Index(m.Detail[i:], "]"); j > 1 {
+			if r := m.Detail[i+1 : i+j]; ruleShaped(r) {
+				return r
+			}
+		}
+	}
+	return "-"
+}
+
+// ruleShaped reports whether a bracketed token looks like a typing-rule
+// name ("T-Assign", "T-If") rather than incidental brackets in witness
+// text such as an array index ("hdr.h[2]"): letter first, then letters,
+// digits, and dashes only.
+func ruleShaped(r string) bool {
+	for i, c := range r {
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+		case i > 0 && (c >= '0' && c <= '9' || c == '-'):
+		default:
+			return false
+		}
+	}
+	return r != ""
+}
+
+// DedupKey is the corpus identity of a finding: programs with the same
+// class and (post-minimization) source are the same finding, regardless of
+// which seed, shard, or run produced them. Minimization canonicalizes
+// aggressively, so minimizing campaigns collapse families of equivalent
+// findings onto one corpus entry.
+func DedupKey(class Class, source string) string {
+	h := sha256.New()
+	h.Write([]byte(class))
+	h.Write([]byte{0})
+	h.Write([]byte(source))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// WriteMeta encodes m as indented JSON at path — the corpus metadata
+// file format. Retired-corpus writers use it directly so promoted entries
+// stay byte-compatible with campaign-written ones.
+func WriteMeta(path string, m Meta) error {
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("corpus: encode metadata: %w", err)
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return fmt.Errorf("corpus: persist metadata: %w", err)
+	}
+	return nil
+}
+
+// Entry is one finding pair as cached by Open: its metadata, its program
+// source, and — when the pair could not be loaded — the load error. Bad
+// pairs stay in the iteration (callers choose whether they are fatal, as
+// replay and triage's metadata gate do, or skippable, as the seed pool
+// does); their Meta and Source are zero.
+type Entry struct {
+	// Name is the metadata filename within findings/ (the iteration key).
+	Name string
+	// Path is the program file; MetaPath the metadata file beside it.
+	Path     string
+	MetaPath string
+	// Meta and Source are the loaded pair (zero when Err is set).
+	Meta   Meta
+	Source string
+	// Err is the load failure, if any: unreadable file, foreign or
+	// truncated metadata, missing program.
+	Err error
+
+	parseOnce sync.Once
+	prog      *ast.Program
+	parseErr  error
+	fp        string
+}
+
+// Program parses the entry's source, at most once per Open — every later
+// call (and Fingerprint) returns the cached result, so triage, the seed
+// pool, and any other consumer sharing the handle never re-parse.
+func (e *Entry) Program() (*ast.Program, error) {
+	e.parseOnce.Do(func() {
+		if e.Err != nil {
+			e.parseErr = e.Err
+			return
+		}
+		e.prog, e.parseErr = parser.Parse(e.Name, e.Source)
+		if e.parseErr == nil {
+			e.fp = Fingerprint(e.prog)
+		}
+	})
+	return e.prog, e.parseErr
+}
+
+// Fingerprint returns the entry's AST shape fingerprint, computed (and
+// parsed) at most once. The error is the parse failure, if any.
+func (e *Entry) Fingerprint() (string, error) {
+	_, err := e.Program()
+	return e.fp, err
+}
+
+// Rule returns the typing rule the entry's rejection cited ("-" if none);
+// see Meta.CitedRule.
+func (e *Entry) Rule() string { return e.Meta.CitedRule() }
+
+// Corpus is an open, cached, validated handle over a finding corpus. All
+// reads go through the in-memory cache built by Open; Put keeps the cache
+// coherent with what it writes. The zero value and the nil pointer are
+// both usable as an empty, persistence-free corpus for Has.
+type Corpus struct {
+	dir     string
+	entries []*Entry        // name-sorted
+	known   map[string]bool // dedup keys of well-formed entries
+}
+
+// Open reads the corpus under dir: every finding pair under dir/findings
+// is loaded, validated, and cached, in deterministic name-sorted order. A
+// missing findings directory is an empty corpus (the first campaign run
+// and triage of a not-yet-created corpus both start from nothing); any
+// other directory-level failure is an error. Per-entry problems are not
+// errors here — they are cached on the entry and surfaced by iteration,
+// so each caller decides whether a corrupt pair is fatal.
+func Open(dir string) (*Corpus, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("corpus: empty directory")
+	}
+	c := &Corpus{dir: dir, known: map[string]bool{}}
+	findings := filepath.Join(dir, "findings")
+	dirents, err := os.ReadDir(findings)
+	if os.IsNotExist(err) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	for _, de := range dirents {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".json") {
+			continue
+		}
+		c.entries = append(c.entries, loadEntry(findings, de.Name()))
+	}
+	sort.Slice(c.entries, func(i, j int) bool { return c.entries[i].Name < c.entries[j].Name })
+	for _, e := range c.entries {
+		if e.Err == nil {
+			c.known[e.Meta.Key] = true
+		}
+	}
+	return c, nil
+}
+
+// loadEntry reads one finding pair by its metadata filename.
+func loadEntry(findings, jsonName string) *Entry {
+	e := &Entry{
+		Name:     jsonName,
+		MetaPath: filepath.Join(findings, jsonName),
+		Path:     filepath.Join(findings, strings.TrimSuffix(jsonName, ".json")+".p4"),
+	}
+	raw, err := os.ReadFile(e.MetaPath)
+	if err != nil {
+		e.Err = err
+		return e
+	}
+	var m Meta
+	if err := json.Unmarshal(raw, &m); err != nil {
+		e.Err = fmt.Errorf("corpus: %s: %w", jsonName, err)
+		return e
+	}
+	if m.Key == "" || m.Class == "" {
+		e.Err = fmt.Errorf("corpus: %s: not a finding metadata file", jsonName)
+		return e
+	}
+	src, err := os.ReadFile(e.Path)
+	if err != nil {
+		e.Err = err
+		return e
+	}
+	e.Meta = m
+	e.Source = string(src)
+	return e
+}
+
+// Dir returns the corpus directory ("" for the zero/nil corpus).
+func (c *Corpus) Dir() string {
+	if c == nil {
+		return ""
+	}
+	return c.dir
+}
+
+// Len is the number of cached entries, well-formed and corrupt alike.
+func (c *Corpus) Len() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.entries)
+}
+
+// Has reports whether a finding with the given dedup key is present.
+func (c *Corpus) Has(key string) bool { return c != nil && c.known[key] }
+
+// Entries iterates every cached entry in name-sorted order, yielding each
+// entry together with its load error (nil for well-formed pairs). This is
+// the iter.Seq2 form of the historical forEachFinding walker; replay,
+// triage, retire, and the seed pool all consume it.
+func (c *Corpus) Entries() iter.Seq2[*Entry, error] {
+	return func(yield func(*Entry, error) bool) {
+		if c == nil {
+			return
+		}
+		for _, e := range c.entries {
+			if !yield(e, e.Err) {
+				return
+			}
+		}
+	}
+}
+
+// Filter selects corpus entries by metadata. The zero filter matches
+// every well-formed entry; corrupt entries never match (their metadata is
+// unknown).
+type Filter struct {
+	// Class matches the finding class exactly ("" = any).
+	Class Class
+	// Rule matches the cited typing rule, with the same detail-marker
+	// fallback triage clustering uses ("" = any; "-" = entries citing no
+	// rule).
+	Rule string
+	// Origin matches the finding origin; "gen" also matches pre-mutation
+	// entries with an empty recorded origin ("" = any).
+	Origin string
+	// Lattice matches the campaign lattice spec the finding was recorded
+	// under; "two-point" also matches the pre-lattice empty spec
+	// ("" = any).
+	Lattice string
+}
+
+// Match reports whether e is well-formed and satisfies every set field.
+func (f Filter) Match(e *Entry) bool {
+	if e.Err != nil {
+		return false
+	}
+	if f.Class != "" && e.Meta.Class != f.Class {
+		return false
+	}
+	if f.Rule != "" && e.Rule() != f.Rule {
+		return false
+	}
+	if f.Origin != "" {
+		origin := e.Meta.Origin
+		if origin == "" {
+			origin = "gen"
+		}
+		if origin != f.Origin {
+			return false
+		}
+	}
+	if f.Lattice != "" {
+		lat := e.Meta.Gen.Lattice
+		if lat == "" {
+			lat = "two-point"
+		}
+		if lat != f.Lattice {
+			return false
+		}
+	}
+	return true
+}
+
+// Select iterates the well-formed entries matching f, in name-sorted
+// order.
+func (c *Corpus) Select(f Filter) iter.Seq[*Entry] {
+	return func(yield func(*Entry) bool) {
+		if c == nil {
+			return
+		}
+		for _, e := range c.entries {
+			if f.Match(e) && !yield(e) {
+				return
+			}
+		}
+	}
+}
+
+// Stats summarizes an open corpus.
+type Stats struct {
+	// Total counts well-formed entries; Errors counts corrupt pairs.
+	Total  int `json:"total"`
+	Errors int `json:"errors"`
+	// ByClass and ByOrigin split Total ("gen" absorbs the pre-mutation
+	// empty origin).
+	ByClass  map[Class]int  `json:"by_class,omitempty"`
+	ByOrigin map[string]int `json:"by_origin,omitempty"`
+	// Bytes totals the (post-minimization) program sizes.
+	Bytes int `json:"bytes"`
+	// Oldest and Newest bracket the recorded discovery times (zero for an
+	// empty corpus or one predating FoundAt).
+	Oldest time.Time `json:"oldest,omitzero"`
+	Newest time.Time `json:"newest,omitzero"`
+}
+
+// Stats computes summary statistics over the cached entries.
+func (c *Corpus) Stats() Stats {
+	st := Stats{ByClass: map[Class]int{}, ByOrigin: map[string]int{}}
+	if c == nil {
+		return st
+	}
+	for _, e := range c.entries {
+		if e.Err != nil {
+			st.Errors++
+			continue
+		}
+		st.Total++
+		st.ByClass[e.Meta.Class]++
+		origin := e.Meta.Origin
+		if origin == "" {
+			origin = "gen"
+		}
+		st.ByOrigin[origin]++
+		st.Bytes += len(e.Source)
+		if !e.Meta.FoundAt.IsZero() {
+			if st.Oldest.IsZero() || e.Meta.FoundAt.Before(st.Oldest) {
+				st.Oldest = e.Meta.FoundAt
+			}
+			if e.Meta.FoundAt.After(st.Newest) {
+				st.Newest = e.Meta.FoundAt
+			}
+		}
+	}
+	return st
+}
+
+// Put persists one finding pair and keeps the handle's cache coherent:
+// the new entry joins the name-sorted cache and its key the dedup index.
+// The findings directory is created on first write, so opening a corpus
+// never creates it. It returns the program file's path.
+func (c *Corpus) Put(m Meta, source string) (string, error) {
+	if c == nil || c.dir == "" {
+		return "", fmt.Errorf("corpus: Put on a nil corpus")
+	}
+	if m.Class == "" || len(m.Key) < 12 {
+		// The stem embeds Key[:12]; engines pass DedupKey output (64 hex
+		// chars), but Put is public surface now and must not panic on a
+		// hand-built Meta.
+		return "", fmt.Errorf("corpus: Put needs a class and a dedup key of >= 12 chars (use DedupKey), got class %q, key %q", m.Class, m.Key)
+	}
+	findings := filepath.Join(c.dir, "findings")
+	if err := os.MkdirAll(findings, 0o755); err != nil {
+		return "", fmt.Errorf("corpus: %w", err)
+	}
+	stem := fmt.Sprintf("%s-%s", m.Class, m.Key[:12])
+	e := &Entry{
+		Name:     stem + ".json",
+		Path:     filepath.Join(findings, stem+".p4"),
+		MetaPath: filepath.Join(findings, stem+".json"),
+		Meta:     m,
+		Source:   source,
+	}
+	if err := os.WriteFile(e.Path, []byte(source), 0o644); err != nil {
+		return "", fmt.Errorf("corpus: persist finding: %w", err)
+	}
+	if err := WriteMeta(e.MetaPath, m); err != nil {
+		return "", err
+	}
+	i := sort.Search(len(c.entries), func(i int) bool { return c.entries[i].Name >= e.Name })
+	if i < len(c.entries) && c.entries[i].Name == e.Name {
+		c.entries[i] = e // overwrite of an existing pair
+	} else {
+		c.entries = append(c.entries, nil)
+		copy(c.entries[i+1:], c.entries[i:])
+		c.entries[i] = e
+	}
+	c.known[m.Key] = true
+	return e.Path, nil
+}

@@ -1,0 +1,353 @@
+package corpus
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// regressionCorpus is the checked-in 15-finding corpus the CI replay and
+// triage gates run over.
+const regressionCorpus = "../../testdata/regression-corpus"
+
+// walkLikeTheOldWalker re-implements, directly against the filesystem,
+// the contract of the historical campaign.forEachFinding: name-sorted
+// .json entries under dir/findings, each loaded as (meta, source) or an
+// error. The Corpus handle must be observationally equivalent to it.
+func walkLikeTheOldWalker(t *testing.T, dir string) (names []string, metas []Meta, sources []string, errs []bool) {
+	t.Helper()
+	findings := filepath.Join(dir, "findings")
+	dirents, err := os.ReadDir(findings)
+	if os.IsNotExist(err) {
+		return nil, nil, nil, nil
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range dirents {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".json") {
+			continue
+		}
+		names = append(names, de.Name())
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		var m Meta
+		var src []byte
+		raw, err := os.ReadFile(filepath.Join(findings, name))
+		bad := err != nil
+		if !bad {
+			bad = json.Unmarshal(raw, &m) != nil || m.Key == "" || m.Class == ""
+		}
+		if !bad {
+			src, err = os.ReadFile(filepath.Join(findings, strings.TrimSuffix(name, ".json")+".p4"))
+			bad = err != nil
+		}
+		if bad {
+			m = Meta{}
+			src = nil
+		}
+		metas = append(metas, m)
+		sources = append(sources, string(src))
+		errs = append(errs, bad)
+	}
+	return names, metas, sources, errs
+}
+
+// TestEntriesEquivalentToOldWalker: over the checked-in regression
+// corpus, Corpus iteration yields exactly the order and content the
+// historical walker produced — the property that made swapping every
+// consumer onto the handle safe.
+func TestEntriesEquivalentToOldWalker(t *testing.T) {
+	names, metas, sources, errs := walkLikeTheOldWalker(t, regressionCorpus)
+	if len(names) < 15 {
+		t.Fatalf("regression corpus has %d entries, want >= 15", len(names))
+	}
+	c, err := Open(regressionCorpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	for e, err := range c.Entries() {
+		if i >= len(names) {
+			t.Fatalf("Corpus yields more than the %d walked entries", len(names))
+		}
+		if e.Name != names[i] {
+			t.Errorf("entry %d: name %q, walker saw %q", i, e.Name, names[i])
+		}
+		if (err != nil) != errs[i] {
+			t.Errorf("entry %d (%s): err=%v, walker bad=%v", i, e.Name, err, errs[i])
+		}
+		if err == nil {
+			if e.Meta != metas[i] {
+				t.Errorf("entry %d (%s): meta differs from walker's", i, e.Name)
+			}
+			if e.Source != sources[i] {
+				t.Errorf("entry %d (%s): source differs from walker's", i, e.Name)
+			}
+		}
+		i++
+	}
+	if i != len(names) {
+		t.Fatalf("Corpus yielded %d entries, walker %d", i, len(names))
+	}
+	if c.Len() != len(names) {
+		t.Errorf("Len() = %d, want %d", c.Len(), len(names))
+	}
+}
+
+// TestEntriesEarlyStop: breaking out of the iteration stops it (the
+// iter.Seq2 contract the old walker's `return false` became).
+func TestEntriesEarlyStop(t *testing.T) {
+	c, err := Open(regressionCorpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for range c.Entries() {
+		n++
+		if n == 3 {
+			break
+		}
+	}
+	if n != 3 {
+		t.Fatalf("early-stopped iteration ran %d times", n)
+	}
+}
+
+// writePair drops one finding pair into dir's findings directory.
+func writePair(t *testing.T, dir string, m Meta, src string) string {
+	t.Helper()
+	findings := filepath.Join(dir, "findings")
+	if err := os.MkdirAll(findings, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	stem := string(m.Class) + "-" + m.Key[:12]
+	if err := WriteMeta(filepath.Join(findings, stem+".json"), m); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(findings, stem+".p4"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return stem
+}
+
+const tinyProg = "header d_t { <bit<8>, low> lo; }\nstruct H { d_t d; }\ncontrol c(inout H hdr) { apply { hdr.d.lo = 8w1; } }\n"
+
+// TestCorruptEntries: every corrupt-pair shape is yielded with an error,
+// never silently dropped, and never poisons the well-formed entries.
+func TestCorruptEntries(t *testing.T) {
+	dir := t.TempDir()
+	findings := filepath.Join(dir, "findings")
+	good := Meta{Class: "rejected-clean", Key: DedupKey("rejected-clean", tinyProg), FoundAt: time.Now()}
+	writePair(t, dir, good, tinyProg)
+	// Truncated JSON.
+	os.WriteFile(filepath.Join(findings, "a-truncated.json"), []byte("{\"class\":"), 0o644)
+	// Foreign JSON (not a finding's metadata).
+	os.WriteFile(filepath.Join(findings, "b-foreign.json"), []byte("{\"hello\":1}\n"), 0o644)
+	// Metadata without its program file.
+	orphan := Meta{Class: "runtime-error", Key: DedupKey("runtime-error", "gone")}
+	os.WriteFile(filepath.Join(findings, "c-orphan.json"), mustJSON(t, orphan), 0o644)
+
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var goodN, badN int
+	for e, err := range c.Entries() {
+		if err != nil {
+			badN++
+			if e.Meta != (Meta{}) || e.Source != "" {
+				t.Errorf("%s: errored entry carries data", e.Name)
+			}
+			continue
+		}
+		goodN++
+	}
+	if goodN != 1 || badN != 3 {
+		t.Fatalf("good=%d bad=%d, want 1 and 3", goodN, badN)
+	}
+	st := c.Stats()
+	if st.Total != 1 || st.Errors != 3 {
+		t.Errorf("Stats: total=%d errors=%d, want 1 and 3", st.Total, st.Errors)
+	}
+	if !c.Has(good.Key) {
+		t.Error("well-formed key not indexed")
+	}
+	if c.Has(orphan.Key) {
+		t.Error("orphan (corrupt) key indexed as known")
+	}
+	// Filters never match corrupt entries.
+	n := 0
+	for range c.Select(Filter{}) {
+		n++
+	}
+	if n != 1 {
+		t.Errorf("Select(zero filter) yielded %d entries, want the 1 well-formed", n)
+	}
+	// An unparseable program is not a load error — but Fingerprint and
+	// Program report the parse failure.
+	unparseable := Meta{Class: "generator-bug", Key: DedupKey("generator-bug", "not p4")}
+	writePair(t, dir, unparseable, "not p4")
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := range c2.Select(Filter{Class: "generator-bug"}) {
+		if _, err := e.Fingerprint(); err == nil {
+			t.Error("fingerprint of an unparseable program did not error")
+		}
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestFilterSemantics: class, rule (with detail-marker fallback), origin
+// (gen absorbs the pre-mutation empty origin), and lattice (two-point
+// absorbs the pre-lattice empty spec).
+func TestFilterSemantics(t *testing.T) {
+	dir := t.TempDir()
+	a := Meta{Class: "rejected-clean", Key: DedupKey("rejected-clean", "a"), Rule: "T-Assign", Origin: "mutate"}
+	a.Gen.Lattice = "chain:4"
+	writePair(t, dir, a, tinyProg)
+	b := Meta{Class: "runtime-error", Key: DedupKey("runtime-error", "b"),
+		Detail: "rejected by [T-If]"} // pre-rule corpus: rule only in the detail marker
+	writePair(t, dir, b, tinyProg+"\n")
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(f Filter) int {
+		n := 0
+		for range c.Select(f) {
+			n++
+		}
+		return n
+	}
+	cases := []struct {
+		f    Filter
+		want int
+	}{
+		{Filter{}, 2},
+		{Filter{Class: "rejected-clean"}, 1},
+		{Filter{Class: "soundness-violation"}, 0},
+		{Filter{Rule: "T-Assign"}, 1},
+		{Filter{Rule: "T-If"}, 1}, // via the detail-marker fallback
+		{Filter{Origin: "mutate"}, 1},
+		{Filter{Origin: "gen"}, 1}, // empty recorded origin counts as gen
+		{Filter{Lattice: "chain:4"}, 1},
+		{Filter{Lattice: "two-point"}, 1}, // empty recorded spec counts as two-point
+		{Filter{Class: "rejected-clean", Origin: "gen"}, 0},
+	}
+	for _, tc := range cases {
+		if got := count(tc.f); got != tc.want {
+			t.Errorf("Select(%+v) = %d entries, want %d", tc.f, got, tc.want)
+		}
+	}
+}
+
+// TestSingleParsePerEntry: Program() parses once and returns the same
+// *ast.Program thereafter; Fingerprint rides the same parse.
+func TestSingleParsePerEntry(t *testing.T) {
+	c, err := Open(regressionCorpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := range c.Select(Filter{}) {
+		p1, err1 := e.Program()
+		p2, err2 := e.Program()
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: regression-corpus program failed to parse: %v %v", e.Name, err1, err2)
+		}
+		if p1 != p2 {
+			t.Fatalf("%s: Program() re-parsed (distinct pointers)", e.Name)
+		}
+		fp, err := e.Fingerprint()
+		if err != nil || len(fp) != FingerprintLen {
+			t.Fatalf("%s: fingerprint %q, %v", e.Name, fp, err)
+		}
+	}
+}
+
+// TestPutKeepsCacheCoherent: a Put entry is immediately visible to
+// iteration (in sorted position), Has, and Stats without re-opening.
+func TestPutKeepsCacheCoherent(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("fresh dir has %d entries", c.Len())
+	}
+	m := Meta{Class: "rejected-clean", Key: DedupKey("rejected-clean", tinyProg), FoundAt: time.Now()}
+	path, err := c.Put(m, tinyProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Has(m.Key) || c.Len() != 1 {
+		t.Fatalf("Put not reflected: has=%v len=%d", c.Has(m.Key), c.Len())
+	}
+	if st := c.Stats(); st.Total != 1 || st.ByClass["rejected-clean"] != 1 {
+		t.Errorf("Stats after Put: %+v", st)
+	}
+	// And it is really on disk: a fresh handle sees the same entry.
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c2.Has(m.Key) || c2.Len() != 1 {
+		t.Errorf("fresh handle: has=%v len=%d", c2.Has(m.Key), c2.Len())
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Errorf("program file missing: %v", err)
+	}
+}
+
+// TestPutValidatesMeta: Put is public surface — a hand-built Meta with a
+// missing class or short key is an error, not a panic.
+func TestPutValidatesMeta(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Put(Meta{Class: "x", Key: "short"}, "src"); err == nil {
+		t.Error("Put accepted a 5-char key")
+	}
+	if _, err := c.Put(Meta{Key: DedupKey("x", "src")}, "src"); err == nil {
+		t.Error("Put accepted an empty class")
+	}
+	if c.Len() != 0 {
+		t.Errorf("rejected Puts left %d cache entries", c.Len())
+	}
+}
+
+// TestOpenMissingAndEmpty: a missing findings directory is an empty
+// corpus, an empty dir string is an error, and a nil handle is inert.
+func TestOpenMissingAndEmpty(t *testing.T) {
+	c, err := Open(filepath.Join(t.TempDir(), "nonexistent"))
+	if err != nil || c.Len() != 0 {
+		t.Fatalf("missing dir: %v, len %d", err, c.Len())
+	}
+	if _, err := Open(""); err == nil {
+		t.Fatal("Open(\"\") did not error")
+	}
+	var nilC *Corpus
+	if nilC.Has("x") || nilC.Len() != 0 || nilC.Dir() != "" {
+		t.Error("nil corpus is not inert")
+	}
+	for range nilC.Entries() {
+		t.Fatal("nil corpus yielded an entry")
+	}
+}

@@ -1,0 +1,337 @@
+// AST shape fingerprints: the canonical skeleton under which two findings
+// count as "the same kind of program". The fingerprint abstracts
+// everything a mutation or a fresh generator draw varies freely —
+// identifier spellings, literal values, bit widths, which operator of a
+// type-class was drawn — while keeping everything the checker's verdict
+// actually hinges on: statement and declaration structure, where security
+// labels sit and which lattice elements they name, and the type-class of
+// each operator. Findings that differ only in renamings, constants, or an
+// arith-for-arith operator swap therefore collapse onto one fingerprint,
+// and a cluster of them reads as one flow-insensitivity class rather than
+// dozens of unrelated programs — the I3DE-style inspectability move,
+// applied to our corpus. The implementation lives here (rather than in
+// internal/triage, which introduced it) so the seed scheduler can weight
+// by shape cluster without importing the triage layer.
+
+package corpus
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/token"
+)
+
+// FingerprintLen is the length of the hex fingerprint.
+const FingerprintLen = 12
+
+// Fingerprint returns the shape fingerprint of a parsed program: the
+// first FingerprintLen hex digits of a SHA-256 over its canonical
+// skeleton. Equal skeletons — equal program shapes — give equal
+// fingerprints; the hash exists only to make them filename- and
+// table-sized.
+func Fingerprint(prog *ast.Program) string {
+	h := sha256.Sum256([]byte(Skeleton(prog)))
+	return hex.EncodeToString(h[:])[:FingerprintLen]
+}
+
+// FingerprintSource parses src and fingerprints it.
+func FingerprintSource(file, src string) (string, error) {
+	prog, err := parser.Parse(file, src)
+	if err != nil {
+		return "", err
+	}
+	return Fingerprint(prog), nil
+}
+
+// Skeleton renders the canonical shape skeleton the fingerprint hashes: a
+// compact S-expression over abstracted nodes. It is exported so reports
+// and tests can show *why* two programs share a fingerprint.
+func Skeleton(prog *ast.Program) string {
+	var b strings.Builder
+	b.WriteString("(prog")
+	for _, d := range prog.Decls {
+		b.WriteByte(' ')
+		declSkel(&b, d)
+	}
+	for _, c := range prog.Controls {
+		b.WriteByte(' ')
+		declSkel(&b, c)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// opClass maps an operator to its type-class, so swapping + for ^ (the
+// mutator's type-preserving operator swap) does not change the skeleton,
+// while swapping + for == (which changes the expression's type) does.
+func opClass(op token.Kind) string {
+	switch op {
+	case token.PLUS, token.MINUS, token.STAR, token.SLASH, token.PERCENT,
+		token.AMP, token.PIPE, token.CARET, token.SHL, token.SHR:
+		return "arith"
+	case token.EQ, token.NEQ, token.LT, token.GT, token.LEQ, token.GEQ:
+		return "cmp"
+	case token.AND, token.OR:
+		return "logic"
+	case token.NOT:
+		return "not"
+	case token.BITNOT:
+		return "bnot"
+	default:
+		return op.String()
+	}
+}
+
+// labelSkel keeps a security annotation verbatim: label positions and the
+// lattice elements they name are exactly what distinguishes one
+// flow-insensitivity class from another. An unannotated position renders
+// as "_" (defaults to lattice bottom, but the *absence* of an annotation
+// is itself shape).
+func labelSkel(label string) string {
+	if label == "" {
+		return "_"
+	}
+	return label
+}
+
+func typeSkel(b *strings.Builder, t *ast.SecType) {
+	b.WriteByte('<')
+	baseTypeSkel(b, t.Base)
+	b.WriteByte('@')
+	b.WriteString(labelSkel(t.Label))
+	b.WriteByte('>')
+}
+
+func baseTypeSkel(b *strings.Builder, t ast.Type) {
+	switch t := t.(type) {
+	case *ast.BoolType:
+		b.WriteString("bool")
+	case *ast.IntType:
+		b.WriteString("int")
+	case *ast.BitType:
+		b.WriteString("bit") // widths are literal-like: abstracted
+	case *ast.VoidType:
+		b.WriteString("void")
+	case *ast.NamedType:
+		b.WriteString("named") // names are identifiers: abstracted
+	case *ast.StackType:
+		b.WriteString("stack(")
+		typeSkel(b, t.Elem)
+		b.WriteByte(')')
+	default:
+		fmt.Fprintf(b, "?type(%T)", t)
+	}
+}
+
+func exprSkel(b *strings.Builder, e ast.Expr) {
+	switch e := e.(type) {
+	case nil:
+		b.WriteByte('_')
+	case *ast.BoolLit:
+		b.WriteByte('b')
+	case *ast.IntLit:
+		b.WriteByte('i')
+	case *ast.Ident:
+		b.WriteByte('x')
+	case *ast.Unary:
+		b.WriteByte('(')
+		b.WriteString(opClass(e.Op))
+		b.WriteByte(' ')
+		exprSkel(b, e.X)
+		b.WriteByte(')')
+	case *ast.Binary:
+		b.WriteByte('(')
+		b.WriteString(opClass(e.Op))
+		b.WriteByte(' ')
+		exprSkel(b, e.X)
+		b.WriteByte(' ')
+		exprSkel(b, e.Y)
+		b.WriteByte(')')
+	case *ast.Index:
+		b.WriteString("(ix ")
+		exprSkel(b, e.X)
+		b.WriteByte(' ')
+		exprSkel(b, e.I)
+		b.WriteByte(')')
+	case *ast.RecordLit:
+		fmt.Fprintf(b, "(rec%d", len(e.Fields))
+		for _, f := range e.Fields {
+			b.WriteByte(' ')
+			exprSkel(b, f.Value)
+		}
+		b.WriteByte(')')
+	case *ast.Member:
+		// Field names are identifiers (abstracted), but projection depth is
+		// structure: hdr.d.f and hdr.d are different shapes.
+		b.WriteString("(fld ")
+		exprSkel(b, e.X)
+		b.WriteByte(')')
+	case *ast.Call:
+		fmt.Fprintf(b, "(call%d ", len(e.Args))
+		exprSkel(b, e.Fun)
+		for _, a := range e.Args {
+			b.WriteByte(' ')
+			exprSkel(b, a)
+		}
+		b.WriteByte(')')
+	default:
+		fmt.Fprintf(b, "?expr(%T)", e)
+	}
+}
+
+func stmtSkel(b *strings.Builder, s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+		b.WriteByte('_')
+	case *ast.AssignStmt:
+		b.WriteString("(= ")
+		exprSkel(b, s.LHS)
+		b.WriteByte(' ')
+		exprSkel(b, s.RHS)
+		b.WriteByte(')')
+	case *ast.IfStmt:
+		b.WriteString("(if ")
+		exprSkel(b, s.Cond)
+		b.WriteByte(' ')
+		stmtSkel(b, s.Then)
+		b.WriteByte(' ')
+		stmtSkel(b, s.Else)
+		b.WriteByte(')')
+	case *ast.BlockStmt:
+		b.WriteString("{")
+		for i, st := range s.Stmts {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			stmtSkel(b, st)
+		}
+		b.WriteString("}")
+	case *ast.ExitStmt:
+		b.WriteString("exit")
+	case *ast.ReturnStmt:
+		b.WriteString("(ret ")
+		exprSkel(b, s.X)
+		b.WriteByte(')')
+	case *ast.ExprStmt:
+		b.WriteString("(do ")
+		exprSkel(b, s.X)
+		b.WriteByte(')')
+	case *ast.ApplyStmt:
+		b.WriteString("(apply ")
+		exprSkel(b, s.Table)
+		b.WriteByte(')')
+	case *ast.DeclStmt:
+		declSkel(b, s.Decl)
+	default:
+		fmt.Fprintf(b, "?stmt(%T)", s)
+	}
+}
+
+func paramSkel(b *strings.Builder, p ast.Param) {
+	b.WriteByte('(')
+	if p.Dir != ast.DirNone {
+		b.WriteString(p.Dir.String())
+		b.WriteByte(' ')
+	}
+	typeSkel(b, p.Type)
+	b.WriteByte(')')
+}
+
+func declSkel(b *strings.Builder, d ast.Decl) {
+	switch d := d.(type) {
+	case *ast.VarDecl:
+		switch {
+		case d.Register:
+			b.WriteString("(register ")
+		case d.Const:
+			b.WriteString("(const ")
+		default:
+			b.WriteString("(var ")
+		}
+		typeSkel(b, d.Type)
+		if d.Init != nil {
+			b.WriteByte(' ')
+			exprSkel(b, d.Init)
+		}
+		b.WriteByte(')')
+	case *ast.TypedefDecl:
+		b.WriteString("(typedef ")
+		typeSkel(b, d.Type)
+		b.WriteByte(')')
+	case *ast.MatchKindDecl:
+		fmt.Fprintf(b, "(match_kind%d)", len(d.Members))
+	case *ast.HeaderDecl:
+		b.WriteString("(header")
+		for _, f := range d.Fields {
+			b.WriteByte(' ')
+			typeSkel(b, f.Type)
+		}
+		b.WriteByte(')')
+	case *ast.StructDecl:
+		b.WriteString("(struct")
+		for _, f := range d.Fields {
+			b.WriteByte(' ')
+			typeSkel(b, f.Type)
+		}
+		b.WriteByte(')')
+	case *ast.FuncDecl:
+		if d.IsAction {
+			b.WriteString("(action")
+		} else {
+			b.WriteString("(func")
+			if d.Ret != nil {
+				b.WriteByte(' ')
+				typeSkel(b, d.Ret)
+			}
+		}
+		for _, p := range d.Params {
+			b.WriteByte(' ')
+			paramSkel(b, p)
+		}
+		b.WriteByte(' ')
+		stmtSkel(b, d.Body)
+		b.WriteByte(')')
+	case *ast.TableDecl:
+		b.WriteString("(table keys(")
+		for i, k := range d.Keys {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			exprSkel(b, k.Expr)
+			// Match kinds are a small closed vocabulary (exact, lpm,
+			// ternary), not free identifiers: keep them.
+			b.WriteByte(':')
+			b.WriteString(k.MatchKind)
+		}
+		fmt.Fprintf(b, ") actions%d", len(d.Actions))
+		if d.Default != nil {
+			b.WriteString(" default")
+		}
+		b.WriteByte(')')
+	case *ast.ControlDecl:
+		b.WriteString("(control")
+		if d.PCLabel != "" {
+			// The @pc annotation is a label position like any other.
+			b.WriteString(" @pc:")
+			b.WriteString(d.PCLabel)
+		}
+		for _, p := range d.Params {
+			b.WriteByte(' ')
+			paramSkel(b, p)
+		}
+		for _, l := range d.Locals {
+			b.WriteByte(' ')
+			declSkel(b, l)
+		}
+		b.WriteByte(' ')
+		stmtSkel(b, d.Apply)
+		b.WriteByte(')')
+	default:
+		fmt.Fprintf(b, "?decl(%T)", d)
+	}
+}

@@ -1,0 +1,95 @@
+// Package events defines the structured event stream the campaign stack
+// emits while it works: per-job completions, findings as they persist,
+// replay drift, triage clusters, retirements, and coarse progress ticks.
+// The engines (internal/campaign, internal/triage) emit through a Sink —
+// a plain nil-able callback, so an engine run without a listener pays one
+// nil check per event — and the public Session API fans the sink into a
+// buffered channel for CLIs and CI to render live.
+package events
+
+import "time"
+
+// Kind discriminates events.
+type Kind int
+
+// Event kinds.
+const (
+	// KindJobDone is one analyzed (or replayed) program: Index is its
+	// campaign index (or replay sequence), Class the verdict class the
+	// stack assigned.
+	KindJobDone Kind = iota
+	// KindFinding is one interesting program persisted (or collected) by
+	// a campaign; Class, Key, Path, and Detail describe it.
+	KindFinding
+	// KindDrift is one replayed finding whose classification no longer
+	// matches its recorded class: Class is the recorded class, Detail the
+	// "now X" explanation.
+	KindDrift
+	// KindCluster is one ranked triage cluster, emitted in rank order:
+	// Class/Rule/Detail carry (class, rule, fingerprint), Done the
+	// cluster's size, and Total the report's cluster count.
+	KindCluster
+	// KindRetired is one corpus entry promoted into the retired corpus
+	// and removed from the live one.
+	KindRetired
+	// KindProgress is a coarse tick: Done of Total units complete for the
+	// current operation (Total is 0 when unknown, e.g. replay of an
+	// unopened corpus).
+	KindProgress
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindJobDone:
+		return "job-done"
+	case KindFinding:
+		return "finding"
+	case KindDrift:
+		return "drift"
+	case KindCluster:
+		return "cluster"
+	case KindRetired:
+		return "retired"
+	case KindProgress:
+		return "progress"
+	default:
+		return "event"
+	}
+}
+
+// Event is one observation from a running operation. Fields beyond Kind,
+// Op, and Time are kind-dependent; unused ones are zero.
+type Event struct {
+	Kind Kind
+	// Op names the operation emitting: "campaign", "replay", "triage",
+	// "retire".
+	Op string
+	// Time is when the event was emitted.
+	Time time.Time
+	// Index is the campaign/replay index the event concerns.
+	Index int64
+	// Class, Rule, Detail, Key, and Path describe the program or cluster.
+	Class  string
+	Rule   string
+	Detail string
+	Key    string
+	Path   string
+	// Done and Total carry progress (and cluster size/rank) counts.
+	Done, Total int
+}
+
+// Sink receives events; a nil Sink discards them. Engines call Emit, not
+// the sink directly, so the nil case stays in one place.
+type Sink func(Event)
+
+// Emit sends e to s, stamping Time if unset; nil sinks discard.
+func (s Sink) Emit(e Event) {
+	if s == nil {
+		return
+	}
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	s(e)
+}

@@ -16,7 +16,7 @@ import (
 // lattice's programs, which is what the pre-Lattice generator effectively
 // did by ignoring height entirely).
 func TestConfigLatticeValidation(t *testing.T) {
-	for _, good := range []string{"", "two-point", "diamond", "chain:4", "chain-8", "nparty:3", "powerset:2"} {
+	for _, good := range []string{"", "two-point", "diamond", "chain:4", "chain-8", "nparty:3", "powerset:2", "product:two-point,two-point"} {
 		cfg := gen.Config{Lattice: good}
 		if err := cfg.Validate(); err != nil {
 			t.Errorf("Validate(%q): %v", good, err)
@@ -86,6 +86,35 @@ func TestRandomPowersetLabelEmission(t *testing.T) {
 	for _, want := range []string{"p_", "p_a", "p_b", "p_a_b"} {
 		if !seen[want] {
 			t.Errorf("no generated program annotated a field at %s; the powerset spelling is not reaching the emitter", want)
+		}
+	}
+}
+
+// TestRandomProductLabelEmission: product elements spell as identifiers
+// ("x_low_high"), so the generalized emitter can annotate fields at every
+// pair — including the incomparable mixed ones — and the programs resolve
+// against the lattice. This is the path `-lattice product:a,b` campaigns
+// take (the ROADMAP's "Product() element names still don't lex" item).
+func TestRandomProductLabelEmission(t *testing.T) {
+	const spec = "product:two-point,two-point"
+	cfg := gen.Config{MaxDepth: 2, MaxStmts: 4, NumFields: 2, WithActions: true, Lattice: spec}
+	lat, err := lattice.ByName(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for seed := int64(0); seed < 20; seed++ {
+		src := gen.Random(rand.New(rand.NewSource(seed)), cfg)
+		mustResolve(t, fmt.Sprintf("prod-seed-%d.p4", seed), src, lat)
+		for _, e := range lat.Elements() {
+			if strings.Contains(src, "<bit<8>, "+e.Name()+">") {
+				seen[e.Name()] = true
+			}
+		}
+	}
+	for _, want := range []string{"x_low_low", "x_low_high", "x_high_low", "x_high_high"} {
+		if !seen[want] {
+			t.Errorf("no generated program annotated a field at %s; the product spelling is not reaching the emitter", want)
 		}
 	}
 }

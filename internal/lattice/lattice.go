@@ -441,12 +441,17 @@ func subsetBraces(atoms []string, mask int) string {
 }
 
 // Product returns the component-wise product lattice of a and b. Element
-// names are "x×y". Products let operators combine, e.g., a confidentiality
-// lattice with an integrity lattice.
+// names use the label-safe spelling "x_" + aName + "_" + bName —
+// "x_low_high" for (low, high) — so every element lexes as a P4
+// identifier and product lattices work end-to-end through generated and
+// hand-written annotations alike (the powerset treatment). The historical
+// "low×high" spellings remain accepted by Lookup as aliases. Products let
+// operators combine, e.g., a confidentiality lattice with an integrity
+// lattice.
 func Product(a, b Lattice) Lattice {
 	ae, be := a.Elements(), b.Elements()
 	elems := make([]string, 0, len(ae)*len(be))
-	name := func(x, y Label) string { return x.Name() + "×" + y.Name() }
+	name := func(x, y Label) string { return "x_" + x.Name() + "_" + y.Name() }
 	for _, x := range ae {
 		for _, y := range be {
 			elems = append(elems, name(x, y))
@@ -471,12 +476,18 @@ func Product(a, b Lattice) Lattice {
 	if err != nil {
 		panic(err)
 	}
-	return &aliased{t, map[string]string{
+	al := map[string]string{
 		"low":  name(a.Bottom(), b.Bottom()),
 		"bot":  name(a.Bottom(), b.Bottom()),
 		"high": name(a.Top(), b.Top()),
 		"top":  name(a.Top(), b.Top()),
-	}}
+	}
+	for _, x := range ae {
+		for _, y := range be {
+			al[x.Name()+"×"+y.Name()] = name(x, y)
+		}
+	}
+	return &aliased{t, al}
 }
 
 // aliased wraps a table lattice with alternate names accepted by Lookup.
@@ -493,19 +504,39 @@ func (a *aliased) Lookup(name string) (Label, bool) {
 }
 
 // ByName constructs one of the named stock lattices: "two-point",
-// "diamond", "chain-N"/"chain:N", "nparty:N", or "powerset:N" for a
-// positive integer N. It is used by the CLI tools' -lattice flags and by
-// gen.Config.Lattice. A powerset:N lattice has atoms a, b, c, … and
-// 2^N elements spelled label-safely ("p_a_b"), so powerset campaigns
-// work end-to-end; N is capped at 6 here — 64 elements already means 64
-// generated field groups per program, and beyond that the spec is almost
-// certainly a typo.
+// "diamond", "chain-N"/"chain:N", "nparty:N", "powerset:N" for a
+// positive integer N, or "product:a,b" where a and b are themselves
+// ByName specs ("product:two-point,diamond", "product:chain:3,two-point").
+// It is used by the CLI tools' -lattice flags and by gen.Config.Lattice.
+// A powerset:N lattice has atoms a, b, c, … and 2^N elements spelled
+// label-safely ("p_a_b"), so powerset campaigns work end-to-end; N is
+// capped at 6 here — 64 elements already means 64 generated field groups
+// per program, and beyond that the spec is almost certainly a typo.
+// Product specs carry the same 64-element cap, and the same label-safe
+// treatment ("x_low_high"), for the same reason.
 func ByName(name string) (Lattice, error) {
 	switch {
 	case name == "" || name == "two-point" || name == "2pt":
 		return TwoPoint(), nil
 	case name == "diamond":
 		return Diamond(), nil
+	case strings.HasPrefix(name, "product:"):
+		parts := strings.Split(strings.TrimPrefix(name, "product:"), ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("lattice: bad product spec %q (want product:a,b — exactly two component specs)", name)
+		}
+		a, err := ByName(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("lattice: product component %q: %w", parts[0], err)
+		}
+		b, err := ByName(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("lattice: product component %q: %w", parts[1], err)
+		}
+		if n := len(a.Elements()) * len(b.Elements()); n > 64 {
+			return nil, fmt.Errorf("lattice: product spec %q has %d elements (cap 64)", name, n)
+		}
+		return Product(a, b), nil
 	case strings.HasPrefix(name, "chain-"), strings.HasPrefix(name, "chain:"):
 		n, err := specArg(name)
 		if err != nil || n < 1 {
@@ -533,7 +564,7 @@ func ByName(name string) (Lattice, error) {
 		}
 		return Powerset(atoms...), nil
 	default:
-		return nil, fmt.Errorf("lattice: unknown lattice %q (want two-point, diamond, chain:N, nparty:N, or powerset:N)", name)
+		return nil, fmt.Errorf("lattice: unknown lattice %q (want two-point, diamond, chain:N, nparty:N, powerset:N, or product:a,b)", name)
 	}
 }
 

@@ -2,6 +2,7 @@ package lattice
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -259,13 +260,28 @@ func TestProduct(t *testing.T) {
 	if len(l.Elements()) != 4 {
 		t.Fatalf("product has %d elements, want 4", len(l.Elements()))
 	}
-	lh, ok := l.Lookup("low×high")
+	// Canonical element names are label-safe identifiers ("x_low_high"),
+	// so product elements survive the lexer in source annotations; the
+	// historical "low×high" spellings remain Lookup aliases and resolve
+	// to the same labels.
+	lh, ok := l.Lookup("x_low_high")
 	if !ok {
-		t.Fatal("low×high not found")
+		t.Fatal("x_low_high not found")
+	}
+	if alias, ok := l.Lookup("low×high"); !ok || alias != lh {
+		t.Fatalf("alias low×high = %v, %v; want x_low_high", alias, ok)
+	}
+	for _, e := range l.Elements() {
+		if !strings.HasPrefix(e.Name(), "x_") {
+			t.Errorf("product element %q is not label-safe spelled", e.Name())
+		}
 	}
 	hl, _ := l.Lookup("high×low")
 	if l.Leq(lh, hl) || l.Leq(hl, lh) {
 		t.Error("mixed pairs should be incomparable")
+	}
+	if bot, _ := l.Lookup("bot"); bot != l.Bottom() {
+		t.Error("bot alias does not reach the product bottom")
 	}
 }
 
@@ -309,6 +325,11 @@ func TestByName(t *testing.T) {
 		{"powerset:0", false, ""},
 		{"powerset:7", false, ""},
 		{"powerset:2x", false, ""},
+		{"product:two-point,diamond", true, "product(two-point,diamond)"},
+		{"product:chain:3,two-point", true, "product(chain-3,two-point)"},
+		{"product:two-point", false, ""},
+		{"product:two-point,weird", false, ""},
+		{"product:powerset:6,powerset:6", false, ""}, // 4096 elements: over the cap
 		{"weird", false, ""},
 	}
 	for _, c := range cases {

@@ -11,12 +11,12 @@ package triage
 
 import (
 	"fmt"
-	"path/filepath"
 	"sort"
-	"strings"
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/corpus"
+	"repro/internal/events"
 )
 
 // Cluster is one (class, rule, shape) group of corpus findings.
@@ -101,6 +101,9 @@ type Config struct {
 	// MaxNovelty caps the novelty ranking's length (0 = default 10,
 	// negative = unlimited).
 	MaxNovelty int
+	// Events receives one cluster event per ranked cluster (and a final
+	// progress tick); nil discards.
+	Events events.Sink
 }
 
 // Triage reads every finding under cfg.CorpusDir and builds the cluster
@@ -113,22 +116,29 @@ func Triage(cfg Config) (*Report, error) {
 	}
 	clusters := map[string]*Cluster{}
 	classByKey := map[string]campaign.Class{}
-	findings := filepath.Join(cfg.CorpusDir, "findings")
-	err := campaign.ForEachFinding(cfg.CorpusDir, func(name string, m campaign.Meta, src string, err error) bool {
+	dir := cfg.CorpusDir
+	if dir == "" {
+		dir = "."
+	}
+	corp, err := corpus.Open(dir)
+	if err != nil {
+		return rep, fmt.Errorf("triage: %w", err)
+	}
+	for e, err := range corp.Entries() {
 		if err != nil {
 			rep.Errors = append(rep.Errors, err.Error())
-			return true
+			continue
 		}
+		m := e.Meta
 		rep.Total++
 		rep.ByClass[m.Class]++
 		classByKey[m.Key] = m.Class
-		path := filepath.Join(findings, strings.TrimSuffix(name, ".json")+".p4")
-		fp, err := FingerprintSource(name, src)
+		fp, err := e.Fingerprint()
 		if err != nil {
-			rep.Errors = append(rep.Errors, fmt.Sprintf("%s: program does not parse: %v", path, err))
-			return true
+			rep.Errors = append(rep.Errors, fmt.Sprintf("%s: program does not parse: %v", e.Path, err))
+			continue
 		}
-		c := Cluster{Class: m.Class, Rule: ruleOf(m), Fingerprint: fp}
+		c := Cluster{Class: m.Class, Rule: m.CitedRule(), Fingerprint: fp}
 		cl, ok := clusters[c.key()]
 		if !ok {
 			cl = &c
@@ -137,10 +147,10 @@ func Triage(cfg Config) (*Report, error) {
 		}
 		cl.Size++
 		cl.Keys = append(cl.Keys, m.Key)
-		if cl.Exemplar == "" || len(src) < len(cl.Exemplar) ||
-			(len(src) == len(cl.Exemplar) && path < cl.ExemplarPath) {
-			cl.Exemplar = src
-			cl.ExemplarPath = path
+		if cl.Exemplar == "" || len(e.Source) < len(cl.Exemplar) ||
+			(len(e.Source) == len(cl.Exemplar) && e.Path < cl.ExemplarPath) {
+			cl.Exemplar = e.Source
+			cl.ExemplarPath = e.Path
 			cl.ExemplarDetail = m.Detail
 		}
 		if m.FoundAt.Before(cl.FirstSeen) {
@@ -162,10 +172,6 @@ func Triage(cfg Config) (*Report, error) {
 				cl.NIBudgetMax = m.NITrialsMax
 			}
 		}
-		return true
-	})
-	if err != nil {
-		return rep, fmt.Errorf("triage: %w", err)
 	}
 
 	rep.Clusters = make([]Cluster, 0, len(clusters))
@@ -180,44 +186,22 @@ func Triage(cfg Config) (*Report, error) {
 		return a.key() < b.key()
 	})
 	sort.Strings(rep.Errors)
+	for i := range rep.Clusters {
+		cl := &rep.Clusters[i]
+		cfg.Events.Emit(events.Event{
+			Kind: events.KindCluster, Op: "triage",
+			Class: string(cl.Class), Rule: cl.Rule, Detail: cl.Fingerprint,
+			Path: cl.ExemplarPath, Done: cl.Size, Total: len(rep.Clusters),
+		})
+	}
+	cfg.Events.Emit(events.Event{
+		Kind: events.KindProgress, Op: "triage", Done: rep.Total, Total: rep.Total,
+	})
 
 	if err := rankNovelty(rep, cfg, classByKey); err != nil {
 		return rep, err
 	}
 	return rep, nil
-}
-
-// ruleOf extracts a finding's cited rule: the recorded metadata field
-// when present, otherwise (pre-rule corpora) the trailing "[Rule]" marker
-// diag.Diagnostic renders into the detail text; "-" when there is none.
-func ruleOf(m campaign.Meta) string {
-	if m.Rule != "" {
-		return m.Rule
-	}
-	if i := strings.LastIndex(m.Detail, "["); i >= 0 {
-		if j := strings.Index(m.Detail[i:], "]"); j > 1 {
-			if r := m.Detail[i+1 : i+j]; ruleShaped(r) {
-				return r
-			}
-		}
-	}
-	return "-"
-}
-
-// ruleShaped reports whether a bracketed token looks like a typing-rule
-// name ("T-Assign", "T-If") rather than incidental brackets in witness
-// text such as an array index ("hdr.h[2]"): letter first, then letters,
-// digits, and dashes only.
-func ruleShaped(r string) bool {
-	for i, c := range r {
-		switch {
-		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
-		case i > 0 && (c >= '0' && c <= '9' || c == '-'):
-		default:
-			return false
-		}
-	}
-	return r != ""
 }
 
 // rankNovelty joins the corpus's novelty records against the live

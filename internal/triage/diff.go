@@ -1,0 +1,141 @@
+// Triage time-series: diff two cluster reports. The nightly workflow
+// uploads one triage JSON per run; comparing consecutive reports tells a
+// maintainer what actually changed overnight — a *new* cluster is a new
+// defect class (the interesting event), a *grown* cluster is more of a
+// known one (volume, not news), a *gone* cluster means a class emptied
+// out (retired or minimized away). The diff is keyed the way clusters
+// are: (verdict class, cited rule, shape fingerprint), so renamings and
+// fresh exemplars don't masquerade as news.
+package triage
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// ClusterDelta is one cluster present in both reports whose size changed.
+type ClusterDelta struct {
+	// Cluster is the cluster as the new report records it.
+	Cluster `json:"cluster"`
+	// OldSize is its size in the old report.
+	OldSize int `json:"old_size"`
+}
+
+// DiffReport is the outcome of comparing two triage reports.
+type DiffReport struct {
+	// OldDir and NewDir echo the compared reports' corpus directories.
+	OldDir string `json:"old_dir"`
+	NewDir string `json:"new_dir"`
+	// New lists clusters present only in the new report — new defect
+	// classes, the headline; Gone those present only in the old one.
+	New  []Cluster `json:"new,omitempty"`
+	Gone []Cluster `json:"gone,omitempty"`
+	// Grown and Shrunk list clusters present in both whose size moved.
+	Grown  []ClusterDelta `json:"grown,omitempty"`
+	Shrunk []ClusterDelta `json:"shrunk,omitempty"`
+	// Unchanged counts clusters with identical membership size.
+	Unchanged int `json:"unchanged"`
+}
+
+// Changed reports whether the diff found any cluster-level movement.
+func (d *DiffReport) Changed() bool {
+	return len(d.New) > 0 || len(d.Gone) > 0 || len(d.Grown) > 0 || len(d.Shrunk) > 0
+}
+
+// DiffReports compares two triage reports cluster by cluster. Both
+// reports keep their ranked order, so the diff's slices are ordered by
+// the new report's ranking (Gone by the old one's).
+func DiffReports(old, new *Report) *DiffReport {
+	d := &DiffReport{OldDir: old.CorpusDir, NewDir: new.CorpusDir}
+	oldBy := map[string]*Cluster{}
+	for i := range old.Clusters {
+		oldBy[old.Clusters[i].key()] = &old.Clusters[i]
+	}
+	seen := map[string]bool{}
+	for i := range new.Clusters {
+		nc := new.Clusters[i]
+		k := nc.key()
+		seen[k] = true
+		oc, ok := oldBy[k]
+		switch {
+		case !ok:
+			d.New = append(d.New, nc)
+		case nc.Size > oc.Size:
+			d.Grown = append(d.Grown, ClusterDelta{Cluster: nc, OldSize: oc.Size})
+		case nc.Size < oc.Size:
+			d.Shrunk = append(d.Shrunk, ClusterDelta{Cluster: nc, OldSize: oc.Size})
+		default:
+			d.Unchanged++
+		}
+	}
+	for i := range old.Clusters {
+		if !seen[old.Clusters[i].key()] {
+			d.Gone = append(d.Gone, old.Clusters[i])
+		}
+	}
+	return d
+}
+
+// UnmarshalReport decodes a triage report from its JSON artifact form
+// (the output of MarshalJSONReport) — the input format of the diff.
+func UnmarshalReport(raw []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("triage: decode report: %w", err)
+	}
+	return &r, nil
+}
+
+// FormatDiff renders the diff as text, new defect classes first.
+func FormatDiff(d *DiffReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "triage diff: %s -> %s\n", d.OldDir, d.NewDir)
+	fmt.Fprintf(&b, "  %d new, %d grown, %d shrunk, %d gone, %d unchanged\n",
+		len(d.New), len(d.Grown), len(d.Shrunk), len(d.Gone), d.Unchanged)
+	for _, c := range d.New {
+		fmt.Fprintf(&b, "\nNEW CLUSTER %s/%s/%s (%d findings)\n  exemplar %s\n  %s\n",
+			c.Class, c.Rule, c.Fingerprint, c.Size, c.ExemplarPath, c.ExemplarDetail)
+	}
+	for _, c := range d.Grown {
+		fmt.Fprintf(&b, "\nGROWN %s/%s/%s: %d -> %d\n", c.Class, c.Rule, c.Fingerprint, c.OldSize, c.Size)
+	}
+	for _, c := range d.Shrunk {
+		fmt.Fprintf(&b, "\nSHRUNK %s/%s/%s: %d -> %d\n", c.Class, c.Rule, c.Fingerprint, c.OldSize, c.Size)
+	}
+	for _, c := range d.Gone {
+		fmt.Fprintf(&b, "\nGONE %s/%s/%s (had %d findings)\n", c.Class, c.Rule, c.Fingerprint, c.Size)
+	}
+	if !d.Changed() {
+		b.WriteString("no cluster-level changes\n")
+	}
+	return b.String()
+}
+
+// MarkdownDiff renders the diff as a GitHub-flavored Markdown fragment —
+// the form the nightly workflow appends to its job summary.
+func MarkdownDiff(d *DiffReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### Triage diff\n\n")
+	fmt.Fprintf(&b, "%d new · %d grown · %d shrunk · %d gone · %d unchanged\n\n",
+		len(d.New), len(d.Grown), len(d.Shrunk), len(d.Gone), d.Unchanged)
+	if !d.Changed() {
+		b.WriteString("No cluster-level changes since the previous report.\n")
+		return b.String()
+	}
+	b.WriteString("| change | class | rule | shape | size |\n")
+	b.WriteString("|---|---|---|---|---|\n")
+	for _, c := range d.New {
+		fmt.Fprintf(&b, "| **new** | %s | %s | `%s` | %d |\n", c.Class, c.Rule, c.Fingerprint, c.Size)
+	}
+	for _, c := range d.Grown {
+		fmt.Fprintf(&b, "| grown | %s | %s | `%s` | %d → %d |\n", c.Class, c.Rule, c.Fingerprint, c.OldSize, c.Size)
+	}
+	for _, c := range d.Shrunk {
+		fmt.Fprintf(&b, "| shrunk | %s | %s | `%s` | %d → %d |\n", c.Class, c.Rule, c.Fingerprint, c.OldSize, c.Size)
+	}
+	for _, c := range d.Gone {
+		fmt.Fprintf(&b, "| gone | %s | %s | `%s` | %d → 0 |\n", c.Class, c.Rule, c.Fingerprint, c.Size)
+	}
+	return b.String()
+}

@@ -1,0 +1,97 @@
+package triage
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+)
+
+// mkReport builds a minimal ranked report from (class, rule, fp, size)
+// rows.
+func mkReport(dir string, rows ...[4]string) *Report {
+	r := &Report{CorpusDir: dir}
+	for _, row := range rows {
+		size := int(row[3][0] - '0')
+		r.Clusters = append(r.Clusters, Cluster{
+			Class: campaign.Class(row[0]), Rule: row[1], Fingerprint: row[2], Size: size,
+		})
+		r.Total += size
+	}
+	return r
+}
+
+func TestDiffReports(t *testing.T) {
+	old := mkReport("old",
+		[4]string{"rejected-clean", "T-Assign", "aaaa", "3"},
+		[4]string{"rejected-clean", "T-If", "bbbb", "2"},
+		[4]string{"runtime-error", "-", "cccc", "1"},
+		[4]string{"parser-disagreement", "-", "dddd", "2"},
+	)
+	cur := mkReport("new",
+		[4]string{"rejected-clean", "T-Assign", "aaaa", "5"}, // grown
+		[4]string{"rejected-clean", "T-If", "bbbb", "2"},     // unchanged
+		[4]string{"runtime-error", "-", "eeee", "1"},         // new shape
+		[4]string{"parser-disagreement", "-", "dddd", "1"},   // shrunk
+	)
+	d := DiffReports(old, cur)
+	if !d.Changed() {
+		t.Fatal("diff reports no change")
+	}
+	if len(d.New) != 1 || d.New[0].Fingerprint != "eeee" {
+		t.Errorf("New = %+v, want the eeee cluster", d.New)
+	}
+	if len(d.Gone) != 1 || d.Gone[0].Fingerprint != "cccc" {
+		t.Errorf("Gone = %+v, want the cccc cluster", d.Gone)
+	}
+	if len(d.Grown) != 1 || d.Grown[0].Fingerprint != "aaaa" || d.Grown[0].OldSize != 3 || d.Grown[0].Size != 5 {
+		t.Errorf("Grown = %+v, want aaaa 3->5", d.Grown)
+	}
+	if len(d.Shrunk) != 1 || d.Shrunk[0].Fingerprint != "dddd" {
+		t.Errorf("Shrunk = %+v, want dddd", d.Shrunk)
+	}
+	if d.Unchanged != 1 {
+		t.Errorf("Unchanged = %d, want 1", d.Unchanged)
+	}
+
+	txt := FormatDiff(d)
+	for _, want := range []string{"NEW CLUSTER runtime-error/-/eeee", "GROWN rejected-clean/T-Assign/aaaa: 3 -> 5", "SHRUNK", "GONE runtime-error/-/cccc"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("text diff missing %q:\n%s", want, txt)
+		}
+	}
+	md := MarkdownDiff(d)
+	for _, want := range []string{"### Triage diff", "| **new** | runtime-error | - | `eeee` | 1 |", "| grown | rejected-clean | T-Assign | `aaaa` | 3 → 5 |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown diff missing %q:\n%s", want, md)
+		}
+	}
+}
+
+// TestDiffRoundTripsThroughJSON: the artifact form (MarshalJSONReport)
+// decodes back (UnmarshalReport) into a report that diffs cleanly against
+// itself — the path the nightly workflow takes across runs.
+func TestDiffRoundTripsThroughJSON(t *testing.T) {
+	rep, err := Triage(Config{CorpusDir: "../../testdata/regression-corpus"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() || len(rep.Clusters) == 0 {
+		t.Fatalf("regression corpus triage not clean: %+v", rep.Errors)
+	}
+	raw, err := MarshalJSONReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalReport(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := DiffReports(rep, back)
+	if d.Changed() {
+		t.Fatalf("self-diff after JSON round trip reports changes:\n%s", FormatDiff(d))
+	}
+	if d.Unchanged != len(rep.Clusters) {
+		t.Errorf("unchanged %d, want %d", d.Unchanged, len(rep.Clusters))
+	}
+}

@@ -33,6 +33,8 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/corpus"
+	"repro/internal/events"
 )
 
 // RetireConfig configures a retire pass.
@@ -50,6 +52,9 @@ type RetireConfig struct {
 	NITrialsMax int
 	// Log receives one line per retired entry (nil = discard).
 	Log io.Writer
+	// Events receives one retired event per promoted-and-removed entry
+	// (plus the underlying replay's stream); nil discards.
+	Events events.Sink
 }
 
 // RetiredFinding is one corpus entry moved to the retired corpus.
@@ -112,6 +117,7 @@ func Retire(ctx context.Context, cfg RetireConfig) (*RetireReport, error) {
 		CorpusDir:   cfg.CorpusDir,
 		NITrials:    cfg.NITrials,
 		NITrialsMax: cfg.NITrialsMax,
+		Events:      retireSink(cfg.Events),
 	})
 	if err != nil {
 		return rep, fmt.Errorf("triage: retire: %w", err)
@@ -129,50 +135,59 @@ func Retire(ctx context.Context, cfg RetireConfig) (*RetireReport, error) {
 	// Promote and remove. Iteration is name-sorted, so the pass is
 	// deterministic; removal happens per entry only after its promotion
 	// succeeded, so a failure mid-pass never loses a finding.
-	findings := filepath.Join(cfg.CorpusDir, "findings")
-	err = campaign.ForEachFinding(cfg.CorpusDir, func(name string, m campaign.Meta, src string, err error) bool {
+	dir := cfg.CorpusDir
+	if dir == "" {
+		dir = "."
+	}
+	corp, err := corpus.Open(dir)
+	if err != nil {
+		return rep, fmt.Errorf("triage: retire: %w", err)
+	}
+	for e, err := range corp.Entries() {
 		if err != nil {
-			return true // already in rep.Errors via the replay above
+			continue // already in rep.Errors via the replay above
 		}
-		path := filepath.Join(findings, strings.TrimSuffix(name, ".json")+".p4")
-		d, ok := drifted[path]
+		m := e.Meta
+		d, ok := drifted[e.Path]
 		if !ok {
-			return true
+			continue
 		}
 		if d.Got == "unparseable" {
 			rep.Errors = append(rep.Errors,
-				fmt.Sprintf("%s: drifted to unparseable — cannot be re-recorded as a regression test; resolve by hand", path))
-			return true
+				fmt.Sprintf("%s: drifted to unparseable — cannot be re-recorded as a regression test; resolve by hand", e.Path))
+			continue
 		}
-		fp, err := FingerprintSource(name, src)
+		fp, err := e.Fingerprint()
 		if err != nil {
-			rep.Errors = append(rep.Errors, fmt.Sprintf("%s: %v", path, err))
-			return true
+			rep.Errors = append(rep.Errors, fmt.Sprintf("%s: %v", e.Path, err))
+			continue
 		}
-		promoted, err := promote(promoteDir, m, src, campaign.Class(d.Got), d.Detail)
+		promoted, err := promote(promoteDir, m, e.Source, campaign.Class(d.Got), d.Detail)
 		if err != nil {
-			rep.Errors = append(rep.Errors, fmt.Sprintf("%s: promote: %v", path, err))
-			return true
+			rep.Errors = append(rep.Errors, fmt.Sprintf("%s: promote: %v", e.Path, err))
+			continue
 		}
-		if err := removePair(path); err != nil {
-			rep.Errors = append(rep.Errors, fmt.Sprintf("%s: remove: %v", path, err))
-			return true
+		if err := removePair(e.Path); err != nil {
+			rep.Errors = append(rep.Errors, fmt.Sprintf("%s: remove: %v", e.Path, err))
+			continue
 		}
 		rep.Retired = append(rep.Retired, RetiredFinding{
 			Key:          m.Key,
-			Path:         path,
+			Path:         e.Path,
 			From:         m.Class,
 			To:           campaign.Class(d.Got),
 			Detail:       d.Detail,
 			PromotedPath: promoted,
-			Rule:         ruleOf(m),
+			Rule:         m.CitedRule(),
 			Fingerprint:  fp,
 		})
-		fmt.Fprintf(log, "retired: %s (%s -> %s) promoted to %s\n", path, m.Class, d.Got, promoted)
-		return true
-	})
-	if err != nil {
-		return rep, fmt.Errorf("triage: retire: %w", err)
+		cfg.Events.Emit(events.Event{
+			Kind: events.KindRetired, Op: "retire",
+			Class: string(m.Class), Rule: m.CitedRule(),
+			Detail: fmt.Sprintf("%s -> %s: %s", m.Class, d.Got, d.Detail),
+			Key:    m.Key, Path: e.Path,
+		})
+		fmt.Fprintf(log, "retired: %s (%s -> %s) promoted to %s\n", e.Path, m.Class, d.Got, promoted)
 	}
 
 	// Cluster the surviving corpus once and annotate each retired entry
@@ -193,6 +208,18 @@ func Retire(ctx context.Context, cfg RetireConfig) (*RetireReport, error) {
 	}
 	sort.Strings(rep.Errors)
 	return rep, nil
+}
+
+// retireSink relabels the embedded replay's events as the retire pass's
+// own, so a listener sees one coherent operation.
+func retireSink(s events.Sink) events.Sink {
+	if s == nil {
+		return nil
+	}
+	return func(e events.Event) {
+		e.Op = "retire"
+		s(e)
+	}
 }
 
 // promote writes one drifted finding into the retired corpus under its

@@ -6,7 +6,7 @@
 // interpreter with a match-action control-plane simulator, and a
 // non-interference testing harness.
 //
-// # Quick start
+// # Quick start: checking one program
 //
 //	prog, err := repro.Parse("leak.p4", src)
 //	res := repro.Check(prog, repro.TwoPoint())
@@ -19,6 +19,40 @@
 // default to the lattice bottom (public/trusted). Control blocks may be
 // checked in a raised security context with @pc(label), as the paper's
 // isolation case study does for Alice (pc = A) and Bob (pc = B).
+//
+// # Quick start: the campaign stack
+//
+// Long-running validation — fuzz campaigns, regression replay, corpus
+// analytics, corpus hygiene — runs through one configured Session over
+// one on-disk finding Corpus:
+//
+//	s, err := repro.NewSession(
+//	    repro.WithCorpus("fuzz-corpus"),
+//	    repro.WithLattice("chain:4"),
+//	    repro.WithMutation(0.5),
+//	    repro.WithNIBudget(4, 32),
+//	)
+//	defer s.Close()
+//	go func() { // optional: live progress
+//	    for ev := range s.Events() {
+//	        fmt.Println(ev.Op, ev.Kind, ev.Class, ev.Detail)
+//	    }
+//	}()
+//	rep, err := s.Campaign(ctx, 20000) // fuzz 20k programs, persist findings
+//	rr, err := s.Replay(ctx)           // corpus as regression suite
+//	tr, err := s.Triage()              // ranked (class, rule, shape) clusters
+//
+// The corpus itself is directly queryable:
+//
+//	c, err := repro.OpenCorpus("fuzz-corpus")
+//	for e := range c.Select(repro.CorpusFilter{Class: "rejected-clean"}) {
+//	    fmt.Println(e.Path, e.Rule())
+//	}
+//	fmt.Printf("%+v\n", c.Stats())
+//
+// The pre-Session entry points (Campaign, Replay, Triage, Retire,
+// MinimizeProgram and their config structs) remain as deprecated
+// one-line wrappers with identical behavior.
 package repro
 
 import (
@@ -84,12 +118,18 @@ func Diamond() Lattice { return lattice.Diamond() }
 func NParty(names ...string) Lattice { return lattice.NParty(names...) }
 
 // LatticeByName resolves "two-point", "diamond", "chain:N", "nparty:N",
-// or "powerset:N".
+// "powerset:N", or "product:a,b" (a and b themselves specs).
 func LatticeByName(name string) (Lattice, error) { return lattice.ByName(name) }
 
 // Powerset returns the subset lattice over the given atoms, with
 // label-safe element spellings ("p_a_b"; brace forms stay as aliases).
 func Powerset(atoms ...string) Lattice { return lattice.Powerset(atoms...) }
+
+// Product returns the component-wise product of two lattices, with
+// label-safe element spellings ("x_low_high"; "low×high" forms stay as
+// aliases) — e.g. a confidentiality lattice crossed with an integrity
+// lattice.
+func Product(a, b Lattice) Lattice { return lattice.Product(a, b) }
 
 // ControlPlane holds installed match-action table entries; see the
 // controlplane helpers re-exported below.
@@ -226,6 +266,10 @@ type (
 // same deterministic job set, so shards split a campaign across processes
 // and their corpus dirs merge by file copy; cfg.Resume continues from the
 // shard's persisted cursor.
+//
+// Deprecated: configure a Session (NewSession, WithCorpus, WithMutation,
+// ...) and call Session.Campaign — same engine, same report, plus the
+// event stream. This wrapper remains so existing callers keep working.
 func Campaign(ctx context.Context, cfg CampaignConfig) (*CampaignReport, error) {
 	return campaign.Run(ctx, cfg)
 }
@@ -239,6 +283,9 @@ func FormatCampaignReport(r *CampaignReport) string { return campaign.FormatRepo
 // keys, and branches at the AST level. The result always parses, keep
 // holds on it, and it is never larger than src. keep must hold on src
 // itself and is only called on parseable candidates.
+//
+// Deprecated: use Session.Minimize. This wrapper remains so existing
+// callers keep working.
 func MinimizeProgram(file, src string, keep func(src string) bool) (string, error) {
 	res, err := shrink.Minimize(file, src, keep)
 	return res.Source, err
@@ -274,6 +321,9 @@ type (
 // ReplayReport.OK() is false iff some finding no longer classifies the
 // way its metadata records (or could not be replayed at all) — run it as
 // a pre-merge gate to catch verdict drift before it lands.
+//
+// Deprecated: use Session.Replay — same engine, same report, plus drift
+// events. This wrapper remains so existing callers keep working.
 func Replay(ctx context.Context, cfg ReplayConfig) (*ReplayReport, error) {
 	return campaign.Replay(ctx, cfg)
 }
@@ -300,6 +350,9 @@ type (
 // budgets. TriageReport.OK() is false iff some corpus entry is malformed
 // (unreadable pair, non-finding metadata, unparseable program) — run it
 // as a gate to keep corpus metadata trustworthy.
+//
+// Deprecated: use Session.Triage — same clustering, same report, plus
+// cluster events. This wrapper remains so existing callers keep working.
 func Triage(cfg TriageConfig) (*TriageReport, error) { return triage.Triage(cfg) }
 
 // FormatTriageReport renders the ranked cluster table as text;
@@ -310,6 +363,27 @@ func MarshalTriageReport(r *TriageReport) ([]byte, error) { return triage.Marsha
 // FingerprintProgram returns the AST shape fingerprint triage clusters
 // by: equal fingerprints mean equal canonical skeletons.
 func FingerprintProgram(prog *Program) string { return triage.Fingerprint(prog) }
+
+// TriageDiff is the outcome of comparing two triage reports;
+// TriageClusterDelta one cluster whose size moved between them.
+type (
+	TriageDiff         = triage.DiffReport
+	TriageClusterDelta = triage.ClusterDelta
+)
+
+// DiffTriageReports compares two triage reports cluster by cluster —
+// the time-series view: a cluster only in the new report is a new defect
+// class, a grown one is more of a known class, a gone one emptied out.
+func DiffTriageReports(old, new *TriageReport) *TriageDiff { return triage.DiffReports(old, new) }
+
+// UnmarshalTriageReport decodes a triage report from the JSON artifact
+// form MarshalTriageReport produces — so nightly reports diff across runs.
+func UnmarshalTriageReport(raw []byte) (*TriageReport, error) { return triage.UnmarshalReport(raw) }
+
+// FormatTriageDiff renders a triage diff as text; MarkdownTriageDiff as a
+// GitHub-flavored Markdown fragment for CI job summaries.
+func FormatTriageDiff(d *TriageDiff) string   { return triage.FormatDiff(d) }
+func MarkdownTriageDiff(d *TriageDiff) string { return triage.MarkdownDiff(d) }
 
 // RetireConfig configures Retire; RetireReport is its outcome.
 type (
@@ -323,6 +397,9 @@ type (
 // classification, so the fix gains a regression guard), and removes it
 // from the live corpus. Entries whose defect still reproduces are kept
 // untouched.
+//
+// Deprecated: use Session.Retire — same pass, same report, plus retired
+// events. This wrapper remains so existing callers keep working.
 func Retire(ctx context.Context, cfg RetireConfig) (*RetireReport, error) {
 	return triage.Retire(ctx, cfg)
 }

@@ -1,0 +1,384 @@
+// Session: the first-class handle over the campaign stack. One configured
+// object — lattice, corpus, NI budgets, worker count, set once through
+// functional options — whose methods run every corpus-centric operation
+// (Campaign, Replay, Triage, Retire, Minimize) against the same
+// configuration, with a structured event stream for live progress.
+//
+// Before the Session existed each operation took its own XxxConfig struct
+// repeating the same fields; those standalone functions remain as
+// deprecated one-line wrappers (see repro.go), and a Session method with
+// the equivalent options produces byte-identical reports.
+package repro
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/campaign"
+	"repro/internal/corpus"
+	"repro/internal/events"
+	"repro/internal/gen"
+	"repro/internal/shrink"
+	"repro/internal/triage"
+)
+
+// Event is one observation from a running Session operation: a job
+// completing, a finding persisting, replay drift, a triage cluster, a
+// retirement, or a coarse progress tick. See EventKind for the vocabulary.
+type Event = events.Event
+
+// EventKind discriminates events.
+type EventKind = events.Kind
+
+// Event kinds, in the order an operation tends to emit them.
+const (
+	EventJobDone  = events.KindJobDone
+	EventFinding  = events.KindFinding
+	EventDrift    = events.KindDrift
+	EventCluster  = events.KindCluster
+	EventRetired  = events.KindRetired
+	EventProgress = events.KindProgress
+)
+
+// Corpus is a cached, validated handle over an on-disk finding corpus:
+// iter.Seq2-based iteration (Entries), filtered queries (Select), Stats,
+// and single-parse-per-entry caching of programs and shape fingerprints.
+// Every campaign-stack operation (Replay, Triage, Retire, the campaign
+// seed pool) opens one such handle and serves all its reads through the
+// cache instead of re-walking the directory per consumer.
+type Corpus = corpus.Corpus
+
+// CorpusEntry is one cached finding pair; CorpusFilter selects entries by
+// class, cited rule, origin, or campaign lattice; CorpusStats summarizes
+// a corpus.
+type (
+	CorpusEntry  = corpus.Entry
+	CorpusFilter = corpus.Filter
+	CorpusStats  = corpus.Stats
+)
+
+// CorpusMeta is the verdict metadata persisted next to each finding.
+type CorpusMeta = corpus.Meta
+
+// OpenCorpus opens dir as a finding corpus, reading and caching every
+// entry. A missing findings directory is an empty corpus; corrupt entries
+// are kept in the iteration with their load errors, so callers decide
+// whether they are fatal.
+func OpenCorpus(dir string) (*Corpus, error) { return corpus.Open(dir) }
+
+// GenConfig configures the random-program generator (see internal/gen);
+// the zero value means gen.DefaultConfig.
+type GenConfig = gen.Config
+
+// Session is one configured handle over the campaign stack. Configure it
+// once with NewSession's options, then run operations; all of them share
+// the lattice, corpus directory, NI budgets, and worker pool, and all of
+// them report through the same event stream (Events).
+//
+// Operations are safe to run one at a time; a Session does not serialize
+// concurrent method calls (two campaigns over one corpus directory would
+// race on the corpus regardless of process structure). Close the session
+// after the last operation returns to release the event channel.
+type Session struct {
+	gcfg        gen.Config
+	latSpec     string
+	seed        int64
+	trials      int
+	trialsMax   int
+	workers     int
+	corpusDir   string
+	promoteDir  string
+	mutate      bool
+	mutateFrac  float64
+	minimize    bool
+	shard       int
+	numShards   int
+	resume      bool
+	maxPerClass int
+	maxNovelty  int
+	log         io.Writer
+
+	eventBuf int
+	mu       sync.Mutex
+	events   chan Event
+	closed   bool
+	dropped  atomic.Int64
+}
+
+// SessionOption configures a Session under construction.
+type SessionOption func(*Session)
+
+// WithCorpus sets the persistent corpus directory every operation reads
+// and writes. Without it, Campaign keeps findings in memory only and the
+// corpus-reading operations (Replay, Triage, Retire) have nothing to
+// open — NewSession accepts that, the methods report it.
+func WithCorpus(dir string) SessionOption { return func(s *Session) { s.corpusDir = dir } }
+
+// WithLattice sets the campaign lattice spec ("two-point", "diamond",
+// "chain:N", "nparty:N", "powerset:N", "product:a,b"); generated programs
+// are annotated against it and checked under it. The generator's shape
+// knobs keep their defaults (or whatever WithGenConfig set) — the spec
+// overrides the lattice alone, regardless of option order.
+func WithLattice(spec string) SessionOption { return func(s *Session) { s.latSpec = spec } }
+
+// WithGenConfig sets the whole generator configuration (shape knobs and
+// lattice together); a WithLattice spec, given in either order, overrides
+// just the lattice.
+func WithGenConfig(g GenConfig) SessionOption { return func(s *Session) { s.gcfg = g } }
+
+// WithSeed sets the campaign seed: global index i generates its program
+// from seed+i and seeds its NI experiment with seed+i.
+func WithSeed(seed int64) SessionOption { return func(s *Session) { s.seed = seed } }
+
+// WithWorkers bounds the analysis worker pool (<= 0 = GOMAXPROCS).
+func WithWorkers(n int) SessionOption { return func(s *Session) { s.workers = n } }
+
+// WithNIBudget sets the base NI trials per program and the adaptive
+// escalation ceiling for IFC-rejected programs (0 = the campaign
+// defaults, 4 and 8x; max < trials disables adaptation).
+func WithNIBudget(trials, max int) SessionOption {
+	return func(s *Session) { s.trials, s.trialsMax = trials, max }
+}
+
+// WithMutation enables the coverage-guided loop: frac of the campaign's
+// jobs become AST-level mutants of corpus findings (0 = the default 0.5).
+func WithMutation(frac float64) SessionOption {
+	return func(s *Session) { s.mutate, s.mutateFrac = true, frac }
+}
+
+// WithMinimize shrinks each finding to the smallest program reproducing
+// its class before dedup and persistence.
+func WithMinimize() SessionOption { return func(s *Session) { s.minimize = true } }
+
+// WithShard selects this process's slice of the campaign: global indices
+// ≡ shard (mod numShards).
+func WithShard(shard, numShards int) SessionOption {
+	return func(s *Session) { s.shard, s.numShards = shard, numShards }
+}
+
+// WithResume continues campaigns from the shard's persisted corpus cursor
+// instead of index 0.
+func WithResume() SessionOption { return func(s *Session) { s.resume = true } }
+
+// WithMaxPerClass caps findings processed per class per campaign run
+// (0 = default 25, negative = unlimited).
+func WithMaxPerClass(n int) SessionOption { return func(s *Session) { s.maxPerClass = n } }
+
+// WithMaxNovelty caps the triage report's seed-novelty ranking
+// (0 = default 10, negative = unlimited).
+func WithMaxNovelty(n int) SessionOption { return func(s *Session) { s.maxNovelty = n } }
+
+// WithPromoteDir sets the retired-corpus directory Retire promotes
+// drifted findings into ("" = <corpus>/../retired-corpus).
+func WithPromoteDir(dir string) SessionOption { return func(s *Session) { s.promoteDir = dir } }
+
+// WithLog directs the operations' line-oriented progress log (per-finding
+// lines, drift lines) to w; nil discards.
+func WithLog(w io.Writer) SessionOption { return func(s *Session) { s.log = w } }
+
+// WithEventBuffer sets the Events channel's buffer (default 1024). A full
+// buffer drops events rather than stalling the engines; Dropped counts
+// the loss.
+func WithEventBuffer(n int) SessionOption { return func(s *Session) { s.eventBuf = n } }
+
+// NewSession builds a configured Session. It validates the configuration
+// eagerly — an unresolvable lattice spec or an out-of-range shard fails
+// here, not minutes into a campaign.
+func NewSession(opts ...SessionOption) (*Session, error) {
+	s := &Session{numShards: 1, eventBuf: 1024}
+	for _, opt := range opts {
+		opt(s)
+	}
+	// Defaults first, lattice override second: WithLattice alone must not
+	// zero the shape knobs (a {Lattice: spec} config is not "the default
+	// shape with a taller lattice" — it is an action-free generator).
+	if s.gcfg == (gen.Config{}) {
+		s.gcfg = gen.DefaultConfig()
+	}
+	if s.latSpec != "" {
+		s.gcfg.Lattice = s.latSpec
+	}
+	if err := s.gcfg.Validate(); err != nil {
+		return nil, fmt.Errorf("session: %w", err)
+	}
+	if s.numShards <= 0 {
+		s.numShards = 1
+	}
+	if s.shard < 0 || s.shard >= s.numShards {
+		return nil, fmt.Errorf("session: shard %d out of range for %d shards", s.shard, s.numShards)
+	}
+	if s.mutateFrac < 0 || s.mutateFrac > 1 {
+		return nil, fmt.Errorf("session: mutation fraction %v out of [0, 1] (0 = the default 0.5)", s.mutateFrac)
+	}
+	if s.resume && s.corpusDir == "" {
+		return nil, fmt.Errorf("session: WithResume requires WithCorpus — without a corpus there is no cursor")
+	}
+	return s, nil
+}
+
+// Events returns the session's structured event stream. Call it before
+// starting an operation; events from operations started earlier were
+// discarded. The channel is buffered (WithEventBuffer); when a listener
+// falls behind, events are dropped — counted by Dropped — rather than
+// stalling the engines, so ranging over the channel concurrently with the
+// operation is always safe. Close closes the channel.
+func (s *Session) Events() <-chan Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.events == nil && !s.closed {
+		s.events = make(chan Event, s.eventBuf)
+	}
+	return s.events
+}
+
+// Dropped reports how many events were discarded because the Events
+// buffer was full.
+func (s *Session) Dropped() int64 { return s.dropped.Load() }
+
+// Close closes the event stream (a convenient form is defer s.Close()
+// next to NewSession). It is safe to call at any time, including from
+// the event-listener goroutine while an operation is still running — the
+// operation continues, its remaining events are discarded.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.events != nil {
+		close(s.events)
+	}
+	return nil
+}
+
+// sink adapts the event channel for the engines: non-blocking sends into
+// the buffer, drops counted. A session nobody listens to emits nothing.
+// Each send holds the session lock, so a concurrent Close never races a
+// send onto the closed channel; events are coarse enough (one per
+// analyzed program at most) that the lock is noise next to the analysis.
+func (s *Session) sink() events.Sink {
+	s.mu.Lock()
+	listening := s.events != nil && !s.closed
+	s.mu.Unlock()
+	if !listening {
+		return nil
+	}
+	return func(e Event) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.closed {
+			return
+		}
+		select {
+		case s.events <- e:
+		default:
+			s.dropped.Add(1)
+		}
+	}
+}
+
+// Campaign runs n global campaign indices' worth of streaming
+// differential fuzzing under the session's configuration: lazily
+// generated (and, with WithMutation, corpus-mutated) programs flow
+// through the analysis pipeline; interesting ones are deduplicated,
+// optionally minimized, and persisted to the session corpus. Job-done,
+// finding, and progress events stream to Events while it runs.
+func (s *Session) Campaign(ctx context.Context, n int) (*CampaignReport, error) {
+	return campaign.Run(ctx, campaign.Config{
+		N:           n,
+		Seed:        s.seed,
+		Gen:         s.gcfg,
+		NITrials:    s.trials,
+		NITrialsMax: s.trialsMax,
+		Workers:     s.workers,
+		Shard:       s.shard,
+		NumShards:   s.numShards,
+		Mutate:      s.mutate,
+		MutateFrac:  s.mutateFrac,
+		CorpusDir:   s.corpusDir,
+		Resume:      s.resume,
+		Minimize:    s.minimize,
+		MaxPerClass: s.maxPerClass,
+		Log:         s.log,
+		Events:      s.sink(),
+	})
+}
+
+// needCorpus guards the corpus-reading operations: without WithCorpus
+// there is nothing to open, and silently scanning the current directory
+// would mask a misconfigured session.
+func (s *Session) needCorpus(op string) error {
+	if s.corpusDir == "" {
+		return fmt.Errorf("session: %s needs a corpus (WithCorpus)", op)
+	}
+	return nil
+}
+
+// Replay re-checks every finding in the session corpus against the
+// current checker stack — the corpus as a regression suite. Drift events
+// stream to Events; the report lists every mismatch.
+func (s *Session) Replay(ctx context.Context) (*ReplayReport, error) {
+	if err := s.needCorpus("Replay"); err != nil {
+		return nil, err
+	}
+	return campaign.Replay(ctx, campaign.ReplayConfig{
+		CorpusDir:   s.corpusDir,
+		NITrials:    s.trials,
+		NITrialsMax: s.trialsMax,
+		Log:         s.log,
+		Events:      s.sink(),
+	})
+}
+
+// Triage clusters the session corpus by (verdict class, cited rule, AST
+// shape) into the ranked analytics report; cluster events stream to
+// Events.
+func (s *Session) Triage() (*TriageReport, error) {
+	if err := s.needCorpus("Triage"); err != nil {
+		return nil, err
+	}
+	return triage.Triage(triage.Config{
+		CorpusDir:  s.corpusDir,
+		MaxNovelty: s.maxNovelty,
+		Events:     s.sink(),
+	})
+}
+
+// Retire runs the corpus hygiene pass: findings whose recorded defect the
+// current stack no longer reproduces are promoted into the retired corpus
+// (WithPromoteDir) and removed from the live one. Retired events stream
+// to Events.
+func (s *Session) Retire(ctx context.Context) (*RetireReport, error) {
+	if err := s.needCorpus("Retire"); err != nil {
+		return nil, err
+	}
+	return triage.Retire(ctx, triage.RetireConfig{
+		CorpusDir:   s.corpusDir,
+		PromoteDir:  s.promoteDir,
+		NITrials:    s.trials,
+		NITrialsMax: s.trialsMax,
+		Log:         s.log,
+		Events:      s.sink(),
+	})
+}
+
+// Minimize delta-debugs src down to a smaller program for which keep
+// still holds. keep must hold on src itself and is only called on
+// parseable candidates; the result always parses and is never larger.
+func (s *Session) Minimize(file, src string, keep func(src string) bool) (string, error) {
+	res, err := shrink.Minimize(file, src, keep)
+	return res.Source, err
+}
+
+// Corpus opens the session's corpus directory as a cached handle for
+// querying (Entries, Select, Stats).
+func (s *Session) Corpus() (*Corpus, error) {
+	if s.corpusDir == "" {
+		return nil, fmt.Errorf("session: no corpus configured (WithCorpus)")
+	}
+	return corpus.Open(s.corpusDir)
+}
