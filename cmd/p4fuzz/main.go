@@ -13,6 +13,8 @@
 //	p4fuzz triage [-json] [-novelty N] [-o FILE] [-events] [DIR]
 //	p4fuzz retire [-promote-dir DIR] [-trials 4] [-trials-max 32]
 //	              [-events] [DIR]
+//	p4fuzz compact [-trials 4] [-trials-max 32] [-events] DIR
+//	p4fuzz index  [-o FILE] [DIR]
 //
 // The pre-subcommand flag spellings (p4fuzz -corpus-dir ... -mutate,
 // p4fuzz -replay DIR, p4fuzz -retire DIR, p4fuzz -triage) keep working
@@ -60,6 +62,21 @@
 // classification, so the fix stays guarded — and then removed from the
 // live corpus; exit 1 if any entry could not be processed.
 //
+// # compact, index
+//
+// compact re-minimizes every finding under DIR with the current shrinker
+// and folds newly-equal dedup keys together: entries whose minimized form
+// matches an existing finding collapse onto it, strictly smaller forms
+// replace their originals (promote-first, so no finding is lost
+// mid-compaction), and drifted entries are left for retire. Like retire
+// it demands an explicit DIR — it rewrites corpus entries. Exit 1 if any
+// entry could not be processed.
+//
+// index opens DIR — rebuilding and persisting its findings/index.json
+// when missing or stale — and prints the corpus statistics as JSON. The
+// stats derive from the index alone, so CI uses it as a round-trip gate:
+// delete the index, rebuild, and the stats must be byte-identical.
+//
 // # triage
 //
 // triage prints the corpus's ranked cluster table (findings grouped by
@@ -83,6 +100,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -106,6 +124,10 @@ func main() {
 			os.Exit(triageMain(args[1:]))
 		case "retire":
 			os.Exit(retireMain(args[1:]))
+		case "compact":
+			os.Exit(compactMain(args[1:]))
+		case "index":
+			os.Exit(indexMain(args[1:]))
 		}
 	}
 	// Legacy flag form: p4fuzz -corpus-dir ... / -replay DIR / -retire DIR.
@@ -136,6 +158,8 @@ func watchEvents(s *repro.Session, enabled bool) (stop func()) {
 				fmt.Fprintf(os.Stderr, "[%s] cluster %s/%s/%s: %d findings\n", ev.Op, ev.Class, ev.Rule, ev.Detail, ev.Done)
 			case repro.EventRetired:
 				fmt.Fprintf(os.Stderr, "[%s] retired %s: %s\n", ev.Op, ev.Path, ev.Detail)
+			case repro.EventWarning:
+				fmt.Fprintf(os.Stderr, "[%s] warning %s: %s\n", ev.Op, ev.Path, ev.Detail)
 			}
 		}
 	}()
@@ -404,6 +428,78 @@ func retire(ctx context.Context, dir, promoteDir string, trials, trialsMax int, 
 	fmt.Print(repro.FormatRetireReport(rep))
 	if !rep.OK() {
 		return 1
+	}
+	return 0
+}
+
+func compactMain(args []string) int {
+	fs := flag.NewFlagSet("p4fuzz compact", flag.ExitOnError)
+	trials := fs.Int("trials", 0, "base NI trials for findings recorded without a budget (0 = 4)")
+	trialsMax := fs.Int("trials-max", 0, "adaptive NI ceiling for findings recorded without a budget (0 = 32)")
+	liveEvents := fs.Bool("events", false, "stream structured progress events to stderr while running")
+	fs.Parse(args)
+	// Like retire: compact rewrites and removes corpus entries, so it never
+	// defaults to the checked-in regression corpus.
+	dir, ok := corpusArg(fs, "")
+	if !ok {
+		return 2
+	}
+	if dir == "" {
+		fmt.Fprintln(os.Stderr, "p4fuzz: compact needs an explicit corpus directory (it rewrites findings)")
+		return 2
+	}
+	s, err := repro.NewSession(
+		repro.WithCorpus(dir),
+		repro.WithNIBudget(*trials, *trialsMax),
+		repro.WithLog(os.Stderr),
+	)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p4fuzz: compact: %v\n", err)
+		return 2
+	}
+	stop := watchEvents(s, *liveEvents)
+	rep, err := s.Compact(context.Background())
+	stop()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p4fuzz: compact: %v\n", err)
+		return 2
+	}
+	fmt.Print(repro.FormatCompactReport(rep))
+	if !rep.OK() {
+		return 1
+	}
+	return 0
+}
+
+// indexMain opens the corpus — rebuilding and persisting its index when
+// missing or stale — and prints the index-derived statistics as JSON.
+// CI's round-trip gate deletes the index, reruns this, and compares.
+func indexMain(args []string) int {
+	fs := flag.NewFlagSet("p4fuzz index", flag.ExitOnError)
+	outPath := fs.String("o", "", "write the stats JSON to this file instead of stdout")
+	fs.Parse(args)
+	dir, ok := corpusArg(fs, "testdata/regression-corpus")
+	if !ok {
+		return 2
+	}
+	c, err := repro.OpenCorpus(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p4fuzz: index: %v\n", err)
+		return 2
+	}
+	out, err := json.MarshalIndent(c.Stats(), "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p4fuzz: index: %v\n", err)
+		return 2
+	}
+	out = append(out, '\n')
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, out, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "p4fuzz: index: %v\n", err)
+			return 2
+		}
+	} else {
+		os.Stdout.Write(out)
 	}
 	return 0
 }

@@ -149,6 +149,12 @@ type Config struct {
 	// CorpusDir is the persistent corpus directory ("" = keep findings in
 	// memory only).
 	CorpusDir string
+	// Corpus is an already-open handle over CorpusDir; when set, the run
+	// reads and writes through it (sharing its caches and dedup map)
+	// instead of opening the directory again. Session threads one handle
+	// through every operation this way. CorpusDir must still be set — the
+	// shard cursor and novelty files live relative to it.
+	Corpus *corpus.Corpus
 	// Resume continues from the shard's corpus cursor instead of index 0;
 	// it requires CorpusDir (a configuration error otherwise).
 	Resume bool
@@ -340,6 +346,9 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if cfg.Shard < 0 || cfg.Shard >= numShards {
 		return nil, fmt.Errorf("campaign: shard %d out of range for %d shards", cfg.Shard, numShards)
 	}
+	if cfg.Corpus != nil && cfg.CorpusDir == "" {
+		cfg.CorpusDir = cfg.Corpus.Dir() // state and novelty files live beside findings/
+	}
 	if cfg.Resume && cfg.CorpusDir == "" {
 		return nil, fmt.Errorf("campaign: Resume requires CorpusDir — without a corpus there is no cursor, and every run would silently re-cover [0, N)")
 	}
@@ -388,13 +397,14 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	if cfg.CorpusDir != "" {
-		if e.corp, err = corpus.Open(cfg.CorpusDir); err != nil {
+	e.corp = cfg.Corpus
+	if e.corp == nil && cfg.CorpusDir != "" {
+		if e.corp, err = corpus.OpenSink(cfg.CorpusDir, cfg.Events); err != nil {
 			return nil, fmt.Errorf("campaign: %w", err)
 		}
 	}
 	if cfg.Mutate {
-		if e.pool, err = loadSeedPool(e.corp); err != nil {
+		if e.pool, err = loadSeedPool(e.corp, e.lat); err != nil {
 			return nil, fmt.Errorf("campaign: seed pool: %w", err)
 		}
 	}
@@ -489,6 +499,11 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		// save failure costs feedback quality, not findings — log and go on.
 		if err := saveNoveltyDeltas(cfg.CorpusDir, e.novelty, cfg.Shard, numShards); err != nil {
 			fmt.Fprintf(e.log, "campaign: %v (novelty feedback lost for this run)\n", err)
+		}
+		// Likewise the corpus index: a failed save costs the next Open a
+		// rescan, never a finding.
+		if err := e.corp.SaveIndex(); err != nil {
+			fmt.Fprintf(e.log, "campaign: %v (index rebuilt on next open)\n", err)
 		}
 	}
 	e.rep.Elapsed = time.Since(start)

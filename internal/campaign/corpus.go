@@ -58,7 +58,11 @@ func ForEachFinding(dir string, fn func(jsonName string, m Meta, src string, err
 		return err
 	}
 	for e, err := range c.Entries() {
-		if !fn(e.Name, e.Meta, e.Source, err) {
+		src, srcErr := e.Source()
+		if err == nil {
+			err = srcErr
+		}
+		if !fn(e.Name, e.Meta, src, err) {
 			return nil
 		}
 	}

@@ -41,7 +41,7 @@ func poolOf(dir string) (*seedPool, error) {
 	if err != nil {
 		return nil, err
 	}
-	return loadSeedPool(c)
+	return loadSeedPool(c, nil)
 }
 
 // writeNovelty persists one shard's novelty records directly.

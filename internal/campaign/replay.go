@@ -29,6 +29,11 @@ type ReplayConfig struct {
 	// directory replays zero findings and passes — the first nightly run
 	// has nothing to regress against.
 	CorpusDir string
+	// Corpus is an already-open handle over CorpusDir; when set, the
+	// replay reads through it (sharing its source and parse caches)
+	// instead of opening the directory again. Session threads one handle
+	// through every operation this way.
+	Corpus *corpus.Corpus
 	// NITrials and NITrialsMax are the NI budget for findings whose
 	// metadata predates budget recording (defaults 4 and 32, the campaign
 	// defaults). Findings recorded with their budget replay under it.
@@ -94,13 +99,16 @@ func Replay(ctx context.Context, cfg ReplayConfig) (*ReplayReport, error) {
 	start := time.Now()
 	defer func() { rep.Elapsed = time.Since(start) }()
 
-	dir := cfg.CorpusDir
-	if dir == "" {
-		dir = "."
-	}
-	c, err := corpus.Open(dir)
-	if err != nil {
-		return rep, fmt.Errorf("campaign: replay: %w", err)
+	c := cfg.Corpus
+	if c == nil {
+		dir := cfg.CorpusDir
+		if dir == "" {
+			dir = "."
+		}
+		var err error
+		if c, err = corpus.OpenSink(dir, cfg.Events); err != nil {
+			return rep, fmt.Errorf("campaign: replay: %w", err)
+		}
 	}
 	var seq int64
 	for e, err := range c.Entries() {
@@ -113,7 +121,12 @@ func Replay(ctx context.Context, cfg ReplayConfig) (*ReplayReport, error) {
 		}
 		rep.Total++
 		rep.ByClass[e.Meta.Class]++
-		got, detail, err := replayOne(ctx, e.Meta, e.Source, trials, max)
+		src, err := e.Source()
+		if err != nil {
+			rep.Errors = append(rep.Errors, fmt.Sprintf("%s: %v", e.Path, err))
+			continue
+		}
+		got, detail, err := replayOne(ctx, e.Meta, src, trials, max)
 		if err != nil {
 			rep.Errors = append(rep.Errors, fmt.Sprintf("%s: %v", e.Path, err))
 			continue
@@ -145,17 +158,25 @@ func Replay(ctx context.Context, cfg ReplayConfig) (*ReplayReport, error) {
 // class the current stack assigns, or a description when the result has
 // no corpus class ("sound", "rejected-witnessed", "roundtrip-clean", ...).
 func replayOne(ctx context.Context, m Meta, src string, trials, max int) (string, string, error) {
-	if m.Class == ClassParserDisagreement || m.Class == ClassRoundtripClean {
+	// A persisted program the frontend no longer parses drifts to
+	// "unparseable" uniformly, whatever its recorded class. Verdict
+	// classes used to skip this check and fall into the pipeline, where
+	// the parse failure resurfaced as a generator-bug verdict — so an
+	// unparseable rejected-clean entry drifted to the wrong class and was
+	// then double-reported by retire's fingerprint pass. Generator-bug
+	// entries are exempt: an unparseable program can be exactly the
+	// recorded defect, and the pipeline reproduces it as such.
+	if m.Class != ClassGeneratorBug {
 		prog, err := parser.Parse("replay.p4", src)
 		if err != nil {
-			// The persisted program itself no longer parses — the frontend
-			// got stricter since the finding was recorded.
 			return "unparseable", err.Error(), nil
 		}
-		if detail, bad := roundtripDisagreement("replay.p4", prog); bad {
-			return string(ClassParserDisagreement), detail, nil
+		if m.Class == ClassParserDisagreement || m.Class == ClassRoundtripClean {
+			if detail, bad := roundtripDisagreement("replay.p4", prog); bad {
+				return string(ClassParserDisagreement), detail, nil
+			}
+			return string(ClassRoundtripClean), "parse → print → reparse is now a fixed point", nil
 		}
-		return string(ClassRoundtripClean), "parse → print → reparse is now a fixed point", nil
 	}
 
 	lat, err := m.Gen.ResolveLattice()

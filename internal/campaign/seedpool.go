@@ -36,7 +36,9 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/ast"
 	"repro/internal/corpus"
+	"repro/internal/lattice"
 )
 
 // seedEntry is one corpus program available for mutation.
@@ -135,7 +137,13 @@ func clusterBoost(mutants, newKeys int) float64 {
 // corpus yields an empty pool (the scheduler then generates everything
 // fresh). Ordering — and therefore sampling — is deterministic: entries
 // sort newest-first by recorded FoundAt with the dedup key as tiebreaker.
-func loadSeedPool(c *corpus.Corpus) (*seedPool, error) {
+//
+// Seeds whose label annotations the campaign lattice cannot resolve are
+// excluded: a mixed corpus (chain-4 findings next to two-point ones) must
+// not feed chain-4 seeds into a two-point campaign, where every mutant
+// inheriting an "L1" annotation fails admission with an unknown-label
+// resolve error. A nil lat admits everything (pre-lattice callers).
+func loadSeedPool(c *corpus.Corpus, lat lattice.Lattice) (*seedPool, error) {
 	p := &seedPool{}
 	if c == nil {
 		return p, nil
@@ -152,9 +160,16 @@ func loadSeedPool(c *corpus.Corpus) (*seedPool, error) {
 	clusterMutants := map[string]int{}
 	clusterNewKeys := map[string]int{}
 	for e := range c.Select(corpus.Filter{}) {
+		if !seedCompatible(e, lat) {
+			continue
+		}
+		src, err := e.Source()
+		if err != nil {
+			continue // unreadable since Open; not a pool candidate
+		}
 		ck := clusterKeyOf(e)
 		recs = append(recs, rec{
-			seedEntry: seedEntry{key: e.Meta.Key, class: e.Meta.Class, source: e.Source, cluster: ck},
+			seedEntry: seedEntry{key: e.Meta.Key, class: e.Meta.Class, source: src, cluster: ck},
 			foundAt:   e.Meta.FoundAt.UnixNano(),
 		})
 		if st, known := novelty[e.Meta.Key]; known {
@@ -177,6 +192,103 @@ func loadSeedPool(c *corpus.Corpus) (*seedPool, error) {
 		p.cum = append(p.cum, p.total)
 	}
 	return p, nil
+}
+
+// seedCompatible reports whether every security label the seed's program
+// spells resolves in the campaign lattice. The check is semantic, not a
+// comparison of recorded lattice specs: a chain-4 program that only ever
+// writes "low"/"high" is a fine two-point seed, while one naming "L1" is
+// not. Unparseable seeds pass — they carry no resolvable labels, and
+// mutation falls back to fresh generation on them anyway.
+func seedCompatible(e *corpus.Entry, lat lattice.Lattice) bool {
+	if lat == nil {
+		return true
+	}
+	prog, err := e.Program()
+	if err != nil {
+		return true
+	}
+	for _, l := range programLabels(prog) {
+		if _, ok := lat.Lookup(l); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// programLabels collects every non-empty security label the program
+// spells: SecType annotations everywhere the mutator's site walker
+// reaches them (typedefs, header/struct fields, vars, function and
+// control params, local and statement-level declarations) plus control
+// @pc annotations.
+func programLabels(p *ast.Program) []string {
+	var labels []string
+	sec := func(t *ast.SecType) {
+		if t != nil && t.Label != "" {
+			labels = append(labels, t.Label)
+		}
+	}
+	var decl func(d ast.Decl)
+	var block func(b *ast.BlockStmt)
+	var stmt func(st ast.Stmt)
+	decl = func(d ast.Decl) {
+		switch d := d.(type) {
+		case *ast.TypedefDecl:
+			sec(d.Type)
+		case *ast.HeaderDecl:
+			for i := range d.Fields {
+				sec(d.Fields[i].Type)
+			}
+		case *ast.StructDecl:
+			for i := range d.Fields {
+				sec(d.Fields[i].Type)
+			}
+		case *ast.VarDecl:
+			sec(d.Type)
+		case *ast.FuncDecl:
+			for i := range d.Params {
+				sec(d.Params[i].Type)
+			}
+			block(d.Body)
+		}
+	}
+	block = func(b *ast.BlockStmt) {
+		if b == nil {
+			return
+		}
+		for _, st := range b.Stmts {
+			stmt(st)
+		}
+	}
+	stmt = func(st ast.Stmt) {
+		switch st := st.(type) {
+		case *ast.IfStmt:
+			block(st.Then)
+			if st.Else != nil {
+				stmt(st.Else)
+			}
+		case *ast.BlockStmt:
+			block(st)
+		case *ast.DeclStmt:
+			sec(st.Decl.Type)
+		}
+	}
+	for _, d := range p.Decls {
+		decl(d)
+	}
+	for _, c := range p.Controls {
+		if c.PCLabel != "" {
+			labels = append(labels, c.PCLabel)
+		}
+		for i := range c.Params {
+			sec(c.Params[i].Type)
+		}
+		for _, d := range c.Locals {
+			decl(d)
+		}
+		block(c.Apply)
+	}
+	return labels
 }
 
 // clusterKeyOf groups a seed into its triage cluster: (class, cited rule,

@@ -1,0 +1,95 @@
+package corpus
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// synthCorpus writes n synthetic finding pairs under a fresh temp dir —
+// the scale fixture for the Open/Stats benchmarks. Sources vary in size
+// so Stats.Bytes exercises the stat-signature path.
+func synthCorpus(b *testing.B, n int) string {
+	b.Helper()
+	dir := b.TempDir()
+	findings := filepath.Join(dir, "findings")
+	if err := os.MkdirAll(findings, 0o755); err != nil {
+		b.Fatal(err)
+	}
+	base := time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < n; i++ {
+		src := fmt.Sprintf("%s// pad %0*d\n", tinyProg, i%64+1, i)
+		m := Meta{
+			Class: "rejected-clean", Key: DedupKey("rejected-clean", src),
+			Rule: "T-Assign", Origin: "gen", FoundAt: base.Add(time.Duration(i) * time.Second),
+			Bytes: len(src),
+		}
+		stem := filepath.Join(findings, fmt.Sprintf("rejected-clean-%s", m.Key[:12]))
+		if err := WriteMeta(stem+".json", m); err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(stem+".p4", []byte(src), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const benchEntries = 10_000
+
+// BenchmarkOpenStatsEager is the pre-index baseline: open, then read
+// every program source — what the eager corpus did on every Open.
+func BenchmarkOpenStatsEager(b *testing.B) {
+	dir := synthCorpus(b, benchEntries)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		os.Remove(filepath.Join(dir, "findings", indexName))
+		c, err := Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for e, err := range c.Entries() {
+			if err == nil {
+				if _, err := e.Source(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		_ = c.Stats()
+	}
+}
+
+// BenchmarkOpenStatsRescan is the cold indexed open: no index on disk,
+// so Open scans metadata and stat signatures but reads no program files.
+func BenchmarkOpenStatsRescan(b *testing.B) {
+	dir := synthCorpus(b, benchEntries)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		os.Remove(filepath.Join(dir, "findings", indexName))
+		c, err := Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = c.Stats()
+	}
+}
+
+// BenchmarkOpenStatsIndexed is the steady state: a fresh index on disk,
+// Open loads it, validates stat signatures, and Stats derives from
+// metadata alone.
+func BenchmarkOpenStatsIndexed(b *testing.B) {
+	dir := synthCorpus(b, benchEntries)
+	if _, err := Open(dir); err != nil { // persist the index once
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = c.Stats()
+	}
+}

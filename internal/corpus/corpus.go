@@ -7,25 +7,32 @@
 //
 //	<dir>/findings/<class>-<key12>.p4    the (possibly minimized) program
 //	<dir>/findings/<class>-<key12>.json  verdict metadata (Meta below)
+//	<dir>/findings/index.json            the corpus index (this package's)
 //	<dir>/state/...                      per-shard cursors and novelty files
 //
-// Open reads the findings directory once, in deterministic (name-sorted)
-// order, and caches every entry — metadata, source, and load error alike
-// (memory is proportional to corpus size; campaigns cap per-class growth
-// and minimize entries, so a corpus is megabytes, not gigabytes).
-// Iteration is iter.Seq2-based (Entries, Select); each entry parses its
-// program and computes its shape fingerprint at most once, no matter how
-// many consumers ask (single-parse-per-entry caching). The layout is
-// merge-friendly by construction: finding filenames derive from a hash of
-// (class, source), so copying the findings/ directories of two shards into
-// one corpus deduplicates identical findings by collision and never
-// clobbers distinct ones.
+// Open is metadata-only: it loads the findings index — rebuilding it
+// transparently from a directory rescan when it is absent, stale, or
+// corrupt — and caches every entry's metadata and load error, but reads
+// no program source. Entry.Source, Entry.Program, and Entry.Fingerprint
+// defer the file read and the parse until a consumer first asks, and
+// each happens at most once per handle no matter how many consumers
+// share it; Has, Stats, Filter, and Select are answered entirely from
+// the index. Staleness is detected from directory metadata alone (file
+// name set, sizes, mtimes), so a valid index makes Open one ReadDir plus
+// one small JSON read regardless of corpus size.
+//
+// The layout is merge-friendly by construction: finding filenames derive
+// from a hash of (class, source), so copying the findings/ directories of
+// two shards into one corpus deduplicates identical findings by collision
+// and never clobbers distinct ones. A stale index copied along rides the
+// staleness check and is rebuilt on the next Open.
 package corpus
 
 import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"iter"
 	"os"
@@ -33,12 +40,27 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ast"
+	"repro/internal/events"
 	"repro/internal/gen"
 	"repro/internal/parser"
 )
+
+// readFile is the program-source reader, swappable by tests that count
+// how many source reads an access pattern performs (the index makes
+// metadata-only paths perform zero).
+var readFile = os.ReadFile
+
+// opens counts Corpus handles opened by Open/OpenSink since process
+// start; tests use it to assert a whole operation chain shared one
+// handle.
+var opens atomic.Int64
+
+// Opens reports how many corpus handles this process has opened.
+func Opens() int64 { return opens.Load() }
 
 // Class names a corpus finding class; it prefixes corpus filenames. The
 // class vocabulary (soundness-violation, rejected-clean, ...) is defined
@@ -166,23 +188,36 @@ func WriteMeta(path string, m Meta) error {
 	return nil
 }
 
-// Entry is one finding pair as cached by Open: its metadata, its program
-// source, and — when the pair could not be loaded — the load error. Bad
-// pairs stay in the iteration (callers choose whether they are fatal, as
-// replay and triage's metadata gate do, or skippable, as the seed pool
-// does); their Meta and Source are zero.
+// Entry is one finding pair as indexed by Open: its metadata and — when
+// the pair could not be loaded — the load error. Bad pairs stay in the
+// iteration (callers choose whether they are fatal, as replay and
+// triage's metadata gate do, or skippable, as the seed pool does); their
+// Meta is zero. The program source is not read until Source, Program, or
+// Fingerprint first asks for it.
 type Entry struct {
 	// Name is the metadata filename within findings/ (the iteration key).
 	Name string
 	// Path is the program file; MetaPath the metadata file beside it.
 	Path     string
 	MetaPath string
-	// Meta and Source are the loaded pair (zero when Err is set).
-	Meta   Meta
-	Source string
+	// Meta is the loaded metadata (zero when Err is set).
+	Meta Meta
 	// Err is the load failure, if any: unreadable file, foreign or
 	// truncated metadata, missing program.
 	Err error
+
+	// metaSize/metaMTime and progSize/progMTime are the stat signature
+	// the index's staleness check compares against the directory
+	// (progSize is -1 when the program file was absent at scan time).
+	metaSize  int64
+	metaMTime int64
+	progSize  int64
+	progMTime int64
+
+	srcOnce sync.Once
+	loaded  bool // source pre-populated (Put) — skip the file read
+	src     string
+	srcErr  error
 
 	parseOnce sync.Once
 	prog      *ast.Program
@@ -190,16 +225,41 @@ type Entry struct {
 	fp        string
 }
 
-// Program parses the entry's source, at most once per Open — every later
-// call (and Fingerprint) returns the cached result, so triage, the seed
-// pool, and any other consumer sharing the handle never re-parse.
-func (e *Entry) Program() (*ast.Program, error) {
-	e.parseOnce.Do(func() {
-		if e.Err != nil {
-			e.parseErr = e.Err
+// Source reads the entry's program source, at most once per handle —
+// Open itself reads no source files, so consumers that never ask (Has,
+// Stats, Filter) never pay for one.
+func (e *Entry) Source() (string, error) {
+	e.srcOnce.Do(func() {
+		if e.loaded {
 			return
 		}
-		e.prog, e.parseErr = parser.Parse(e.Name, e.Source)
+		if e.Err != nil {
+			e.srcErr = e.Err
+			return
+		}
+		raw, err := readFile(e.Path)
+		if err != nil {
+			e.srcErr = err
+			return
+		}
+		e.src = string(raw)
+		e.loaded = true
+	})
+	return e.src, e.srcErr
+}
+
+// Program parses the entry's source, at most once per Open — every later
+// call (and Fingerprint) returns the cached result, so triage, the seed
+// pool, and any other consumer sharing the handle never re-parse. The
+// source itself is lazily read by the first call.
+func (e *Entry) Program() (*ast.Program, error) {
+	e.parseOnce.Do(func() {
+		src, err := e.Source()
+		if err != nil {
+			e.parseErr = err
+			return
+		}
+		e.prog, e.parseErr = parser.Parse(strings.TrimSuffix(e.Name, ".json")+".p4", src)
 		if e.parseErr == nil {
 			e.fp = Fingerprint(e.prog)
 		}
@@ -208,7 +268,7 @@ func (e *Entry) Program() (*ast.Program, error) {
 }
 
 // Fingerprint returns the entry's AST shape fingerprint, computed (and
-// parsed) at most once. The error is the parse failure, if any.
+// parsed) at most once. The error is the read or parse failure, if any.
 func (e *Entry) Fingerprint() (string, error) {
 	_, err := e.Program()
 	return e.fp, err
@@ -219,57 +279,120 @@ func (e *Entry) Fingerprint() (string, error) {
 func (e *Entry) Rule() string { return e.Meta.CitedRule() }
 
 // Corpus is an open, cached, validated handle over a finding corpus. All
-// reads go through the in-memory cache built by Open; Put keeps the cache
-// coherent with what it writes. The zero value and the nil pointer are
-// both usable as an empty, persistence-free corpus for Has.
+// metadata reads go through the in-memory index built by Open; Put and
+// Remove keep the index, the dedup map, and the on-disk files coherent.
+// The zero value and the nil pointer are both usable as an empty,
+// persistence-free corpus for Has.
 type Corpus struct {
 	dir     string
+	sink    events.Sink
 	entries []*Entry        // name-sorted
 	known   map[string]bool // dedup keys of well-formed entries
+	dirty   bool            // in-memory index diverged from findings/index.json
 }
 
-// Open reads the corpus under dir: every finding pair under dir/findings
-// is loaded, validated, and cached, in deterministic name-sorted order. A
-// missing findings directory is an empty corpus (the first campaign run
-// and triage of a not-yet-created corpus both start from nothing); any
-// other directory-level failure is an error. Per-entry problems are not
-// errors here — they are cached on the entry and surfaced by iteration,
-// so each caller decides whether a corrupt pair is fatal.
-func Open(dir string) (*Corpus, error) {
+// indexName is the on-disk index file within findings/ — excluded from
+// entry iteration and rebuilt whenever it is absent, stale, or corrupt.
+const indexName = "index.json"
+
+// indexVersion guards the index format; a mismatch forces a rescan.
+const indexVersion = 1
+
+// indexEntry is one Entry as persisted in the index: the metadata (or
+// load error) plus the stat signature of the files it was scanned from.
+type indexEntry struct {
+	Name      string `json:"name"`
+	Meta      Meta   `json:"meta"`
+	Err       string `json:"err,omitempty"`
+	MetaSize  int64  `json:"meta_size"`
+	MetaMTime int64  `json:"meta_mtime"`
+	ProgSize  int64  `json:"prog_size"`
+	ProgMTime int64  `json:"prog_mtime"`
+}
+
+// indexFile is the findings/index.json document.
+type indexFile struct {
+	Version int          `json:"version"`
+	Entries []indexEntry `json:"entries"`
+}
+
+// Open reads the corpus under dir — metadata only, through the findings
+// index. A missing findings directory is an empty corpus (the first
+// campaign run and triage of a not-yet-created corpus both start from
+// nothing); any other directory-level failure is an error. Per-entry
+// problems are not errors here — they are cached on the entry and
+// surfaced by iteration, so each caller decides whether a corrupt pair
+// is fatal.
+func Open(dir string) (*Corpus, error) { return OpenSink(dir, nil) }
+
+// OpenSink is Open with an events sink for recoverable anomalies: a
+// corrupt or truncated index.json is reported as a warning event, then
+// rebuilt from a full rescan. A nil sink discards the warnings.
+func OpenSink(dir string, sink events.Sink) (*Corpus, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("corpus: empty directory")
 	}
-	c := &Corpus{dir: dir, known: map[string]bool{}}
+	c := &Corpus{dir: dir, sink: sink, known: map[string]bool{}}
 	findings := filepath.Join(dir, "findings")
 	dirents, err := os.ReadDir(findings)
 	if os.IsNotExist(err) {
+		opens.Add(1)
 		return c, nil
 	}
 	if err != nil {
 		return nil, fmt.Errorf("corpus: %w", err)
 	}
-	for _, de := range dirents {
-		if de.IsDir() || !strings.HasSuffix(de.Name(), ".json") {
-			continue
-		}
-		c.entries = append(c.entries, loadEntry(findings, de.Name()))
+	if entries, ok := loadIndex(findings, dirents, sink); ok {
+		c.entries = entries
+	} else {
+		c.entries = scanEntries(findings, dirents)
+		c.dirty = true
+		// Persist the rebuilt index best-effort: a read-only corpus stays
+		// usable (every Open rescans), a writable one amortizes the scan.
+		_ = c.SaveIndex()
 	}
-	sort.Slice(c.entries, func(i, j int) bool { return c.entries[i].Name < c.entries[j].Name })
 	for _, e := range c.entries {
 		if e.Err == nil {
 			c.known[e.Meta.Key] = true
 		}
 	}
+	opens.Add(1)
 	return c, nil
 }
 
-// loadEntry reads one finding pair by its metadata filename.
-func loadEntry(findings, jsonName string) *Entry {
+// scanEntries rebuilds the entry list from the findings directory: one
+// entry per metadata file, name-sorted. Only metadata files are read;
+// program files are stat'ed for the index signature, never opened.
+func scanEntries(findings string, dirents []os.DirEntry) []*Entry {
+	var entries []*Entry
+	for _, de := range dirents {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".json") || de.Name() == indexName {
+			continue
+		}
+		entries = append(entries, scanEntry(findings, de.Name()))
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	return entries
+}
+
+// scanEntry loads one finding's metadata by its filename and records the
+// pair's stat signature. The program file is stat'ed, not read.
+func scanEntry(findings, jsonName string) *Entry {
 	e := &Entry{
 		Name:     jsonName,
 		MetaPath: filepath.Join(findings, jsonName),
 		Path:     filepath.Join(findings, strings.TrimSuffix(jsonName, ".json")+".p4"),
+		progSize: -1,
 	}
+	if pi, err := os.Stat(e.Path); err == nil {
+		e.progSize, e.progMTime = pi.Size(), pi.ModTime().UnixNano()
+	}
+	fi, err := os.Stat(e.MetaPath)
+	if err != nil {
+		e.Err = err
+		return e
+	}
+	e.metaSize, e.metaMTime = fi.Size(), fi.ModTime().UnixNano()
 	raw, err := os.ReadFile(e.MetaPath)
 	if err != nil {
 		e.Err = err
@@ -284,14 +407,145 @@ func loadEntry(findings, jsonName string) *Entry {
 		e.Err = fmt.Errorf("corpus: %s: not a finding metadata file", jsonName)
 		return e
 	}
-	src, err := os.ReadFile(e.Path)
-	if err != nil {
-		e.Err = err
+	if e.progSize < 0 {
+		e.Err = fmt.Errorf("corpus: %s: missing program file", e.Path)
 		return e
 	}
 	e.Meta = m
-	e.Source = string(src)
 	return e
+}
+
+// loadIndex reads findings/index.json and validates it against the
+// directory listing: the metadata-file name set must match exactly and
+// every recorded stat signature (size, mtime) must agree, for metadata
+// and program files alike. ok is false when the index is absent, stale,
+// or corrupt — corruption additionally warns through the sink; staleness
+// and absence are the normal flow of a corpus written by other handles.
+func loadIndex(findings string, dirents []os.DirEntry, sink events.Sink) ([]*Entry, bool) {
+	path := filepath.Join(findings, indexName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	var idx indexFile
+	if err := json.Unmarshal(raw, &idx); err != nil {
+		sink.Emit(events.Event{
+			Kind: events.KindWarning, Op: "corpus", Path: path,
+			Detail: fmt.Sprintf("corrupt corpus index (%v) — rebuilding from a directory rescan", err),
+		})
+		return nil, false
+	}
+	if idx.Version != indexVersion {
+		return nil, false
+	}
+	onDisk := map[string]os.DirEntry{}
+	jsonCount := 0
+	for _, de := range dirents {
+		if de.IsDir() {
+			continue
+		}
+		onDisk[de.Name()] = de
+		if strings.HasSuffix(de.Name(), ".json") && de.Name() != indexName {
+			jsonCount++
+		}
+	}
+	if jsonCount != len(idx.Entries) {
+		return nil, false
+	}
+	entries := make([]*Entry, 0, len(idx.Entries))
+	for _, ie := range idx.Entries {
+		if !strings.HasSuffix(ie.Name, ".json") || ie.Name == indexName {
+			return nil, false
+		}
+		de, ok := onDisk[ie.Name]
+		if !ok {
+			return nil, false
+		}
+		fi, err := de.Info()
+		if err != nil || fi.Size() != ie.MetaSize || fi.ModTime().UnixNano() != ie.MetaMTime {
+			return nil, false
+		}
+		progName := strings.TrimSuffix(ie.Name, ".json") + ".p4"
+		pde, havePde := onDisk[progName]
+		if ie.ProgSize < 0 {
+			if havePde {
+				return nil, false
+			}
+		} else {
+			if !havePde {
+				return nil, false
+			}
+			pfi, err := pde.Info()
+			if err != nil || pfi.Size() != ie.ProgSize || pfi.ModTime().UnixNano() != ie.ProgMTime {
+				return nil, false
+			}
+		}
+		e := &Entry{
+			Name:      ie.Name,
+			Path:      filepath.Join(findings, progName),
+			MetaPath:  filepath.Join(findings, ie.Name),
+			Meta:      ie.Meta,
+			metaSize:  ie.MetaSize,
+			metaMTime: ie.MetaMTime,
+			progSize:  ie.ProgSize,
+			progMTime: ie.ProgMTime,
+		}
+		if ie.Err != "" {
+			e.Err = errors.New(ie.Err)
+		}
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	return entries, true
+}
+
+// SaveIndex persists the in-memory index to findings/index.json when it
+// has diverged from disk (after a rescan, Put, or Remove); a clean handle
+// is a no-op. The write is atomic (temp file + rename), so concurrent
+// readers see the old index or the new one, never a torn file. Engines
+// call it at the end of a write-side operation; a missed save self-heals
+// through the staleness rescan on the next Open.
+func (c *Corpus) SaveIndex() error {
+	if c == nil || c.dir == "" || !c.dirty {
+		return nil
+	}
+	findings := filepath.Join(c.dir, "findings")
+	idx := indexFile{Version: indexVersion, Entries: make([]indexEntry, 0, len(c.entries))}
+	for _, e := range c.entries {
+		ie := indexEntry{
+			Name:     e.Name,
+			Meta:     e.Meta,
+			MetaSize: e.metaSize, MetaMTime: e.metaMTime,
+			ProgSize: e.progSize, ProgMTime: e.progMTime,
+		}
+		if e.Err != nil {
+			ie.Err = e.Err.Error()
+		}
+		idx.Entries = append(idx.Entries, ie)
+	}
+	raw, err := json.Marshal(idx)
+	if err != nil {
+		return fmt.Errorf("corpus: encode index: %w", err)
+	}
+	tmp, err := os.CreateTemp(findings, ".index-*")
+	if err != nil {
+		return fmt.Errorf("corpus: persist index: %w", err)
+	}
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("corpus: persist index: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("corpus: persist index: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(findings, indexName)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("corpus: persist index: %w", err)
+	}
+	c.dirty = false
+	return nil
 }
 
 // Dir returns the corpus directory ("" for the zero/nil corpus).
@@ -302,7 +556,7 @@ func (c *Corpus) Dir() string {
 	return c.dir
 }
 
-// Len is the number of cached entries, well-formed and corrupt alike.
+// Len is the number of indexed entries, well-formed and corrupt alike.
 func (c *Corpus) Len() int {
 	if c == nil {
 		return 0
@@ -313,10 +567,10 @@ func (c *Corpus) Len() int {
 // Has reports whether a finding with the given dedup key is present.
 func (c *Corpus) Has(key string) bool { return c != nil && c.known[key] }
 
-// Entries iterates every cached entry in name-sorted order, yielding each
-// entry together with its load error (nil for well-formed pairs). This is
-// the iter.Seq2 form of the historical forEachFinding walker; replay,
-// triage, retire, and the seed pool all consume it.
+// Entries iterates every indexed entry in name-sorted order, yielding
+// each entry together with its load error (nil for well-formed pairs).
+// This is the iter.Seq2 form of the historical forEachFinding walker;
+// replay, triage, retire, and the seed pool all consume it.
 func (c *Corpus) Entries() iter.Seq2[*Entry, error] {
 	return func(yield func(*Entry, error) bool) {
 		if c == nil {
@@ -413,7 +667,8 @@ type Stats struct {
 	Newest time.Time `json:"newest,omitzero"`
 }
 
-// Stats computes summary statistics over the cached entries.
+// Stats computes summary statistics over the index — program sizes come
+// from the index's stat signatures, so no source file is read.
 func (c *Corpus) Stats() Stats {
 	st := Stats{ByClass: map[Class]int{}, ByOrigin: map[string]int{}}
 	if c == nil {
@@ -431,7 +686,7 @@ func (c *Corpus) Stats() Stats {
 			origin = "gen"
 		}
 		st.ByOrigin[origin]++
-		st.Bytes += len(e.Source)
+		st.Bytes += int(e.progSize)
 		if !e.Meta.FoundAt.IsZero() {
 			if st.Oldest.IsZero() || e.Meta.FoundAt.Before(st.Oldest) {
 				st.Oldest = e.Meta.FoundAt
@@ -444,10 +699,12 @@ func (c *Corpus) Stats() Stats {
 	return st
 }
 
-// Put persists one finding pair and keeps the handle's cache coherent:
-// the new entry joins the name-sorted cache and its key the dedup index.
-// The findings directory is created on first write, so opening a corpus
-// never creates it. It returns the program file's path.
+// Put persists one finding pair and keeps the handle coherent: the new
+// entry joins the name-sorted index (its source already in memory — no
+// read-back) and its key the dedup map; the on-disk index is marked
+// stale until the next SaveIndex. The findings directory is created on
+// first write, so opening a corpus never creates it. It returns the
+// program file's path.
 func (c *Corpus) Put(m Meta, source string) (string, error) {
 	if c == nil || c.dir == "" {
 		return "", fmt.Errorf("corpus: Put on a nil corpus")
@@ -468,13 +725,23 @@ func (c *Corpus) Put(m Meta, source string) (string, error) {
 		Path:     filepath.Join(findings, stem+".p4"),
 		MetaPath: filepath.Join(findings, stem+".json"),
 		Meta:     m,
-		Source:   source,
+		src:      source,
+		loaded:   true,
+		progSize: -1,
 	}
 	if err := os.WriteFile(e.Path, []byte(source), 0o644); err != nil {
 		return "", fmt.Errorf("corpus: persist finding: %w", err)
 	}
 	if err := WriteMeta(e.MetaPath, m); err != nil {
 		return "", err
+	}
+	// Record the written files' stat signatures so the next SaveIndex
+	// captures them and later Opens validate against them.
+	if fi, err := os.Stat(e.MetaPath); err == nil {
+		e.metaSize, e.metaMTime = fi.Size(), fi.ModTime().UnixNano()
+	}
+	if pi, err := os.Stat(e.Path); err == nil {
+		e.progSize, e.progMTime = pi.Size(), pi.ModTime().UnixNano()
 	}
 	i := sort.Search(len(c.entries), func(i int) bool { return c.entries[i].Name >= e.Name })
 	if i < len(c.entries) && c.entries[i].Name == e.Name {
@@ -485,5 +752,32 @@ func (c *Corpus) Put(m Meta, source string) (string, error) {
 		c.entries[i] = e
 	}
 	c.known[m.Key] = true
+	c.dirty = true
 	return e.Path, nil
+}
+
+// Remove deletes one entry's pair from disk and from the handle: the
+// index drops it, its dedup key leaves the map, and the on-disk index is
+// marked stale until the next SaveIndex. The program file is removed
+// first, so a failure mid-removal leaves a metadata orphan the next scan
+// reports rather than a silently half-present finding.
+func (c *Corpus) Remove(e *Entry) error {
+	if c == nil || c.dir == "" {
+		return fmt.Errorf("corpus: Remove on a nil corpus")
+	}
+	if err := os.Remove(e.Path); err != nil {
+		return err
+	}
+	if err := os.Remove(e.MetaPath); err != nil {
+		return err
+	}
+	i := sort.Search(len(c.entries), func(i int) bool { return c.entries[i].Name >= e.Name })
+	if i < len(c.entries) && c.entries[i].Name == e.Name {
+		c.entries = append(c.entries[:i], c.entries[i+1:]...)
+	}
+	if e.Err == nil {
+		delete(c.known, e.Meta.Key)
+	}
+	c.dirty = true
+	return nil
 }

@@ -29,7 +29,7 @@ func walkLikeTheOldWalker(t *testing.T, dir string) (names []string, metas []Met
 		t.Fatal(err)
 	}
 	for _, de := range dirents {
-		if de.IsDir() || !strings.HasSuffix(de.Name(), ".json") {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".json") || de.Name() == indexName {
 			continue
 		}
 		names = append(names, de.Name())
@@ -86,8 +86,8 @@ func TestEntriesEquivalentToOldWalker(t *testing.T) {
 			if e.Meta != metas[i] {
 				t.Errorf("entry %d (%s): meta differs from walker's", i, e.Name)
 			}
-			if e.Source != sources[i] {
-				t.Errorf("entry %d (%s): source differs from walker's", i, e.Name)
+			if src, err := e.Source(); err != nil || src != sources[i] {
+				t.Errorf("entry %d (%s): source differs from walker's (err=%v)", i, e.Name, err)
 			}
 		}
 		i++
@@ -161,7 +161,7 @@ func TestCorruptEntries(t *testing.T) {
 	for e, err := range c.Entries() {
 		if err != nil {
 			badN++
-			if e.Meta != (Meta{}) || e.Source != "" {
+			if src, _ := e.Source(); e.Meta != (Meta{}) || src != "" {
 				t.Errorf("%s: errored entry carries data", e.Name)
 			}
 			continue

@@ -1,0 +1,247 @@
+package corpus
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/events"
+)
+
+// countSourceReads swaps the package's source-read seam for a counting
+// wrapper for the duration of the test. Only Entry.Source goes through
+// the seam — metadata and index reads do not — so the count is exactly
+// the number of program files read.
+func countSourceReads(t *testing.T) *int {
+	t.Helper()
+	orig := readFile
+	n := new(int)
+	readFile = func(path string) ([]byte, error) {
+		*n++
+		return orig(path)
+	}
+	t.Cleanup(func() { readFile = orig })
+	return n
+}
+
+// TestOpenIsMetadataOnly: with a fresh index, Open and every
+// metadata-shaped consumer — Stats, Has, Len, Select, iteration over
+// names and metas — perform zero program-file reads; the first Source
+// call reads exactly one.
+func TestOpenIsMetadataOnly(t *testing.T) {
+	// First open builds and persists the index (it may read nothing
+	// either, but it is not the open under test).
+	c0, err := Open(regressionCorpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c0.Len() < 15 {
+		t.Fatalf("regression corpus has %d entries, want >= 15", c0.Len())
+	}
+
+	reads := countSourceReads(t)
+	c, err := Open(regressionCorpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Total != c0.Len() {
+		t.Fatalf("Stats.Total = %d, want %d", st.Total, c0.Len())
+	}
+	var first *Entry
+	for e, err := range c.Entries() {
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		if !c.Has(e.Meta.Key) {
+			t.Fatalf("%s: key not indexed", e.Name)
+		}
+		if first == nil {
+			first = e
+		}
+	}
+	for range c.Select(Filter{Class: "rejected-clean"}) {
+	}
+	if *reads != 0 {
+		t.Fatalf("metadata-only consumers performed %d program reads, want 0", *reads)
+	}
+
+	if _, err := first.Source(); err != nil {
+		t.Fatal(err)
+	}
+	if *reads != 1 {
+		t.Fatalf("first Source() performed %d reads, want 1", *reads)
+	}
+	if _, err := first.Source(); err != nil {
+		t.Fatal(err)
+	}
+	if *reads != 1 {
+		t.Fatalf("second Source() re-read the file (%d reads)", *reads)
+	}
+}
+
+// TestIndexRoundTrip: deleting the index and reopening rebuilds it with
+// byte-identical statistics — the CI round-trip gate's property.
+func TestIndexRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	for i, src := range []string{tinyProg, tinyProg + "\n", tinyProg + "\n\n"} {
+		m := Meta{Class: "rejected-clean", Key: DedupKey("rejected-clean", src),
+			FoundAt: time.Date(2026, 7, 1, i, 0, 0, 0, time.UTC), Origin: "mutate"}
+		writePair(t, dir, m, src)
+	}
+	c1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexPath := filepath.Join(dir, "findings", indexName)
+	if _, err := os.Stat(indexPath); err != nil {
+		t.Fatalf("Open did not persist the index: %v", err)
+	}
+	before, err := json.Marshal(c1.Stats())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := os.Remove(indexPath); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := json.Marshal(c2.Stats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Errorf("stats changed across an index rebuild:\nbefore %s\nafter  %s", before, after)
+	}
+	if _, err := os.Stat(indexPath); err != nil {
+		t.Errorf("reopen did not rewrite the index: %v", err)
+	}
+}
+
+// TestCorruptIndexFallsBackToRescan: a truncated index.json is worked
+// around — the corpus rescans the directory, warns through the events
+// sink, and rewrites a valid index. Sits next to TestCorruptEntries: that
+// one is corrupt content, this one the corrupt cache over it.
+func TestCorruptIndexFallsBackToRescan(t *testing.T) {
+	dir := t.TempDir()
+	m := Meta{Class: "rejected-clean", Key: DedupKey("rejected-clean", tinyProg), FoundAt: time.Now()}
+	writePair(t, dir, m, tinyProg)
+	if _, err := Open(dir); err != nil { // persists a valid index
+		t.Fatal(err)
+	}
+	indexPath := filepath.Join(dir, "findings", indexName)
+	if err := os.WriteFile(indexPath, []byte(`{"version": 1, "entries": [`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var warnings []events.Event
+	c, err := OpenSink(dir, func(e events.Event) {
+		if e.Kind == events.KindWarning {
+			warnings = append(warnings, e)
+		}
+	})
+	if err != nil {
+		t.Fatalf("corrupt index made Open fail: %v", err)
+	}
+	if c.Len() != 1 || !c.Has(m.Key) {
+		t.Fatalf("rescan fallback lost entries: len=%d has=%v", c.Len(), c.Has(m.Key))
+	}
+	if len(warnings) != 1 || warnings[0].Path != indexPath {
+		t.Fatalf("warnings = %+v, want exactly one naming %s", warnings, indexPath)
+	}
+	// The rewritten index must load cleanly on the next open.
+	raw, err := os.ReadFile(indexPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idx indexFile
+	if err := json.Unmarshal(raw, &idx); err != nil {
+		t.Fatalf("rewritten index is not valid JSON: %v", err)
+	}
+	if len(idx.Entries) != 1 {
+		t.Fatalf("rewritten index holds %d entries, want 1", len(idx.Entries))
+	}
+}
+
+// TestStaleIndexRescans: a pair written behind the handle's back (another
+// shard, a file copy) invalidates the persisted index on the next open —
+// the index is a cache, never an alternate truth.
+func TestStaleIndexRescans(t *testing.T) {
+	dir := t.TempDir()
+	a := Meta{Class: "rejected-clean", Key: DedupKey("rejected-clean", tinyProg), FoundAt: time.Now()}
+	writePair(t, dir, a, tinyProg)
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	b := Meta{Class: "runtime-error", Key: DedupKey("runtime-error", tinyProg), FoundAt: time.Now()}
+	writePair(t, dir, b, tinyProg)
+
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 || !c.Has(b.Key) {
+		t.Fatalf("stale index not rescanned: len=%d has(new)=%v", c.Len(), c.Has(b.Key))
+	}
+}
+
+// TestRemoveKeepsCacheCoherent: Remove deletes the pair's files and drops
+// it from iteration, Has, and Stats without re-opening; a fresh handle
+// agrees.
+func TestRemoveKeepsCacheCoherent(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Meta{Class: "rejected-clean", Key: DedupKey("rejected-clean", tinyProg), FoundAt: time.Now()}
+	b := Meta{Class: "rejected-clean", Key: DedupKey("rejected-clean", tinyProg+"\n"), FoundAt: time.Now()}
+	if _, err := c.Put(a, tinyProg); err != nil {
+		t.Fatal(err)
+	}
+	pathB, err := c.Put(b, tinyProg+"\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var victim *Entry
+	for e, err := range c.Entries() {
+		if err == nil && e.Meta.Key == b.Key {
+			victim = e
+		}
+	}
+	if victim == nil {
+		t.Fatal("put entry not found in iteration")
+	}
+	if err := c.Remove(victim); err != nil {
+		t.Fatal(err)
+	}
+	if c.Has(b.Key) || c.Len() != 1 {
+		t.Fatalf("Remove not reflected: has=%v len=%d", c.Has(b.Key), c.Len())
+	}
+	if _, err := os.Stat(pathB); !os.IsNotExist(err) {
+		t.Errorf("removed program file still on disk: %v", err)
+	}
+	if err := c.SaveIndex(); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Has(b.Key) || c2.Len() != 1 || !c2.Has(a.Key) {
+		t.Errorf("fresh handle disagrees: len=%d", c2.Len())
+	}
+	// Compare via JSON: the live handle's times carry monotonic-clock
+	// readings a reloaded index cannot, which DeepEqual would flag.
+	live, fresh := mustJSON(t, c.Stats()), mustJSON(t, c2.Stats())
+	if !bytes.Equal(live, fresh) {
+		t.Errorf("stats diverge:\nlive  %s\nfresh %s", live, fresh)
+	}
+}

@@ -36,6 +36,10 @@ const (
 	// current operation (Total is 0 when unknown, e.g. replay of an
 	// unopened corpus).
 	KindProgress
+	// KindWarning is a recoverable anomaly the operation worked around —
+	// e.g. a corrupt corpus index that was rebuilt from a directory rescan.
+	// Detail says what happened, Path where.
+	KindWarning
 )
 
 // String names the kind.
@@ -53,6 +57,8 @@ func (k Kind) String() string {
 		return "retired"
 	case KindProgress:
 		return "progress"
+	case KindWarning:
+		return "warning"
 	default:
 		return "event"
 	}

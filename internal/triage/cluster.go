@@ -98,6 +98,11 @@ type Config struct {
 	// CorpusDir is the corpus to triage. A missing or empty findings
 	// directory triages zero findings (empty report, OK).
 	CorpusDir string
+	// Corpus is an already-open handle over CorpusDir; when set, triage
+	// reads through it (sharing its parse and fingerprint caches) instead
+	// of opening the directory again. Session threads one handle through
+	// every operation this way.
+	Corpus *corpus.Corpus
 	// MaxNovelty caps the novelty ranking's length (0 = default 10,
 	// negative = unlimited).
 	MaxNovelty int
@@ -116,13 +121,16 @@ func Triage(cfg Config) (*Report, error) {
 	}
 	clusters := map[string]*Cluster{}
 	classByKey := map[string]campaign.Class{}
-	dir := cfg.CorpusDir
-	if dir == "" {
-		dir = "."
-	}
-	corp, err := corpus.Open(dir)
-	if err != nil {
-		return rep, fmt.Errorf("triage: %w", err)
+	corp := cfg.Corpus
+	if corp == nil {
+		dir := cfg.CorpusDir
+		if dir == "" {
+			dir = "."
+		}
+		var err error
+		if corp, err = corpus.OpenSink(dir, cfg.Events); err != nil {
+			return rep, fmt.Errorf("triage: %w", err)
+		}
 	}
 	for e, err := range corp.Entries() {
 		if err != nil {
@@ -147,9 +155,10 @@ func Triage(cfg Config) (*Report, error) {
 		}
 		cl.Size++
 		cl.Keys = append(cl.Keys, m.Key)
-		if cl.Exemplar == "" || len(e.Source) < len(cl.Exemplar) ||
-			(len(e.Source) == len(cl.Exemplar) && e.Path < cl.ExemplarPath) {
-			cl.Exemplar = e.Source
+		src, _ := e.Source() // cached by the Fingerprint call above
+		if cl.Exemplar == "" || len(src) < len(cl.Exemplar) ||
+			(len(src) == len(cl.Exemplar) && e.Path < cl.ExemplarPath) {
+			cl.Exemplar = src
 			cl.ExemplarPath = e.Path
 			cl.ExemplarDetail = m.Detail
 		}

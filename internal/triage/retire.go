@@ -41,6 +41,12 @@ import (
 type RetireConfig struct {
 	// CorpusDir is the live corpus to clean.
 	CorpusDir string
+	// Corpus is an already-open handle over CorpusDir; when set, the
+	// whole pass — the embedded replay, the promote-and-remove loop, and
+	// the final survivor triage — runs through it instead of re-opening
+	// the directory (historically Retire opened it three times). Session
+	// threads one handle through every operation this way.
+	Corpus *corpus.Corpus
 	// PromoteDir is the retired corpus drifted entries are promoted into
 	// before removal ("" = <CorpusDir>/../retired-corpus when CorpusDir
 	// has a parent, else "retired-corpus"). Its layout is a corpus —
@@ -113,8 +119,24 @@ func Retire(ctx context.Context, cfg RetireConfig) (*RetireReport, error) {
 	}
 	rep := &RetireReport{CorpusDir: cfg.CorpusDir, PromoteDir: promoteDir}
 
+	// One handle for the whole pass: the replay below, the
+	// promote-and-remove loop, and the final survivor triage all share
+	// its caches and see its removals.
+	corp := cfg.Corpus
+	if corp == nil {
+		dir := cfg.CorpusDir
+		if dir == "" {
+			dir = "."
+		}
+		var err error
+		if corp, err = corpus.OpenSink(dir, retireSink(cfg.Events)); err != nil {
+			return rep, fmt.Errorf("triage: retire: %w", err)
+		}
+	}
+
 	rr, err := campaign.Replay(ctx, campaign.ReplayConfig{
 		CorpusDir:   cfg.CorpusDir,
+		Corpus:      corp,
 		NITrials:    cfg.NITrials,
 		NITrialsMax: cfg.NITrialsMax,
 		Events:      retireSink(cfg.Events),
@@ -134,20 +156,25 @@ func Retire(ctx context.Context, cfg RetireConfig) (*RetireReport, error) {
 
 	// Promote and remove. Iteration is name-sorted, so the pass is
 	// deterministic; removal happens per entry only after its promotion
-	// succeeded, so a failure mid-pass never loses a finding.
-	dir := cfg.CorpusDir
-	if dir == "" {
-		dir = "."
+	// succeeded, so a failure mid-pass never loses a finding. Each
+	// drifted entry lands in exactly one bucket — Retired or Errors —
+	// so Total always equals Kept + Retired + per-entry errors: an entry
+	// both drift-flagged and unparseable is one "drifted to unparseable"
+	// error, not a drift plus a fingerprint failure (replay now assigns
+	// unparseable sources that class uniformly, instead of letting the
+	// pipeline relabel them generator-bug).
+	// Candidates are gathered first — Remove mutates the handle's index,
+	// which must not happen under its own iterator.
+	type candidate struct {
+		e       *corpus.Entry
+		d       campaign.Drift
+		fp, src string
 	}
-	corp, err := corpus.Open(dir)
-	if err != nil {
-		return rep, fmt.Errorf("triage: retire: %w", err)
-	}
+	var cands []candidate
 	for e, err := range corp.Entries() {
 		if err != nil {
 			continue // already in rep.Errors via the replay above
 		}
-		m := e.Meta
 		d, ok := drifted[e.Path]
 		if !ok {
 			continue
@@ -162,12 +189,21 @@ func Retire(ctx context.Context, cfg RetireConfig) (*RetireReport, error) {
 			rep.Errors = append(rep.Errors, fmt.Sprintf("%s: %v", e.Path, err))
 			continue
 		}
-		promoted, err := promote(promoteDir, m, e.Source, campaign.Class(d.Got), d.Detail)
+		src, err := e.Source()
+		if err != nil {
+			rep.Errors = append(rep.Errors, fmt.Sprintf("%s: %v", e.Path, err))
+			continue
+		}
+		cands = append(cands, candidate{e: e, d: d, fp: fp, src: src})
+	}
+	for _, c := range cands {
+		e, d, m := c.e, c.d, c.e.Meta
+		promoted, err := promote(promoteDir, m, c.src, campaign.Class(d.Got), d.Detail)
 		if err != nil {
 			rep.Errors = append(rep.Errors, fmt.Sprintf("%s: promote: %v", e.Path, err))
 			continue
 		}
-		if err := removePair(e.Path); err != nil {
+		if err := corp.Remove(e); err != nil {
 			rep.Errors = append(rep.Errors, fmt.Sprintf("%s: remove: %v", e.Path, err))
 			continue
 		}
@@ -179,7 +215,7 @@ func Retire(ctx context.Context, cfg RetireConfig) (*RetireReport, error) {
 			Detail:       d.Detail,
 			PromotedPath: promoted,
 			Rule:         m.CitedRule(),
-			Fingerprint:  fp,
+			Fingerprint:  c.fp,
 		})
 		cfg.Events.Emit(events.Event{
 			Kind: events.KindRetired, Op: "retire",
@@ -189,11 +225,15 @@ func Retire(ctx context.Context, cfg RetireConfig) (*RetireReport, error) {
 		})
 		fmt.Fprintf(log, "retired: %s (%s -> %s) promoted to %s\n", e.Path, m.Class, d.Got, promoted)
 	}
+	if err := corp.SaveIndex(); err != nil {
+		fmt.Fprintf(log, "retire: %v (index rebuilt on next open)\n", err)
+	}
 
 	// Cluster the surviving corpus once and annotate each retired entry
-	// with how much of its defect class remains live.
+	// with how much of its defect class remains live — through the same
+	// handle, which has already dropped the removed entries.
 	if len(rep.Retired) > 0 {
-		after, err := Triage(Config{CorpusDir: cfg.CorpusDir})
+		after, err := Triage(Config{CorpusDir: cfg.CorpusDir, Corpus: corp})
 		if err != nil {
 			return rep, err
 		}
@@ -251,14 +291,6 @@ func promote(dir string, m campaign.Meta, src string, to campaign.Class, detail 
 		return "", err
 	}
 	return progPath, nil
-}
-
-// removePair deletes a finding's program and metadata files.
-func removePair(progPath string) error {
-	if err := os.Remove(progPath); err != nil {
-		return err
-	}
-	return os.Remove(strings.TrimSuffix(progPath, ".p4") + ".json")
 }
 
 // FormatRetireReport renders a retire pass's outcome.

@@ -274,3 +274,63 @@ func TestRetireLeavesUnparseableAlone(t *testing.T) {
 		t.Errorf("unparseable entry was removed from the live corpus: %v", err)
 	}
 }
+
+// TestRetireAccountingSingleCountsUnparseableDrift: an entry that is both
+// drift-flagged and unparseable is one problem, not two — it gets exactly
+// one dedicated error, and the report's accounting holds together:
+// Total = Kept + Retired + Errors. (It used to surface twice, once as
+// drift and once as a fingerprint-parse failure, inflating the error
+// count past the entry count.)
+func TestRetireAccountingSingleCountsUnparseableDrift(t *testing.T) {
+	dir := t.TempDir()
+	// Two dead-store rejected-clean findings: conservative rejections that
+	// replay stably under any budget.
+	stable := `header data_t {
+    <bit<8>, low> lo0;
+    <bit<8>, high> hi0;
+}
+struct headers { data_t d; }
+control C(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    apply {
+        hdr.d.lo0 = hdr.d.hi0;
+        hdr.d.lo0 = 8w0;
+    }
+}
+`
+	other := strings.NewReplacer("lo0", "dst0", "hi0", "key0").Replace(stable)
+	writeFinding(t, dir, campaign.Meta{
+		Class: campaign.ClassRejectedClean, Rule: "T-Assign", Detail: "a",
+		NITrials: 1, NITrialsMax: 2, NISeed: 5,
+	}, stable)
+	writeFinding(t, dir, campaign.Meta{
+		Class: campaign.ClassRejectedClean, Rule: "T-Assign", Detail: "b",
+		NITrials: 1, NITrialsMax: 2, NISeed: 6,
+	}, other)
+	// Corrupt one program so replay drifts it to "unparseable".
+	victim := filepath.Join(dir, "findings",
+		"rejected-clean-"+campaign.DedupKey(campaign.ClassRejectedClean, other)[:12]+".p4")
+	if err := os.WriteFile(victim, []byte("garbage {{{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rr, err := triage.Retire(context.Background(), triage.RetireConfig{
+		CorpusDir:  dir,
+		PromoteDir: filepath.Join(t.TempDir(), "retired"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Errors) != 1 {
+		t.Fatalf("drifted+unparseable entry produced %d errors, want exactly 1: %v", len(rr.Errors), rr.Errors)
+	}
+	if !strings.Contains(rr.Errors[0], victim) || !strings.Contains(rr.Errors[0], "unparseable") {
+		t.Errorf("the one error should name the entry and the cause: %q", rr.Errors[0])
+	}
+	if got := rr.Kept + len(rr.Retired) + len(rr.Errors); rr.Total != 2 || got != rr.Total {
+		t.Errorf("accounting broken: total=%d kept=%d retired=%d errors=%d",
+			rr.Total, rr.Kept, len(rr.Retired), len(rr.Errors))
+	}
+	if _, err := os.Stat(victim); err != nil {
+		t.Errorf("errored entry left the live corpus: %v", err)
+	}
+}

@@ -41,10 +41,15 @@
 //	rep, err := s.Campaign(ctx, 20000) // fuzz 20k programs, persist findings
 //	rr, err := s.Replay(ctx)           // corpus as regression suite
 //	tr, err := s.Triage()              // ranked (class, rule, shape) clusters
+//	cr, err := s.Compact(ctx)          // re-minimize, fold equal findings
 //
-// The corpus itself is directly queryable:
+// The Session owns the corpus handle: the directory is opened once (its
+// metadata index makes that open cheap — sources are read and parsed only
+// when an operation needs them), and every operation reads and writes
+// through the same cached handle. Session.Corpus exposes it for direct
+// queries:
 //
-//	c, err := repro.OpenCorpus("fuzz-corpus")
+//	c, err := s.Corpus()
 //	for e := range c.Select(repro.CorpusFilter{Class: "rejected-clean"}) {
 //	    fmt.Println(e.Path, e.Rule())
 //	}
@@ -277,6 +282,25 @@ func Campaign(ctx context.Context, cfg CampaignConfig) (*CampaignReport, error) 
 // FormatCampaignReport renders a campaign report: the verdict table plus
 // corpus, dedup, and minimization statistics.
 func FormatCampaignReport(r *CampaignReport) string { return campaign.FormatReport(r) }
+
+// CompactConfig configures a corpus compaction; CompactReport is its
+// outcome. Prefer Session.Compact — the config form exists for callers
+// threading their own corpus handle.
+type (
+	CompactConfig = campaign.CompactConfig
+	CompactReport = campaign.CompactReport
+)
+
+// Compact re-minimizes every finding in cfg.CorpusDir with the current
+// shrinker and folds newly-equal dedup keys together, promote-first so no
+// finding is lost mid-compaction. Prefer Session.Compact — same pass,
+// same report, plus the event stream.
+func Compact(ctx context.Context, cfg CompactConfig) (*CompactReport, error) {
+	return campaign.Compact(ctx, cfg)
+}
+
+// FormatCompactReport renders a compaction's outcome.
+func FormatCompactReport(r *CompactReport) string { return campaign.FormatCompactReport(r) }
 
 // MinimizeProgram delta-debugs src down to a smaller program for which
 // keep still holds, by deleting statements, declarations, fields, table

@@ -41,6 +41,9 @@ const (
 	EventCluster  = events.KindCluster
 	EventRetired  = events.KindRetired
 	EventProgress = events.KindProgress
+	// EventWarning is a recoverable anomaly an operation worked around —
+	// e.g. a corrupt corpus index rebuilt from a directory rescan.
+	EventWarning = events.KindWarning
 )
 
 // Corpus is a cached, validated handle over an on-disk finding corpus:
@@ -75,8 +78,10 @@ type GenConfig = gen.Config
 
 // Session is one configured handle over the campaign stack. Configure it
 // once with NewSession's options, then run operations; all of them share
-// the lattice, corpus directory, NI budgets, and worker pool, and all of
-// them report through the same event stream (Events).
+// the lattice, NI budgets, and worker pool, report through the same event
+// stream (Events), and read and write the corpus through one shared
+// handle (Corpus) — the directory is opened exactly once per session, no
+// matter how many operations run.
 //
 // Operations are safe to run one at a time; a Session does not serialize
 // concurrent method calls (two campaigns over one corpus directory would
@@ -106,6 +111,13 @@ type Session struct {
 	events   chan Event
 	closed   bool
 	dropped  atomic.Int64
+
+	// corp is the session's one corpus handle, opened lazily by Corpus()
+	// and threaded through every operation: Campaign, Replay, Triage,
+	// Retire, and Compact all read through its metadata index and its
+	// source/parse/fingerprint caches, and the write-side operations keep
+	// it coherent in place. The directory is never re-opened mid-session.
+	corp *Corpus
 }
 
 // SessionOption configures a Session under construction.
@@ -288,6 +300,13 @@ func (s *Session) sink() events.Sink {
 // optionally minimized, and persisted to the session corpus. Job-done,
 // finding, and progress events stream to Events while it runs.
 func (s *Session) Campaign(ctx context.Context, n int) (*CampaignReport, error) {
+	var corp *Corpus
+	if s.corpusDir != "" {
+		var err error
+		if corp, err = s.Corpus(); err != nil {
+			return nil, err
+		}
+	}
 	return campaign.Run(ctx, campaign.Config{
 		N:           n,
 		Seed:        s.seed,
@@ -300,6 +319,7 @@ func (s *Session) Campaign(ctx context.Context, n int) (*CampaignReport, error) 
 		Mutate:      s.mutate,
 		MutateFrac:  s.mutateFrac,
 		CorpusDir:   s.corpusDir,
+		Corpus:      corp,
 		Resume:      s.resume,
 		Minimize:    s.minimize,
 		MaxPerClass: s.maxPerClass,
@@ -325,8 +345,13 @@ func (s *Session) Replay(ctx context.Context) (*ReplayReport, error) {
 	if err := s.needCorpus("Replay"); err != nil {
 		return nil, err
 	}
+	corp, err := s.Corpus()
+	if err != nil {
+		return nil, err
+	}
 	return campaign.Replay(ctx, campaign.ReplayConfig{
 		CorpusDir:   s.corpusDir,
+		Corpus:      corp,
 		NITrials:    s.trials,
 		NITrialsMax: s.trialsMax,
 		Log:         s.log,
@@ -341,8 +366,13 @@ func (s *Session) Triage() (*TriageReport, error) {
 	if err := s.needCorpus("Triage"); err != nil {
 		return nil, err
 	}
+	corp, err := s.Corpus()
+	if err != nil {
+		return nil, err
+	}
 	return triage.Triage(triage.Config{
 		CorpusDir:  s.corpusDir,
+		Corpus:     corp,
 		MaxNovelty: s.maxNovelty,
 		Events:     s.sink(),
 	})
@@ -356,9 +386,39 @@ func (s *Session) Retire(ctx context.Context) (*RetireReport, error) {
 	if err := s.needCorpus("Retire"); err != nil {
 		return nil, err
 	}
+	corp, err := s.Corpus()
+	if err != nil {
+		return nil, err
+	}
 	return triage.Retire(ctx, triage.RetireConfig{
 		CorpusDir:   s.corpusDir,
+		Corpus:      corp,
 		PromoteDir:  s.promoteDir,
+		NITrials:    s.trials,
+		NITrialsMax: s.trialsMax,
+		Log:         s.log,
+		Events:      s.sink(),
+	})
+}
+
+// Compact re-minimizes every finding in the session corpus with the
+// current shrinker and folds newly-equal dedup keys together: entries
+// whose minimized form matches an existing finding collapse onto it,
+// strictly-smaller forms replace their originals promote-first (the new
+// pair persists before the old one is removed), and entries that no
+// longer reproduce their recorded class are left for Retire. Job-done
+// and progress events stream to Events.
+func (s *Session) Compact(ctx context.Context) (*CompactReport, error) {
+	if err := s.needCorpus("Compact"); err != nil {
+		return nil, err
+	}
+	corp, err := s.Corpus()
+	if err != nil {
+		return nil, err
+	}
+	return campaign.Compact(ctx, campaign.CompactConfig{
+		CorpusDir:   s.corpusDir,
+		Corpus:      corp,
 		NITrials:    s.trials,
 		NITrialsMax: s.trialsMax,
 		Log:         s.log,
@@ -374,11 +434,33 @@ func (s *Session) Minimize(file, src string, keep func(src string) bool) (string
 	return res.Source, err
 }
 
-// Corpus opens the session's corpus directory as a cached handle for
-// querying (Entries, Select, Stats).
+// Corpus returns the session's corpus handle, opening it on first use.
+// The handle is shared: every operation on the session — Campaign,
+// Replay, Triage, Retire, Compact — reads and writes through this one
+// handle, so its metadata index is loaded once per session and its
+// source, parse, and fingerprint caches accumulate across operations
+// instead of being rebuilt per call.
 func (s *Session) Corpus() (*Corpus, error) {
 	if s.corpusDir == "" {
 		return nil, fmt.Errorf("session: no corpus configured (WithCorpus)")
 	}
-	return corpus.Open(s.corpusDir)
+	s.mu.Lock()
+	corp := s.corp
+	s.mu.Unlock()
+	if corp != nil {
+		return corp, nil
+	}
+	// Open outside the lock: a corrupt index emits a warning event through
+	// the sink, which takes the lock itself. The sink is resolved at emit
+	// time, so warnings reach listeners attached after the open too.
+	corp, err := corpus.OpenSink(s.corpusDir, func(e Event) { s.sink().Emit(e) })
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.corp == nil {
+		s.corp = corp
+	}
+	return s.corp, nil
 }

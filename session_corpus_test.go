@@ -1,0 +1,274 @@
+// Tests for the Session-shared corpus handle and Session.Compact: one
+// Open per session lifetime, caches that survive across operations, and
+// compaction that loses no finding class.
+package repro_test
+
+import (
+	"context"
+	"testing"
+
+	"repro"
+	"repro/internal/ast"
+	"repro/internal/corpus"
+)
+
+// TestSessionSharesOneCorpusHandle: a full Campaign → Triage → Retire →
+// Compact pass over one Session opens the corpus directory exactly once,
+// and the handle's parse cache survives across the operations — the same
+// entry returns the same *ast.Program pointer before and after.
+func TestSessionSharesOneCorpusHandle(t *testing.T) {
+	dir := t.TempDir()
+	s, err := repro.NewSession(
+		repro.WithCorpus(dir),
+		repro.WithGenConfig(smallSessionGen()),
+		repro.WithSeed(42),
+		repro.WithNIBudget(2, 8),
+		// Minimized at persistence time, so Compact below mostly keeps the
+		// entries — the pointer-equality check needs survivors.
+		repro.WithMinimize(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	opensBefore := corpus.Opens()
+	rep, err := s.Campaign(context.Background(), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NewFindings == 0 {
+		t.Fatal("campaign persisted nothing; the sharing test needs entries")
+	}
+
+	// Prime the parse cache through the session handle.
+	c, err := s.Corpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs := map[string]*ast.Program{}
+	for e, err := range c.Entries() {
+		if err != nil {
+			continue
+		}
+		if p, err := e.Program(); err == nil {
+			progs[e.Meta.Key] = p
+		}
+	}
+	if len(progs) == 0 {
+		t.Fatal("no parseable entries")
+	}
+
+	if _, err := s.Triage(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Retire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Compact(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	if delta := corpus.Opens() - opensBefore; delta != 1 {
+		t.Errorf("Campaign→Triage→Retire→Compact opened the corpus %d times, want exactly 1", delta)
+	}
+
+	c2, err := s.Corpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 != c {
+		t.Fatal("Session.Corpus returned a different handle")
+	}
+	shared := 0
+	for e, err := range c2.Entries() {
+		if err != nil {
+			continue
+		}
+		before, ok := progs[e.Meta.Key]
+		if !ok {
+			continue // rewritten by Compact under a new key
+		}
+		after, err := e.Program()
+		if err != nil {
+			t.Fatalf("%s: cached entry stopped parsing: %v", e.Name, err)
+		}
+		if after != before {
+			t.Errorf("%s: Program() re-parsed across operations (distinct pointers)", e.Name)
+		}
+		shared++
+	}
+	if shared == 0 {
+		t.Error("no entry survived with its cached parse; nothing was shared")
+	}
+}
+
+// TestSessionCompactCollapsesOntoExistingKeys: two findings whose
+// minimized forms coincide are one defect — compaction removes the
+// padded one, the dedup-key set after is a subset of before, the
+// survivor carries the removed pair's class, and the corpus replays
+// clean on both sides of the compaction.
+func TestSessionCompactCollapsesOntoExistingKeys(t *testing.T) {
+	// A dead-store precision finding in canonical (printer) form: the
+	// rejection is conservative by construction, so its class is stable
+	// under any NI budget — and stable under statement deletion of the
+	// padding, which is what lets the shrinker land exactly on it.
+	minimal := repro.PrintProgram(repro.MustParse("min.p4", `header data_t {
+    <bit<8>, low> lo0;
+    <bit<8>, high> hi0;
+}
+struct headers { data_t d; }
+control C(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    apply {
+        hdr.d.lo0 = hdr.d.hi0;
+        hdr.d.lo0 = 8w0;
+    }
+}
+`))
+	padded := repro.PrintProgram(repro.MustParse("pad.p4", `header data_t {
+    <bit<8>, low> lo0;
+    <bit<8>, high> hi0;
+}
+struct headers { data_t d; }
+control C(inout headers hdr, inout standard_metadata_t standard_metadata) {
+    apply {
+        hdr.d.lo0 = hdr.d.hi0;
+        hdr.d.lo0 = 8w0;
+        hdr.d.lo0 = 8w0;
+    }
+}
+`))
+	dir := t.TempDir()
+	seed, err := repro.OpenCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, src := range []string{minimal, padded} {
+		m := corpus.Meta{
+			Class: "rejected-clean", Key: corpus.DedupKey("rejected-clean", src),
+			Rule: "T-Assign", NITrials: 1, NITrialsMax: 2, NISeed: int64(5 + i),
+		}
+		if _, err := seed.Put(m, src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := seed.SaveIndex(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := repro.NewSession(repro.WithCorpus(dir), repro.WithNIBudget(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	keysAndClasses := func() (map[string]bool, map[string]bool) {
+		c, err := s.Corpus()
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys, classes := map[string]bool{}, map[string]bool{}
+		for e, err := range c.Entries() {
+			if err != nil {
+				continue
+			}
+			keys[e.Meta.Key] = true
+			classes[string(e.Meta.Class)] = true
+		}
+		return keys, classes
+	}
+
+	if rr, err := s.Replay(context.Background()); err != nil || !rr.OK() {
+		t.Fatalf("fixture does not replay clean before compaction: %v\n%s", err, repro.FormatReplayReport(rr))
+	}
+	keysBefore, classesBefore := keysAndClasses()
+
+	rep, err := s.Compact(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("compact errored:\n%s", repro.FormatCompactReport(rep))
+	}
+	if rep.Collapsed != 1 || rep.Minimized != 0 {
+		t.Fatalf("want exactly one collapse and no rewrites, got:\n%s", repro.FormatCompactReport(rep))
+	}
+
+	keysAfter, classesAfter := keysAndClasses()
+	for k := range keysAfter {
+		if !keysBefore[k] {
+			t.Errorf("compaction invented key %.12s — after must be a subset of before", k)
+		}
+	}
+	if len(keysAfter) != len(keysBefore)-1 {
+		t.Errorf("key count %d -> %d, want one fewer", len(keysBefore), len(keysAfter))
+	}
+	// Every removed pair's class survives in its collapse survivor.
+	for cl := range classesBefore {
+		if !classesAfter[cl] {
+			t.Errorf("compaction lost verdict class %s", cl)
+		}
+	}
+	if rr, err := s.Replay(context.Background()); err != nil || !rr.OK() {
+		t.Fatalf("corpus does not replay clean after compaction: %v\n%s", err, repro.FormatReplayReport(rr))
+	}
+}
+
+// TestSessionCompactPreservesClassesOnCampaignCorpus: compacting a real
+// campaign corpus (persisted without minimization, so the shrinker has
+// work) rewrites entries smaller but never loses a verdict class, and
+// the corpus replays clean afterwards.
+func TestSessionCompactPreservesClassesOnCampaignCorpus(t *testing.T) {
+	dir := t.TempDir()
+	s, err := repro.NewSession(
+		repro.WithCorpus(dir),
+		repro.WithGenConfig(smallSessionGen()),
+		repro.WithSeed(7),
+		repro.WithNIBudget(2, 8),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rep, err := s.Campaign(context.Background(), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NewFindings == 0 {
+		t.Fatal("campaign persisted nothing")
+	}
+
+	c, err := s.Corpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	classesBefore := map[string]int{}
+	for e, err := range c.Entries() {
+		if err == nil {
+			classesBefore[string(e.Meta.Class)]++
+		}
+	}
+
+	cr, err := s.Compact(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cr.OK() {
+		t.Fatalf("compact errored:\n%s", repro.FormatCompactReport(cr))
+	}
+
+	classesAfter := map[string]bool{}
+	for e, err := range c.Entries() {
+		if err == nil {
+			classesAfter[string(e.Meta.Class)] = true
+		}
+	}
+	for cl := range classesBefore {
+		if !classesAfter[cl] {
+			t.Errorf("compaction lost verdict class %s", cl)
+		}
+	}
+	if rr, err := s.Replay(context.Background()); err != nil || !rr.OK() {
+		t.Fatalf("corpus does not replay clean after compaction: %v\n%s", err, repro.FormatReplayReport(rr))
+	}
+}
