@@ -6,12 +6,28 @@
 //	                       lattice height
 //	p4bench -pipeline      extension: sequential-vs-parallel batch-analysis
 //	                       throughput over a generated corpus
+//	p4bench -ni            NI trials/sec, tree-walking interpreter vs the
+//	                       compiled engine, single-core and parallel
 //	p4bench -all           everything
+//
+// Every suite prints human-readable text to stdout; -o FILE additionally
+// writes the measured rows as schema-versioned JSON. When only -ni ran,
+// the file is an NI document (schema "p4bench/ni/v1", the BENCH_ni.json
+// format); otherwise it is a combined document (schema "p4bench/v1") with
+// one field per suite that ran.
+//
+// The CI benchmark gate is
+//
+//	p4bench -compare [-md] BASELINE.json CURRENT.json
+//
+// which exits 1 when the current NI run regressed against the committed
+// baseline (see bench.CompareNI for the policy).
 //
 // See EXPERIMENTS.md for the recorded paper-vs-measured comparison.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,38 +35,155 @@ import (
 	"repro/internal/bench"
 )
 
+// combinedDoc is the -o payload when more than one suite ran.
+type combinedDoc struct {
+	Schema         string              `json:"schema"`
+	Table1         []bench.Table1Row   `json:"table1,omitempty"`
+	Matrix         []bench.MatrixRow   `json:"matrix,omitempty"`
+	ScalingSize    []bench.ScalingRow  `json:"scaling_size,omitempty"`
+	ScalingLattice []bench.LatticeRow  `json:"scaling_lattice,omitempty"`
+	Pipeline       []bench.PipelineRow `json:"pipeline,omitempty"`
+	NI             *bench.NIBenchDoc   `json:"ni,omitempty"`
+}
+
 func main() {
 	table1 := flag.Bool("table1", false, "reproduce Table 1")
 	matrix := flag.Bool("matrix", false, "reproduce the Section 5 case-study matrix")
 	scaling := flag.Bool("scaling", false, "run the scaling sweeps")
 	pipe := flag.Bool("pipeline", false, "run the batch-analysis throughput sweep")
+	nib := flag.Bool("ni", false, "run the NI throughput suite (interpreter vs compiled engine)")
 	corpus := flag.Int("corpus", 200, "corpus size for -pipeline")
 	all := flag.Bool("all", false, "run everything")
 	reps := flag.Int("reps", 50, "repetitions per timing measurement")
+	seed := flag.Int64("seed", 1, "workload seed for -ni")
+	out := flag.String("o", "", "also write the measured rows as JSON to this file")
+	compare := flag.Bool("compare", false, "compare two NI benchmark JSON files: -compare BASELINE CURRENT")
+	md := flag.Bool("md", false, "with -compare, emit a markdown step summary instead of plain text")
 	flag.Parse()
-	if *all {
-		*table1, *matrix, *scaling, *pipe = true, true, true, true
+
+	if *compare {
+		os.Exit(runCompare(*md, flag.Args()))
 	}
-	if !*table1 && !*matrix && !*scaling && !*pipe {
+	if *all {
+		*table1, *matrix, *scaling, *pipe, *nib = true, true, true, true, true
+	}
+	if !*table1 && !*matrix && !*scaling && !*pipe && !*nib {
 		flag.Usage()
 		os.Exit(2)
 	}
+	doc := combinedDoc{Schema: "p4bench/v1"}
+	suites := 0
 	if *table1 {
-		fmt.Print(bench.FormatTable1(bench.Table1(*reps)))
+		suites++
+		doc.Table1 = bench.Table1(*reps)
+		fmt.Print(bench.FormatTable1(doc.Table1))
 		fmt.Println()
 	}
 	if *matrix {
-		fmt.Print(bench.FormatMatrix(bench.Matrix()))
+		suites++
+		doc.Matrix = bench.Matrix()
+		fmt.Print(bench.FormatMatrix(doc.Matrix))
 		fmt.Println()
 	}
 	if *scaling {
-		size := bench.ScalingBySize([]int{1, 2, 4, 8, 16, 32, 64}, *reps/5+1)
-		lat := bench.ScalingByLattice([]int{2, 4, 8, 16, 32}, *reps)
-		fmt.Print(bench.FormatScaling(size, lat))
+		suites++
+		doc.ScalingSize = bench.ScalingBySize([]int{1, 2, 4, 8, 16, 32, 64}, *reps/5+1)
+		doc.ScalingLattice = bench.ScalingByLattice([]int{2, 4, 8, 16, 32}, *reps)
+		fmt.Print(bench.FormatScaling(doc.ScalingSize, doc.ScalingLattice))
 		fmt.Println()
 	}
 	if *pipe {
+		suites++
 		jobs := bench.PipelineCorpus(*corpus, 1)
-		fmt.Print(bench.FormatPipeline(bench.PipelineSweep(jobs, nil)))
+		doc.Pipeline = bench.PipelineSweep(jobs, nil)
+		fmt.Print(bench.FormatPipeline(doc.Pipeline))
+		fmt.Println()
 	}
+	if *nib {
+		suites++
+		ni, err := bench.NIBench(bench.NIBenchOptions{Seed: *seed, Parallel: true})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p4bench: %v\n", err)
+			os.Exit(1)
+		}
+		doc.NI = ni
+		fmt.Print(bench.FormatNI(ni))
+	}
+	if *out != "" {
+		// A lone -ni run writes the NI document itself — the BENCH_ni.json
+		// format the CI gate consumes.
+		var payload any = doc
+		if suites == 1 && doc.NI != nil {
+			payload = doc.NI
+		}
+		if err := writeJSON(*out, payload); err != nil {
+			fmt.Fprintf(os.Stderr, "p4bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// loadNIDoc reads an NI benchmark document, accepting both the bare
+// BENCH_ni.json format and a combined -o document that embeds one.
+func loadNIDoc(path string) (*bench.NIBenchDoc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc bench.NIBenchDoc
+	if err := json.Unmarshal(data, &doc); err == nil && doc.Schema == bench.NIBenchSchema {
+		return &doc, nil
+	}
+	var combined combinedDoc
+	if err := json.Unmarshal(data, &combined); err == nil && combined.NI != nil {
+		return combined.NI, nil
+	}
+	return nil, fmt.Errorf("%s: not an NI benchmark document (want schema %q)", path, bench.NIBenchSchema)
+}
+
+func runCompare(md bool, args []string) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: p4bench -compare [-md] BASELINE.json CURRENT.json")
+		return 2
+	}
+	base, err := loadNIDoc(args[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p4bench: baseline: %v\n", err)
+		return 1
+	}
+	cur, err := loadNIDoc(args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p4bench: current: %v\n", err)
+		return 1
+	}
+	c := bench.CompareNI(base, cur)
+	if md {
+		fmt.Print(bench.MarkdownCompare(c, base, cur))
+		fmt.Println()
+		fmt.Print(bench.MarkdownNI(cur))
+	} else {
+		fmt.Printf("baseline geomean speedup %.2fx -> current %.2fx\n", base.SpeedupGeomean, cur.SpeedupGeomean)
+		for _, w := range c.Warnings {
+			fmt.Printf("warning: %s\n", w)
+		}
+		for _, f := range c.Failures {
+			fmt.Printf("FAIL: %s\n", f)
+		}
+		if c.OK() {
+			fmt.Println("ok: no regression against the baseline")
+		}
+	}
+	if !c.OK() {
+		return 1
+	}
+	return 0
 }

@@ -1,0 +1,476 @@
+// NI throughput suite: the first point of the cross-PR perf trajectory.
+//
+// The suite measures NI trials/sec for the tree-walking interpreter and
+// the compiled engine over identical workloads — generated programs per
+// lattice, split into an accept mix (IFC checker accepts; flat trial
+// budget) and a reject mix (checker rejects; adaptive budget, the
+// campaign's hot case) — plus a parallel compiled row per workload. Every
+// program gets a fixed per-program seed, so the trial counts and witness
+// tallies of a run are a pure function of the options: two same-seed runs
+// produce identical tallies (only timings move), and the interpreter and
+// compiled rows of one run must tally identically (engine parity). That
+// determinism is what lets CI gate on this data without flaking.
+//
+// The CI gate compares speedup ratios (compiled vs interpreter on the
+// same machine), not absolute trials/sec: ratios transfer across machines,
+// absolute rates do not. Tally drift or schema drift fails the gate
+// outright — the baseline must be regenerated deliberately.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/basecheck"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/gen"
+	"repro/internal/lattice"
+	"repro/internal/ni"
+	"repro/internal/parser"
+)
+
+// NIBenchSchema versions BENCH_ni.json; bump it when the workload
+// construction or row semantics change (the gate refuses cross-schema
+// comparisons).
+const NIBenchSchema = "p4bench/ni/v1"
+
+// NIBenchOptions configures the suite. The zero value means defaults.
+type NIBenchOptions struct {
+	// Seed derives the whole workload: program generation, the accept/
+	// reject split, and every per-program trial seed.
+	Seed int64
+	// Programs is the number of programs per lattice per mix.
+	Programs int
+	// Trials is the flat budget per accept-mix program and the adaptive
+	// floor per reject-mix program.
+	Trials int
+	// TrialsMax is the adaptive ceiling for the reject mix.
+	TrialsMax int
+	// Lattices names the campaign lattices to sweep (lattice.ByName).
+	Lattices []string
+	// Parallel also measures a compiled row at runtime.NumCPU workers per
+	// workload (skipped on single-core hosts).
+	Parallel bool
+}
+
+func (o NIBenchOptions) withDefaults() NIBenchOptions {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Programs <= 0 {
+		o.Programs = 8
+	}
+	if o.Trials <= 0 {
+		o.Trials = 1024
+	}
+	if o.TrialsMax <= 0 {
+		o.TrialsMax = 4 * o.Trials
+	}
+	if len(o.Lattices) == 0 {
+		o.Lattices = []string{"two-point", "chain:4", "nparty:3"}
+	}
+	return o
+}
+
+// NIBenchRow is one measured (lattice, mix, engine, workers) cell.
+type NIBenchRow struct {
+	Lattice      string  `json:"lattice"`
+	Mix          string  `json:"mix"` // "accept" or "reject"
+	Engine       string  `json:"engine"`
+	Workers      int     `json:"workers"`
+	Programs     int     `json:"programs"`
+	Trials       int     `json:"trials"`
+	Witnesses    int     `json:"witnesses"`
+	ElapsedNS    int64   `json:"elapsed_ns"`
+	TrialsPerSec float64 `json:"trials_per_sec"`
+}
+
+// NIBenchDoc is the schema-versioned content of BENCH_ni.json.
+type NIBenchDoc struct {
+	Schema    string         `json:"schema"`
+	GoVersion string         `json:"go_version"`
+	GOOS      string         `json:"goos"`
+	GOARCH    string         `json:"goarch"`
+	NumCPU    int            `json:"num_cpu"`
+	Options   NIBenchOptions `json:"options"`
+	Rows      []NIBenchRow   `json:"rows"`
+	// Speedups maps "lattice/mix" to the single-core compiled-over-
+	// interpreter trials/sec ratio — the machine-portable number CI gates
+	// on.
+	Speedups       map[string]float64 `json:"speedups"`
+	SpeedupGeomean float64            `json:"speedup_geomean"`
+	// ParallelSpeedup is the geomean parallel-over-single-core compiled
+	// ratio, 0 when the parallel sweep did not run.
+	ParallelSpeedup float64 `json:"parallel_speedup,omitempty"`
+}
+
+// niWorkload is one (lattice, mix) cell's programs, pre-parsed and
+// pre-compiled (compilation is once-per-job in production, so it stays
+// outside the timed region).
+type niWorkload struct {
+	spec     string
+	mix      string
+	lat      lattice.Lattice
+	progs    []*ast.Program
+	codes    []*eval.Compiled
+	seeds    []int64
+	adaptive bool
+}
+
+// NIBench builds the workloads and measures every row.
+func NIBench(opts NIBenchOptions) (*NIBenchDoc, error) {
+	opts = opts.withDefaults()
+	doc := &NIBenchDoc{
+		Schema:    NIBenchSchema,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Options:   opts,
+		Speedups:  map[string]float64{},
+	}
+	var ratios, pratios []float64
+	for li, spec := range opts.Lattices {
+		accept, reject, err := buildNIWorkloads(spec, int64(li), opts)
+		if err != nil {
+			return nil, err
+		}
+		for _, w := range []*niWorkload{accept, reject} {
+			ri := runNIWorkload(w, "interp", opts)
+			rc := runNIWorkload(w, "compiled", opts)
+			doc.Rows = append(doc.Rows, ri, rc)
+			if ri.TrialsPerSec > 0 {
+				ratio := rc.TrialsPerSec / ri.TrialsPerSec
+				doc.Speedups[w.spec+"/"+w.mix] = ratio
+				ratios = append(ratios, ratio)
+			}
+			if opts.Parallel && runtime.NumCPU() > 1 {
+				rp := runNIWorkloadParallel(w, opts)
+				doc.Rows = append(doc.Rows, rp)
+				if rc.TrialsPerSec > 0 {
+					pratios = append(pratios, rp.TrialsPerSec/rc.TrialsPerSec)
+				}
+			}
+		}
+	}
+	doc.SpeedupGeomean = geomean(ratios)
+	doc.ParallelSpeedup = geomean(pratios)
+	return doc, nil
+}
+
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// buildNIWorkloads generates programs for one lattice until both mixes are
+// full, probing each candidate with one interpreter trial (separate seed)
+// so runtime-erroring programs never enter the timed workload.
+func buildNIWorkloads(spec string, latIdx int64, opts NIBenchOptions) (accept, reject *niWorkload, err error) {
+	lat, err := lattice.ByName(spec)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bench: lattice %q: %v", spec, err)
+	}
+	cfg := gen.DefaultConfig()
+	cfg.Lattice = spec
+	rng := rand.New(rand.NewSource(opts.Seed + latIdx*100003))
+	accept = &niWorkload{spec: spec, mix: "accept", lat: lat}
+	reject = &niWorkload{spec: spec, mix: "reject", lat: lat, adaptive: true}
+	attempts, maxAttempts := 0, 400*opts.Programs
+	for (len(accept.progs) < opts.Programs || len(reject.progs) < opts.Programs) && attempts < maxAttempts {
+		attempts++
+		src := gen.Random(rng, cfg)
+		prog, perr := parser.Parse(fmt.Sprintf("%s-%d.p4", spec, attempts), src)
+		if perr != nil {
+			continue
+		}
+		if !basecheck.Check(prog).OK {
+			continue
+		}
+		w := accept
+		if !core.Check(prog, lat).OK {
+			w = reject
+		}
+		if len(w.progs) >= opts.Programs {
+			continue
+		}
+		probe := &ni.Experiment{Prog: prog, Lat: lat, Interp: true}
+		if _, _, perr := probe.RunN(1, opts.Seed^0x50be); perr != nil {
+			continue
+		}
+		code, cerr := eval.Compile(prog)
+		if cerr != nil {
+			continue
+		}
+		i := len(w.progs)
+		w.progs = append(w.progs, prog)
+		w.codes = append(w.codes, code)
+		w.seeds = append(w.seeds, opts.Seed+latIdx*7919+int64(i)*104729)
+	}
+	if len(accept.progs) == 0 || len(reject.progs) == 0 {
+		return nil, nil, fmt.Errorf("bench: lattice %q: could not fill workloads (%d accept, %d reject after %d attempts)",
+			spec, len(accept.progs), len(reject.progs), attempts)
+	}
+	return accept, reject, nil
+}
+
+// runNIProgram runs one program's trial budget and returns (trials run,
+// witnesses found). Deterministic in (workload, index): the per-program
+// seed is fixed at build time.
+func runNIProgram(w *niWorkload, i int, engine string, opts NIBenchOptions) (int, int) {
+	e := &ni.Experiment{Prog: w.progs[i], Lat: w.lat}
+	if engine == "interp" {
+		e.Interp = true
+	} else {
+		e.Code = w.codes[i]
+	}
+	var vio []ni.Violation
+	var ran int
+	var err error
+	if w.adaptive {
+		vio, ran, err = e.RunAdaptive(opts.Trials, opts.TrialsMax, w.seeds[i])
+	} else {
+		vio, ran, err = e.RunN(opts.Trials, w.seeds[i])
+	}
+	if err != nil {
+		// Probed at build time; a runtime error here would be an engine
+		// bug, which the differential tests exist to catch. Count what ran.
+		return ran, len(vio)
+	}
+	return ran, len(vio)
+}
+
+func runNIWorkload(w *niWorkload, engine string, opts NIBenchOptions) NIBenchRow {
+	var trials, wit int
+	start := time.Now()
+	for i := range w.progs {
+		t, v := runNIProgram(w, i, engine, opts)
+		trials += t
+		wit += v
+	}
+	return finishNIRow(w, engine, 1, trials, wit, time.Since(start))
+}
+
+func runNIWorkloadParallel(w *niWorkload, opts NIBenchOptions) NIBenchRow {
+	workers := runtime.NumCPU()
+	jobs := make(chan int)
+	var mu sync.Mutex
+	var trials, wit int
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			localT, localW := 0, 0
+			for i := range jobs {
+				t, v := runNIProgram(w, i, "compiled", opts)
+				localT += t
+				localW += v
+			}
+			mu.Lock()
+			trials += localT
+			wit += localW
+			mu.Unlock()
+		}()
+	}
+	for i := range w.progs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return finishNIRow(w, "compiled", workers, trials, wit, time.Since(start))
+}
+
+func finishNIRow(w *niWorkload, engine string, workers, trials, wit int, elapsed time.Duration) NIBenchRow {
+	row := NIBenchRow{
+		Lattice:   w.spec,
+		Mix:       w.mix,
+		Engine:    engine,
+		Workers:   workers,
+		Programs:  len(w.progs),
+		Trials:    trials,
+		Witnesses: wit,
+		ElapsedNS: elapsed.Nanoseconds(),
+	}
+	if elapsed > 0 {
+		row.TrialsPerSec = float64(trials) / elapsed.Seconds()
+	}
+	return row
+}
+
+// ---------------------------------------------------------------------------
+// Gate
+
+// NICompare is the CI gate's verdict on a current run versus the committed
+// baseline.
+type NICompare struct {
+	Failures []string
+	Warnings []string
+}
+
+// OK reports whether the gate passes.
+func (c *NICompare) OK() bool { return len(c.Failures) == 0 }
+
+// CompareNI gates cur against base:
+//
+//   - schema mismatch, or any single-core tally drift (trial counts or
+//     witness counts per lattice/mix/engine), fails — the workload is no
+//     longer the committed one, so the baseline must be regenerated
+//     deliberately rather than silently re-interpreted;
+//   - a compiled-over-interpreter speedup ratio dropping below 70% of the
+//     baseline's fails, below 90% warns (ratios are measured on one
+//     machine and so transfer across machines);
+//   - absolute trials/sec drops only warn — CI runners are not the
+//     machine the baseline was recorded on.
+//
+// Parallel rows are informational: their worker counts are host-dependent.
+func CompareNI(base, cur *NIBenchDoc) *NICompare {
+	c := &NICompare{}
+	if base.Schema != cur.Schema {
+		c.Failures = append(c.Failures, fmt.Sprintf(
+			"schema mismatch: baseline %q vs current %q (regenerate the baseline)", base.Schema, cur.Schema))
+		return c
+	}
+	key := func(r NIBenchRow) string { return r.Lattice + "/" + r.Mix + "/" + r.Engine }
+	curRows := map[string]NIBenchRow{}
+	for _, r := range cur.Rows {
+		if r.Workers == 1 {
+			curRows[key(r)] = r
+		}
+	}
+	for _, b := range base.Rows {
+		if b.Workers != 1 {
+			continue
+		}
+		r, ok := curRows[key(b)]
+		if !ok {
+			c.Failures = append(c.Failures, fmt.Sprintf("row %s missing from current run (workload drift)", key(b)))
+			continue
+		}
+		if r.Trials != b.Trials || r.Witnesses != b.Witnesses || r.Programs != b.Programs {
+			c.Failures = append(c.Failures, fmt.Sprintf(
+				"row %s tallies drifted: baseline %d programs/%d trials/%d witnesses, current %d/%d/%d (regenerate the baseline)",
+				key(b), b.Programs, b.Trials, b.Witnesses, r.Programs, r.Trials, r.Witnesses))
+			continue
+		}
+		if b.TrialsPerSec > 0 && r.TrialsPerSec < 0.5*b.TrialsPerSec {
+			c.Warnings = append(c.Warnings, fmt.Sprintf(
+				"row %s absolute rate dropped: %.0f -> %.0f trials/sec (machine-dependent; informational)",
+				key(b), b.TrialsPerSec, r.TrialsPerSec))
+		}
+	}
+	keys := make([]string, 0, len(base.Speedups))
+	for k := range base.Speedups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		bs := base.Speedups[k]
+		cs, ok := cur.Speedups[k]
+		if !ok {
+			c.Failures = append(c.Failures, fmt.Sprintf("speedup %s missing from current run", k))
+			continue
+		}
+		if bs <= 0 {
+			continue
+		}
+		switch {
+		case cs < 0.70*bs:
+			c.Failures = append(c.Failures, fmt.Sprintf(
+				"speedup %s regressed >30%%: baseline %.2fx, current %.2fx", k, bs, cs))
+		case cs < 0.90*bs:
+			c.Warnings = append(c.Warnings, fmt.Sprintf(
+				"speedup %s regressed >10%%: baseline %.2fx, current %.2fx", k, bs, cs))
+		}
+	}
+	if base.SpeedupGeomean > 0 && cur.SpeedupGeomean < 0.70*base.SpeedupGeomean {
+		c.Failures = append(c.Failures, fmt.Sprintf(
+			"geomean speedup regressed >30%%: baseline %.2fx, current %.2fx",
+			base.SpeedupGeomean, cur.SpeedupGeomean))
+	}
+	return c
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+
+// FormatNI renders the suite for terminals.
+func FormatNI(doc *NIBenchDoc) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "NI throughput: trials/sec per engine (%s, %d-core %s/%s, seed %d).\n",
+		doc.GoVersion, doc.NumCPU, doc.GOOS, doc.GOARCH, doc.Options.Seed)
+	fmt.Fprintf(&b, "%-10s %-8s %-9s %8s %9s %8s %10s %14s\n",
+		"lattice", "mix", "engine", "workers", "programs", "trials", "witnesses", "trials/sec")
+	for _, r := range doc.Rows {
+		fmt.Fprintf(&b, "%-10s %-8s %-9s %8d %9d %8d %10d %14.0f\n",
+			r.Lattice, r.Mix, r.Engine, r.Workers, r.Programs, r.Trials, r.Witnesses, r.TrialsPerSec)
+	}
+	keys := make([]string, 0, len(doc.Speedups))
+	for k := range doc.Speedups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b.WriteString("\nSingle-core compiled speedup over the tree-walking interpreter:\n")
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  %-20s %6.2fx\n", k, doc.Speedups[k])
+	}
+	fmt.Fprintf(&b, "  %-20s %6.2fx\n", "geomean", doc.SpeedupGeomean)
+	if doc.ParallelSpeedup > 0 {
+		fmt.Fprintf(&b, "Parallel compiled speedup over single-core (geomean, %d workers): %.2fx\n",
+			doc.NumCPU, doc.ParallelSpeedup)
+	}
+	return b.String()
+}
+
+// MarkdownNI renders the suite as a GitHub-flavored markdown table for the
+// CI step summary.
+func MarkdownNI(doc *NIBenchDoc) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### NI throughput (%s, %d-core %s/%s)\n\n",
+		doc.GoVersion, doc.NumCPU, doc.GOOS, doc.GOARCH)
+	b.WriteString("| lattice | mix | engine | workers | programs | trials | witnesses | trials/sec |\n")
+	b.WriteString("|---|---|---|---:|---:|---:|---:|---:|\n")
+	for _, r := range doc.Rows {
+		fmt.Fprintf(&b, "| %s | %s | %s | %d | %d | %d | %d | %.0f |\n",
+			r.Lattice, r.Mix, r.Engine, r.Workers, r.Programs, r.Trials, r.Witnesses, r.TrialsPerSec)
+	}
+	fmt.Fprintf(&b, "\n**Compiled speedup (geomean): %.2fx**", doc.SpeedupGeomean)
+	if doc.ParallelSpeedup > 0 {
+		fmt.Fprintf(&b, " · parallel speedup %.2fx", doc.ParallelSpeedup)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// MarkdownCompare renders the gate verdict for the CI step summary.
+func MarkdownCompare(c *NICompare, base, cur *NIBenchDoc) string {
+	var b strings.Builder
+	b.WriteString("### NI benchmark gate\n\n")
+	fmt.Fprintf(&b, "Baseline geomean speedup %.2fx → current %.2fx.\n\n",
+		base.SpeedupGeomean, cur.SpeedupGeomean)
+	if c.OK() && len(c.Warnings) == 0 {
+		b.WriteString("✅ no regression against the committed baseline.\n")
+	}
+	for _, w := range c.Warnings {
+		fmt.Fprintf(&b, "⚠️ %s\n", w)
+	}
+	for _, f := range c.Failures {
+		fmt.Fprintf(&b, "❌ %s\n", f)
+	}
+	return b.String()
+}

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func smallNIOpts() NIBenchOptions {
+	return NIBenchOptions{Seed: 7, Programs: 2, Trials: 16, TrialsMax: 64, Lattices: []string{"two-point"}}
+}
+
+// TestNIBenchDeterministic is the contract the CI gate leans on: two
+// same-options runs must produce identical workloads — same programs, same
+// trial counts, same witness tallies — in every row (timings excluded).
+// It also checks engine parity within one run: the interpreter and
+// compiled rows of a cell count the same trials and witnesses.
+func TestNIBenchDeterministic(t *testing.T) {
+	d1, err := NIBench(smallNIOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := NIBench(smallNIOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d1.Rows) != len(d2.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(d1.Rows), len(d2.Rows))
+	}
+	for i := range d1.Rows {
+		a, b := d1.Rows[i], d2.Rows[i]
+		a.ElapsedNS, b.ElapsedNS = 0, 0
+		a.TrialsPerSec, b.TrialsPerSec = 0, 0
+		if a != b {
+			t.Errorf("row %d diverged between same-seed runs:\n  %+v\n  %+v", i, a, b)
+		}
+	}
+	byCell := map[string][]NIBenchRow{}
+	for _, r := range d1.Rows {
+		if r.Workers == 1 {
+			k := r.Lattice + "/" + r.Mix
+			byCell[k] = append(byCell[k], r)
+		}
+	}
+	for k, rows := range byCell {
+		if len(rows) != 2 {
+			t.Fatalf("cell %s: want interp+compiled rows, got %d", k, len(rows))
+		}
+		if rows[0].Trials != rows[1].Trials || rows[0].Witnesses != rows[1].Witnesses {
+			t.Errorf("cell %s: engines disagree: %+v vs %+v", k, rows[0], rows[1])
+		}
+	}
+}
+
+func gateDoc(speedup, tps float64, trials, witnesses int) *NIBenchDoc {
+	return &NIBenchDoc{
+		Schema:         NIBenchSchema,
+		Rows:           []NIBenchRow{{Lattice: "two-point", Mix: "accept", Engine: "compiled", Workers: 1, Programs: 2, Trials: trials, Witnesses: witnesses, TrialsPerSec: tps}},
+		Speedups:       map[string]float64{"two-point/accept": speedup},
+		SpeedupGeomean: speedup,
+	}
+}
+
+func TestCompareNIGate(t *testing.T) {
+	base := gateDoc(6.0, 1000, 100, 3)
+
+	if c := CompareNI(base, gateDoc(6.0, 1000, 100, 3)); !c.OK() || len(c.Warnings) != 0 {
+		t.Errorf("identical docs should pass cleanly: %+v", c)
+	}
+	// >10% speedup regression warns, >30% fails.
+	if c := CompareNI(base, gateDoc(5.0, 1000, 100, 3)); !c.OK() || len(c.Warnings) == 0 {
+		t.Errorf("17%% regression should warn and pass: %+v", c)
+	}
+	if c := CompareNI(base, gateDoc(3.0, 1000, 100, 3)); c.OK() {
+		t.Errorf("50%% regression should fail: %+v", c)
+	}
+	// Tally drift means the workload is no longer the baseline's.
+	if c := CompareNI(base, gateDoc(6.0, 1000, 120, 3)); c.OK() {
+		t.Errorf("trial-count drift should fail: %+v", c)
+	}
+	if c := CompareNI(base, gateDoc(6.0, 1000, 100, 4)); c.OK() {
+		t.Errorf("witness drift should fail: %+v", c)
+	}
+	// Absolute rate drops are machine-dependent: warn, never fail.
+	if c := CompareNI(base, gateDoc(6.0, 400, 100, 3)); !c.OK() || len(c.Warnings) == 0 {
+		t.Errorf("absolute rate drop should warn and pass: %+v", c)
+	}
+	// Schema drift refuses the comparison.
+	cur := gateDoc(6.0, 1000, 100, 3)
+	cur.Schema = "p4bench/ni/v2"
+	c := CompareNI(base, cur)
+	if c.OK() || !strings.Contains(c.Failures[0], "schema") {
+		t.Errorf("schema mismatch should fail: %+v", c)
+	}
+}

@@ -1,0 +1,232 @@
+package eval_test
+
+// Differential equivalence: the compiled engine must be observationally
+// identical to the tree-walking interpreter — same outputs, same signals,
+// and byte-identical error strings — across generated programs on three
+// lattices and the embedded case studies (including multi-packet stateful
+// runs). Run under -race this also exercises sharing one Compiled program
+// across goroutines, which is how internal/ni uses it.
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/controlplane"
+	"repro/internal/eval"
+	"repro/internal/gen"
+	"repro/internal/parser"
+	"repro/internal/progs"
+)
+
+// runInterpSeq runs a packet sequence on a fresh interpreter, stopping at
+// the first error (state after an error is unspecified).
+func runInterpSeq(prog *ast.Program, cp *controlplane.ControlPlane, seq []map[string]eval.Value) ([]map[string]eval.Value, []eval.Signal, error) {
+	in, err := eval.New(prog, cp)
+	if err != nil {
+		return nil, nil, err
+	}
+	outs := make([]map[string]eval.Value, 0, len(seq))
+	sigs := make([]eval.Signal, 0, len(seq))
+	for _, inputs := range seq {
+		out, sig, err := in.RunControl("", inputs)
+		if err != nil {
+			return outs, sigs, err
+		}
+		outs = append(outs, out)
+		sigs = append(sigs, sig)
+	}
+	return outs, sigs, nil
+}
+
+// runMachineSeq is runInterpSeq on a reset compiled machine.
+func runMachineSeq(m *eval.Machine, seq []map[string]eval.Value) ([]map[string]eval.Value, []eval.Signal, error) {
+	m.Reset()
+	outs := make([]map[string]eval.Value, 0, len(seq))
+	sigs := make([]eval.Signal, 0, len(seq))
+	for _, inputs := range seq {
+		out, sig, err := m.RunControl("", inputs)
+		if err != nil {
+			return outs, sigs, err
+		}
+		outs = append(outs, out)
+		sigs = append(sigs, sig)
+	}
+	return outs, sigs, nil
+}
+
+func errString(err error) string {
+	if err == nil {
+		return "<nil>"
+	}
+	return err.Error()
+}
+
+// diffProgram runs both engines over identical random packet sequences and
+// reports the first divergence.
+func diffProgram(prog *ast.Program, code *eval.Compiled, trials, packets int, seed int64) error {
+	if len(prog.Controls) == 0 {
+		return nil
+	}
+	ctrl := prog.Controls[0]
+	in, err := eval.New(prog, nil)
+	if err != nil {
+		return fmt.Errorf("interp load: %v", err)
+	}
+	mach := eval.NewMachine(code, nil)
+	rng := rand.New(rand.NewSource(seed))
+	for tr := 0; tr < trials; tr++ {
+		seq := make([]map[string]eval.Value, packets)
+		for k := range seq {
+			inputs := map[string]eval.Value{}
+			for _, p := range ctrl.Params {
+				st, err := in.ParamType(ctrl.Name, p.Name)
+				if err != nil {
+					return fmt.Errorf("param %s: %v", p.Name, err)
+				}
+				inputs[p.Name] = eval.Random(st.T, rng)
+			}
+			seq[k] = inputs
+		}
+		outsI, sigsI, errI := runInterpSeq(prog, nil, seq)
+		outsC, sigsC, errC := runMachineSeq(mach, seq)
+		if errString(errI) != errString(errC) {
+			return fmt.Errorf("trial %d: error mismatch:\n  interp:   %s\n  compiled: %s", tr, errString(errI), errString(errC))
+		}
+		if len(outsI) != len(outsC) {
+			return fmt.Errorf("trial %d: packet count mismatch: %d vs %d", tr, len(outsI), len(outsC))
+		}
+		for k := range outsI {
+			if sigsI[k].Kind != sigsC[k].Kind || sigsI[k].String() != sigsC[k].String() {
+				return fmt.Errorf("trial %d packet %d: signal mismatch: %s vs %s", tr, k, sigsI[k], sigsC[k])
+			}
+			for name, vi := range outsI[k] {
+				vc, ok := outsC[k][name]
+				if !ok {
+					return fmt.Errorf("trial %d packet %d: compiled output missing %q", tr, k, name)
+				}
+				if !eval.ValueEqual(vi, vc) {
+					return fmt.Errorf("trial %d packet %d: output %s differs:\n  interp:   %s\n  compiled: %s", tr, k, name, vi, vc)
+				}
+			}
+			if len(outsI[k]) != len(outsC[k]) {
+				return fmt.Errorf("trial %d packet %d: output arity mismatch", tr, k)
+			}
+		}
+	}
+	return nil
+}
+
+func TestCompiledMatchesInterpGenerated(t *testing.T) {
+	specs := []string{"two-point", "chain:4", "nparty:3"}
+	perLattice := 170 // ≥500 programs total across the three lattices
+	if testing.Short() {
+		perLattice = 30
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec, func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(0x5eed + int64(len(spec))))
+			cfg := gen.DefaultConfig()
+			cfg.Lattice = spec
+			type job struct {
+				i   int
+				src string
+			}
+			jobs := make(chan job)
+			var wg sync.WaitGroup
+			workers := runtime.NumCPU()
+			if workers < 2 {
+				workers = 2
+			}
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for j := range jobs {
+						prog, err := parser.Parse(fmt.Sprintf("%s-%d.p4", spec, j.i), j.src)
+						if err != nil {
+							t.Errorf("program %d: parse: %v", j.i, err)
+							continue
+						}
+						code, cerr := eval.Compile(prog)
+						if cerr != nil {
+							// The compiler must cover everything the
+							// interpreter loads; a compile failure is only
+							// acceptable when loading fails identically.
+							if _, lerr := eval.New(prog, nil); lerr == nil {
+								t.Errorf("program %d: compile failed on loadable program: %v\n%s", j.i, cerr, j.src)
+							} else if errString(lerr) != errString(cerr) {
+								t.Errorf("program %d: load/compile error mismatch: %q vs %q", j.i, lerr, cerr)
+							}
+							continue
+						}
+						if err := diffProgram(prog, code, 4, 2, int64(j.i)*7919+1); err != nil {
+							t.Errorf("program %d: %v\n%s", j.i, err, j.src)
+						}
+					}
+				}()
+			}
+			for i := 0; i < perLattice; i++ {
+				jobs <- job{i, gen.Random(rng, cfg)}
+			}
+			close(jobs)
+			wg.Wait()
+		})
+	}
+}
+
+func TestCompiledMatchesInterpCaseStudies(t *testing.T) {
+	cases := append(progs.All(), progs.Stateful())
+	for _, p := range cases {
+		for _, variant := range []progs.Variant{progs.Buggy, progs.Fixed} {
+			p, variant := p, variant
+			t.Run(p.Name+"/"+variant.String(), func(t *testing.T) {
+				t.Parallel()
+				src := p.Source(variant)
+				prog, err := parser.Parse(p.FileName(variant), src)
+				if err != nil {
+					t.Fatalf("parse: %v", err)
+				}
+				code, cerr := eval.Compile(prog)
+				if cerr != nil {
+					t.Fatalf("compile: %v", cerr)
+				}
+				// Multi-packet: register state must evolve identically.
+				if err := diffProgram(prog, code, 6, 3, 0xCA5E); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestCompiledSharedAcrossGoroutines runs several machines over one shared
+// Compiled program concurrently; under -race this proves the compiled form
+// is immutable in practice, not just by intent.
+func TestCompiledSharedAcrossGoroutines(t *testing.T) {
+	p := progs.Stateful()
+	prog, err := parser.Parse("stateful.p4", p.Source(progs.Fixed))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	code, cerr := eval.Compile(prog)
+	if cerr != nil {
+		t.Fatalf("compile: %v", cerr)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if err := diffProgram(prog, code, 4, 3, int64(g)); err != nil {
+				t.Error(err)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

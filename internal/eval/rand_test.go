@@ -1,0 +1,51 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBatchRandMatchesMathRand proves BatchRand produces the bit-identical
+// stream to rand.New(rand.NewSource(seed)) under an adversarial interleaving
+// of every method the NI harness draws through. Recorded corpus findings
+// and replay gates classify by values derived from this stream, so exact
+// equality is required, not just distributional equivalence.
+func TestBatchRandMatchesMathRand(t *testing.T) {
+	for _, seed := range []int64{0, 1, 42, -7, 1 << 40} {
+		ref := rand.New(rand.NewSource(seed))
+		got := NewBatchRand(seed)
+		pick := rand.New(rand.NewSource(seed ^ 0x9E3779B9))
+		for i := 0; i < 20000; i++ {
+			switch pick.Intn(6) {
+			case 0:
+				if a, b := ref.Uint64(), got.Uint64(); a != b {
+					t.Fatalf("seed %d draw %d: Uint64 %d != %d", seed, i, a, b)
+				}
+			case 1:
+				if a, b := ref.Int63(), got.Int63(); a != b {
+					t.Fatalf("seed %d draw %d: Int63 %d != %d", seed, i, a, b)
+				}
+			case 2:
+				n := int64(pick.Intn(1<<24) + 1)
+				if a, b := ref.Int63n(n), got.Int63n(n); a != b {
+					t.Fatalf("seed %d draw %d: Int63n(%d) %d != %d", seed, i, n, a, b)
+				}
+			case 3:
+				n := int32(pick.Intn(1<<20) + 1)
+				if a, b := ref.Int31n(n), got.Int31n(n); a != b {
+					t.Fatalf("seed %d draw %d: Int31n(%d) %d != %d", seed, i, n, a, b)
+				}
+			case 4:
+				n := pick.Intn(257) + 1 // crosses the power-of-two fast path
+				if a, b := ref.Intn(n), got.Intn(n); a != b {
+					t.Fatalf("seed %d draw %d: Intn(%d) %d != %d", seed, i, n, a, b)
+				}
+			default:
+				// The Int63n(1<<20) draw Random uses for Int fields.
+				if a, b := ref.Int63n(1<<20), got.Int63n(1<<20); a != b {
+					t.Fatalf("seed %d draw %d: Int63n(2^20) %d != %d", seed, i, a, b)
+				}
+			}
+		}
+	}
+}

@@ -165,6 +165,38 @@ func Mask(w int, v uint64) uint64 {
 // NewBit returns a masked BitVal.
 func NewBit(w int, v uint64) BitVal { return BitVal{W: w, V: Mask(w, v)} }
 
+// bitBox holds pre-boxed BitVal interface values for narrow widths and
+// small values. A BitVal is a two-word struct, so every conversion to the
+// Value interface heap-allocates; the compiled evaluator produces one per
+// arithmetic result, which dominates allocation on the NI hot path.
+// BitVal compares by value (ValueEqual and ==), so sharing boxes is
+// unobservable.
+var bitBox [17][]Value
+
+func init() {
+	for w := 1; w <= 16; w++ {
+		n := 256
+		if w < 8 {
+			n = 1 << uint(w)
+		}
+		s := make([]Value, n)
+		for v := range s {
+			s[v] = BitVal{W: w, V: uint64(v)}
+		}
+		bitBox[w] = s
+	}
+}
+
+// boxBit is NewBit returning an interface value, served from the
+// pre-boxed cache when possible.
+func boxBit(w int, v uint64) Value {
+	v = Mask(w, v)
+	if w >= 1 && w <= 16 && v < uint64(len(bitBox[w])) {
+		return bitBox[w][v]
+	}
+	return BitVal{W: w, V: v}
+}
+
 // field returns a pointer to the named field's slot, or nil.
 func fieldSlot(fs []NamedValue, name string) *NamedValue {
 	for i := range fs {
@@ -302,41 +334,7 @@ func Zero(t types.Type) Value {
 // Random returns a uniformly random value of type t (headers are valid).
 // Used by the non-interference harness.
 func Random(t types.Type, r *rand.Rand) Value {
-	switch t := t.(type) {
-	case types.Bool:
-		return BoolVal(r.Intn(2) == 1)
-	case types.Int:
-		return IntVal(r.Int63n(1 << 20))
-	case types.Bit:
-		return NewBit(t.W, r.Uint64())
-	case types.Unit:
-		return UnitVal{}
-	case *types.Record:
-		fs := make([]NamedValue, len(t.Fields))
-		for i, f := range t.Fields {
-			fs[i] = NamedValue{f.Name, Random(f.Type.T, r)}
-		}
-		return &RecordVal{fs}
-	case *types.Header:
-		fs := make([]NamedValue, len(t.Fields))
-		for i, f := range t.Fields {
-			fs[i] = NamedValue{f.Name, Random(f.Type.T, r)}
-		}
-		return &HeaderVal{Valid: true, Fields: fs}
-	case *types.Stack:
-		es := make([]Value, t.Size)
-		for i := range es {
-			es[i] = Random(t.Elem.T, r)
-		}
-		return &StackVal{es}
-	case *types.MatchKind:
-		if len(t.Members) > 0 {
-			return MatchKindVal(t.Members[r.Intn(len(t.Members))])
-		}
-		return MatchKindVal("exact")
-	default:
-		return UnitVal{}
-	}
+	return RandomFrom(t, r)
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,136 @@
+package ni_test
+
+// Engine parity: an Experiment run with Interp (tree-walker) and one run
+// with the compiled engine must report byte-identical results — the same
+// violations in the same trials with the same rendered witnesses, the same
+// executed-trial counts, and the same errors. The fuzz corpus classifies
+// and dedups findings by these strings, so parity here is what lets the
+// compiled engine replace the interpreter without invalidating recorded
+// campaigns.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/gen"
+	"repro/internal/lattice"
+	"repro/internal/ni"
+	"repro/internal/parser"
+	"repro/internal/progs"
+)
+
+func runBoth(t *testing.T, mk func(interp bool) *ni.Experiment, trials int, seed int64) {
+	t.Helper()
+	vioI, ranI, errI := mk(true).RunN(trials, seed)
+	vioC, ranC, errC := mk(false).RunN(trials, seed)
+	if ranI != ranC {
+		t.Fatalf("trial counts differ: interp %d, compiled %d", ranI, ranC)
+	}
+	esI, esC := fmt.Sprint(errI), fmt.Sprint(errC)
+	if esI != esC {
+		t.Fatalf("errors differ:\n  interp:   %s\n  compiled: %s", esI, esC)
+	}
+	if len(vioI) != len(vioC) {
+		t.Fatalf("violation counts differ: interp %d, compiled %d", len(vioI), len(vioC))
+	}
+	for i := range vioI {
+		if vioI[i].String() != vioC[i].String() {
+			t.Fatalf("violation %d differs:\n  interp:   %s\n  compiled: %s", i, vioI[i], vioC[i])
+		}
+	}
+}
+
+func TestEnginesAgreeOnGeneratedPrograms(t *testing.T) {
+	for _, spec := range []string{"two-point", "chain:4", "nparty:3"} {
+		spec := spec
+		t.Run(spec, func(t *testing.T) {
+			t.Parallel()
+			lat, err := lattice.ByName(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(77))
+			cfg := gen.DefaultConfig()
+			cfg.Lattice = spec
+			for i := 0; i < 40; i++ {
+				src := gen.Random(rng, cfg)
+				prog, err := parser.Parse(fmt.Sprintf("p%d.p4", i), src)
+				if err != nil {
+					t.Fatalf("program %d: parse: %v", i, err)
+				}
+				for _, obs := range lat.Elements() {
+					if obs == lat.Top() {
+						continue
+					}
+					obs := obs
+					mk := func(interp bool) *ni.Experiment {
+						return &ni.Experiment{Prog: prog, Lat: lat, Observer: obs, Interp: interp}
+					}
+					runBoth(t, mk, 8, int64(i)*31+7)
+				}
+			}
+		})
+	}
+}
+
+func TestEnginesAgreeOnStatefulMultiPacket(t *testing.T) {
+	p := progs.Stateful()
+	for _, variant := range []progs.Variant{progs.Buggy, progs.Fixed} {
+		variant := variant
+		t.Run(variant.String(), func(t *testing.T) {
+			prog, err := parser.Parse(p.FileName(variant), p.Source(variant))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			mk := func(interp bool) *ni.Experiment {
+				return &ni.Experiment{Prog: prog, Lat: p.Lattice(), Packets: 3, Interp: interp}
+			}
+			runBoth(t, mk, 40, 5)
+		})
+	}
+}
+
+// TestEnginesAgreeWithFixInputs pins the compiled map path (FixInputs
+// forces map-shaped trials) against the interpreter.
+func TestEnginesAgreeWithFixInputs(t *testing.T) {
+	p := progs.Cache()
+	prog, err := parser.Parse(p.FileName(progs.Buggy), p.Source(progs.Buggy))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	name := prog.Controls[0].Params[0].Name
+	fix := func(in map[string]eval.Value) {
+		// A deterministic no-op edit: the hook's presence is what forces
+		// the map-shaped trial path on both engines.
+		in[name] = eval.Copy(in[name])
+	}
+	mk := func(interp bool) *ni.Experiment {
+		return &ni.Experiment{Prog: prog, Lat: p.Lattice(), FixInputs: fix, Interp: interp}
+	}
+	runBoth(t, mk, 30, 11)
+}
+
+// TestSameSeedSameResults is the determinism contract the benchmark gate
+// leans on: two runs of the same experiment with the same seed yield
+// identical trial counts and witness tallies.
+func TestSameSeedSameResults(t *testing.T) {
+	p := progs.Topology()
+	prog, err := parser.Parse(p.FileName(progs.Buggy), p.Source(progs.Buggy))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	e1 := &ni.Experiment{Prog: prog, Lat: p.Lattice()}
+	e2 := &ni.Experiment{Prog: prog, Lat: p.Lattice()}
+	v1, r1, err1 := e1.RunAdaptive(8, 256, 99)
+	v2, r2, err2 := e2.RunAdaptive(8, 256, 99)
+	if r1 != r2 || len(v1) != len(v2) || fmt.Sprint(err1) != fmt.Sprint(err2) {
+		t.Fatalf("same-seed runs diverged: (%d,%d,%v) vs (%d,%d,%v)", r1, len(v1), err1, r2, len(v2), err2)
+	}
+	for i := range v1 {
+		if v1[i].String() != v2[i].String() {
+			t.Fatalf("witness %d differs: %s vs %s", i, v1[i], v2[i])
+		}
+	}
+}

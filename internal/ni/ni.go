@@ -20,7 +20,6 @@ package ni
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/ast"
 	"repro/internal/controlplane"
@@ -58,6 +57,59 @@ type Experiment struct {
 	// agree on every observable input of every packet; outputs are
 	// compared packet by packet.
 	Packets int
+	// Code is the compiled form of Prog. When nil (and Interp is unset)
+	// the experiment compiles Prog lazily on first RunN and keeps the
+	// result, so all trials, observer levels, and packets of this
+	// Experiment share one compilation. Callers running many experiments
+	// over the same program (the pipeline's observer sweep) should
+	// eval.Compile once and set Code on each.
+	Code *eval.Compiled
+	// Interp forces the tree-walking interpreter, disabling compilation.
+	// The two engines are observationally identical (same outputs,
+	// signals, error strings, and rng stream); this exists for
+	// differential testing and benchmarking.
+	Interp bool
+
+	triedCompile bool
+	machA, machB *eval.Machine
+	machCode     *eval.Compiled
+}
+
+// engine returns the compiled program to run trials on, compiling lazily
+// on first use. Nil means the tree-walking interpreter: Interp is set, or
+// compilation failed (in which case the interpreter reproduces the
+// program's load-time error, keeping diagnostics identical).
+func (e *Experiment) engine() *eval.Compiled {
+	if e.Interp {
+		return nil
+	}
+	if e.Code == nil && !e.triedCompile {
+		e.triedCompile = true
+		if code, err := eval.Compile(e.Prog); err == nil {
+			e.Code = code
+		}
+	}
+	return e.Code
+}
+
+// machines returns the experiment's two reusable machines (run A and
+// run B), rebound to a fresh clone of the experiment's control plane.
+// Both runs of a trial must see the same entries (Definition C.8), so one
+// clone is shared: machine runs only read the control plane.
+func (e *Experiment) machines(code *eval.Compiled) (*eval.Machine, *eval.Machine) {
+	if e.machCode != code {
+		e.machA = eval.NewMachine(code, nil)
+		e.machB = eval.NewMachine(code, nil)
+		e.machCode = code
+	}
+	cp := e.CP
+	if cp == nil {
+		cp = controlplane.New()
+	}
+	cl := cp.Clone()
+	e.machA.SetControlPlane(cl)
+	e.machB.SetControlPlane(cl)
+	return e.machA, e.machB
 }
 
 // Violation is a witness of interference found by a trial.
@@ -85,7 +137,10 @@ func (e *Experiment) Run(trials int, seed int64) ([]Violation, error) {
 // fewer than requested when a runtime error aborts the loop, which keeps
 // trial-budget accounting exact.
 func (e *Experiment) RunN(trials int, seed int64) ([]Violation, int, error) {
-	rng := rand.New(rand.NewSource(seed))
+	// BatchRand produces the bit-identical stream to
+	// rand.New(rand.NewSource(seed)), so the three engine paths below (and
+	// any recorded corpus seed) draw exactly the same trials.
+	rng := eval.NewBatchRand(seed)
 	obs := e.Observer
 	if obs.IsZero() {
 		obs = e.Lat.Bottom()
@@ -102,6 +157,12 @@ func (e *Experiment) RunN(trials int, seed int64) ([]Violation, int, error) {
 	if packets < 1 {
 		packets = 1
 	}
+	if code := e.engine(); code != nil {
+		if e.FixInputs == nil && uniqueParamNames(ctrl) {
+			return e.runCompiledFast(code, ctrl, paramTypes, obs, packets, trials, rng)
+		}
+		return e.runCompiledMap(code, ctrl, paramTypes, obs, packets, trials, rng)
+	}
 	var out []Violation
 	for t := 0; t < trials; t++ {
 		// Draw the packet sequences: every packet's inputs for run A,
@@ -112,7 +173,7 @@ func (e *Experiment) RunN(trials int, seed int64) ([]Violation, int, error) {
 			inA := map[string]eval.Value{}
 			inB := map[string]eval.Value{}
 			for _, p := range ctrl.Params {
-				inA[p.Name] = eval.Random(paramTypes[p.Name].T, rng)
+				inA[p.Name] = eval.RandomFrom(paramTypes[p.Name].T, rng)
 			}
 			if e.FixInputs != nil {
 				e.FixInputs(inA)
@@ -220,6 +281,193 @@ func runSequence(prog *ast.Program, control string, cp *controlplane.ControlPlan
 	return outs, sigs, nil
 }
 
+// uniqueParamNames reports whether every control parameter name is
+// distinct. The slice-indexed fast path identifies parameters by position;
+// duplicate names have map semantics (the last declaration wins for both
+// inputs and outputs), which only the map paths reproduce.
+func uniqueParamNames(ctrl *ast.ControlDecl) bool {
+	for i := range ctrl.Params {
+		for j := i + 1; j < len(ctrl.Params); j++ {
+			if ctrl.Params[i].Name == ctrl.Params[j].Name {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// runCompiledFast is the NI hot path: compiled execution with
+// slice-indexed parameters — no per-trial interpreter construction, no
+// map-keyed input/output marshalling, and no defensive value copies
+// (values are immutable trees and machines never mutate them). The rng
+// draw order, violation reporting, and error wrapping are identical to the
+// tree-walking path.
+func (e *Experiment) runCompiledFast(code *eval.Compiled, ctrl *ast.ControlDecl, paramTypes map[string]types.SecType, obs lattice.Label, packets, trials int, rng eval.Rng) ([]Violation, int, error) {
+	idx := code.ControlIndex(e.Control)
+	machA, machB := e.machines(code)
+	n := len(ctrl.Params)
+	pts := make([]types.SecType, n)
+	samplers := make([]sampler, n)
+	for i, p := range ctrl.Params {
+		pts[i] = paramTypes[p.Name]
+		samplers[i] = compileSampler(pts[i], obs, e.Lat)
+	}
+	// Trial input sequences, reused across trials (values are overwritten
+	// wholesale each trial).
+	seqA := make([][]eval.Value, packets)
+	seqB := make([][]eval.Value, packets)
+	for k := range seqA {
+		seqA[k] = make([]eval.Value, n)
+		seqB[k] = make([]eval.Value, n)
+	}
+	outsA := make([][]eval.Value, packets)
+	outsB := make([][]eval.Value, packets)
+	sigsA := make([]eval.Signal, packets)
+	sigsB := make([]eval.Signal, packets)
+	var out []Violation
+	for t := 0; t < trials; t++ {
+		for k := 0; k < packets; k++ {
+			inA, inB := seqA[k], seqB[k]
+			for i := range samplers {
+				inA[i] = samplers[i].draw(rng)
+			}
+			for i := range samplers {
+				inB[i] = samplers[i].vary(inA[i], rng)
+			}
+		}
+		if err := runMachineSeq(machA, idx, seqA, outsA, sigsA); err != nil {
+			return out, t + 1, fmt.Errorf("ni: trial %d run A: %v", t, err)
+		}
+		if err := runMachineSeq(machB, idx, seqB, outsB, sigsB); err != nil {
+			return out, t + 1, fmt.Errorf("ni: trial %d run B: %v", t, err)
+		}
+		violated := false
+		for k := 0; k < packets && !violated; k++ {
+			if sigsA[k].Kind != sigsB[k].Kind {
+				out = append(out, Violation{Trial: t,
+					Where: fmt.Sprintf("packet %d signal", k),
+					A:     sigsA[k].String(), B: sigsB[k].String()})
+				violated = true
+				break
+			}
+			for i, p := range ctrl.Params {
+				if v, ok := samplers[i].diff(outsA[k][i], outsB[k][i]); !ok {
+					if packets > 1 {
+						v.Where = fmt.Sprintf("packet %d: %s%s", k, p.Name, v.Where)
+					} else {
+						v.Where = p.Name + v.Where
+					}
+					v.Trial = t
+					out = append(out, v)
+					violated = true
+					break
+				}
+			}
+		}
+	}
+	return out, trials, nil
+}
+
+// runMachineSeq pushes one packet sequence through a reset machine,
+// filling outs and sigs. For single-packet sequences the outputs alias the
+// machine's control frame (valid until its next run — one trial); longer
+// sequences copy the output window per packet, since the frame is
+// overwritten by the next packet.
+func runMachineSeq(m *eval.Machine, idx int, seq, outs [][]eval.Value, sigs []eval.Signal) error {
+	m.Reset()
+	for k, inputs := range seq {
+		o, sig, err := m.RunIndexed(idx, inputs)
+		if err != nil {
+			return fmt.Errorf("packet %d: %v", k, err)
+		}
+		if len(seq) > 1 {
+			cp := make([]eval.Value, len(o))
+			copy(cp, o)
+			o = cp
+		}
+		outs[k] = o
+		sigs[k] = sig
+	}
+	return nil
+}
+
+// runCompiledMap is the compiled engine behind the map-keyed trial shape —
+// used when FixInputs needs a map to edit or when duplicate parameter
+// names demand map semantics. Per-trial work matches the interpreter path
+// minus the interpreter itself.
+func (e *Experiment) runCompiledMap(code *eval.Compiled, ctrl *ast.ControlDecl, paramTypes map[string]types.SecType, obs lattice.Label, packets, trials int, rng eval.Rng) ([]Violation, int, error) {
+	machA, machB := e.machines(code)
+	var out []Violation
+	for t := 0; t < trials; t++ {
+		seqA := make([]map[string]eval.Value, packets)
+		seqB := make([]map[string]eval.Value, packets)
+		for k := 0; k < packets; k++ {
+			inA := map[string]eval.Value{}
+			inB := map[string]eval.Value{}
+			for _, p := range ctrl.Params {
+				inA[p.Name] = eval.RandomFrom(paramTypes[p.Name].T, rng)
+			}
+			if e.FixInputs != nil {
+				e.FixInputs(inA)
+			}
+			for _, p := range ctrl.Params {
+				pt := paramTypes[p.Name]
+				inB[p.Name] = randomizeAbove(eval.Copy(inA[p.Name]), pt, obs, e.Lat, rng)
+			}
+			seqA[k] = inA
+			seqB[k] = inB
+		}
+		outA, sigA, err := runMachineMapSeq(machA, ctrl.Name, seqA)
+		if err != nil {
+			return out, t + 1, fmt.Errorf("ni: trial %d run A: %v", t, err)
+		}
+		outB, sigB, err := runMachineMapSeq(machB, ctrl.Name, seqB)
+		if err != nil {
+			return out, t + 1, fmt.Errorf("ni: trial %d run B: %v", t, err)
+		}
+		violated := false
+		for k := 0; k < packets && !violated; k++ {
+			if sigA[k].Kind != sigB[k].Kind {
+				out = append(out, Violation{Trial: t,
+					Where: fmt.Sprintf("packet %d signal", k),
+					A:     sigA[k].String(), B: sigB[k].String()})
+				violated = true
+				break
+			}
+			for _, p := range ctrl.Params {
+				pt := paramTypes[p.Name]
+				where := p.Name
+				if packets > 1 {
+					where = fmt.Sprintf("packet %d: %s", k, p.Name)
+				}
+				if v, ok := diffObservable(where, outA[k][p.Name], outB[k][p.Name], pt, obs, e.Lat); !ok {
+					v.Trial = t
+					out = append(out, v)
+					violated = true
+					break
+				}
+			}
+		}
+	}
+	return out, trials, nil
+}
+
+// runMachineMapSeq is runSequence on a reset machine.
+func runMachineMapSeq(m *eval.Machine, control string, seq []map[string]eval.Value) ([]map[string]eval.Value, []eval.Signal, error) {
+	m.Reset()
+	outs := make([]map[string]eval.Value, len(seq))
+	sigs := make([]eval.Signal, len(seq))
+	for k, inputs := range seq {
+		out, sig, err := m.RunControl(control, inputs)
+		if err != nil {
+			return nil, nil, fmt.Errorf("packet %d: %v", k, err)
+		}
+		outs[k] = out
+		sigs[k] = sig
+	}
+	return outs, sigs, nil
+}
+
 func (e *Experiment) findControl() *ast.ControlDecl {
 	for _, c := range e.Prog.Controls {
 		if c.Name == e.Control || e.Control == "" {
@@ -245,15 +493,180 @@ func (e *Experiment) paramTypes(ctrl *ast.ControlDecl) (map[string]types.SecType
 	return out, nil
 }
 
+// sampler is a per-parameter trial plan with the type walk, field lookups,
+// and lattice queries of RandomFrom / randomizeAbove / diffObservable
+// resolved at experiment setup: draw builds a fresh random input (same rng
+// consumption as eval.RandomFrom), vary is randomizeAbove (same draws),
+// and diff is diffObservable with lazily built witness paths. Only the
+// indexed fast path uses samplers — its values are always sampler-built,
+// so positional field access is safe; the map path keeps the generic
+// walks since FixInputs may reshape values arbitrarily.
+type sampler struct {
+	draw func(rng eval.Rng) eval.Value
+	vary func(v eval.Value, rng eval.Rng) eval.Value
+	diff func(a, b eval.Value) (Violation, bool)
+}
+
+func compileSampler(t types.SecType, obs lattice.Label, lat lattice.Lattice) sampler {
+	if types.IsScalar(t.T) {
+		tt := t.T
+		s := sampler{draw: func(rng eval.Rng) eval.Value { return eval.RandomFrom(tt, rng) }}
+		if lat.Leq(t.L, obs) {
+			s.vary = func(v eval.Value, _ eval.Rng) eval.Value { return v }
+			s.diff = func(a, b eval.Value) (Violation, bool) {
+				if !eval.ValueEqual(a, b) {
+					return Violation{A: a.String(), B: b.String()}, false
+				}
+				return Violation{}, true
+			}
+		} else {
+			s.vary = func(_ eval.Value, rng eval.Rng) eval.Value { return eval.RandomFrom(tt, rng) }
+			s.diff = func(a, b eval.Value) (Violation, bool) { return Violation{}, true }
+		}
+		return s
+	}
+	switch tt := t.T.(type) {
+	case *types.Record:
+		names, subs := fieldSamplers(tt.Fields, obs, lat)
+		return sampler{
+			draw: func(rng eval.Rng) eval.Value {
+				fs := make([]eval.NamedValue, len(subs))
+				for i := range subs {
+					fs[i] = eval.NamedValue{Name: names[i], Val: subs[i].draw(rng)}
+				}
+				return &eval.RecordVal{Fields: fs}
+			},
+			vary: func(v eval.Value, rng eval.Rng) eval.Value {
+				rv, ok := v.(*eval.RecordVal)
+				if !ok || len(rv.Fields) != len(subs) {
+					return randomizeAbove(v, t, obs, lat, rng)
+				}
+				fs := make([]eval.NamedValue, len(subs))
+				for i := range subs {
+					fs[i] = eval.NamedValue{Name: names[i], Val: subs[i].vary(rv.Fields[i].Val, rng)}
+				}
+				return &eval.RecordVal{Fields: fs}
+			},
+			diff: func(a, b eval.Value) (Violation, bool) {
+				ra, ok1 := a.(*eval.RecordVal)
+				rb, ok2 := b.(*eval.RecordVal)
+				if !ok1 || !ok2 || len(ra.Fields) != len(subs) || len(rb.Fields) != len(subs) {
+					return diffObs(a, b, t, obs, lat)
+				}
+				for i := range subs {
+					if v, ok := subs[i].diff(ra.Fields[i].Val, rb.Fields[i].Val); !ok {
+						v.Where = "." + names[i] + v.Where
+						return v, false
+					}
+				}
+				return Violation{}, true
+			},
+		}
+	case *types.Header:
+		names, subs := fieldSamplers(tt.Fields, obs, lat)
+		return sampler{
+			draw: func(rng eval.Rng) eval.Value {
+				fs := make([]eval.NamedValue, len(subs))
+				for i := range subs {
+					fs[i] = eval.NamedValue{Name: names[i], Val: subs[i].draw(rng)}
+				}
+				return &eval.HeaderVal{Valid: true, Fields: fs}
+			},
+			vary: func(v eval.Value, rng eval.Rng) eval.Value {
+				hv, ok := v.(*eval.HeaderVal)
+				if !ok || len(hv.Fields) != len(subs) {
+					return randomizeAbove(v, t, obs, lat, rng)
+				}
+				fs := make([]eval.NamedValue, len(subs))
+				for i := range subs {
+					fs[i] = eval.NamedValue{Name: names[i], Val: subs[i].vary(hv.Fields[i].Val, rng)}
+				}
+				return &eval.HeaderVal{Valid: hv.Valid, Fields: fs}
+			},
+			diff: func(a, b eval.Value) (Violation, bool) {
+				ha, ok1 := a.(*eval.HeaderVal)
+				hb, ok2 := b.(*eval.HeaderVal)
+				if !ok1 || !ok2 || len(ha.Fields) != len(subs) || len(hb.Fields) != len(subs) {
+					return diffObs(a, b, t, obs, lat)
+				}
+				for i := range subs {
+					if v, ok := subs[i].diff(ha.Fields[i].Val, hb.Fields[i].Val); !ok {
+						v.Where = "." + names[i] + v.Where
+						return v, false
+					}
+				}
+				return Violation{}, true
+			},
+		}
+	case *types.Stack:
+		el := compileSampler(tt.Elem, obs, lat)
+		size := tt.Size
+		return sampler{
+			draw: func(rng eval.Rng) eval.Value {
+				es := make([]eval.Value, size)
+				for i := range es {
+					es[i] = el.draw(rng)
+				}
+				return &eval.StackVal{Elems: es}
+			},
+			vary: func(v eval.Value, rng eval.Rng) eval.Value {
+				sv, ok := v.(*eval.StackVal)
+				if !ok {
+					return randomizeAbove(v, t, obs, lat, rng)
+				}
+				es := make([]eval.Value, len(sv.Elems))
+				for i := range es {
+					es[i] = el.vary(sv.Elems[i], rng)
+				}
+				return &eval.StackVal{Elems: es}
+			},
+			diff: func(a, b eval.Value) (Violation, bool) {
+				sa, ok1 := a.(*eval.StackVal)
+				sb, ok2 := b.(*eval.StackVal)
+				if !ok1 || !ok2 || len(sa.Elems) != len(sb.Elems) {
+					return Violation{}, true
+				}
+				for i := range sa.Elems {
+					if v, ok := el.diff(sa.Elems[i], sb.Elems[i]); !ok {
+						v.Where = fmt.Sprintf("[%d]%s", i, v.Where)
+						return v, false
+					}
+				}
+				return Violation{}, true
+			},
+		}
+	default:
+		return sampler{
+			draw: func(rng eval.Rng) eval.Value { return eval.RandomFrom(t.T, rng) },
+			vary: func(v eval.Value, _ eval.Rng) eval.Value { return v },
+			diff: func(a, b eval.Value) (Violation, bool) { return Violation{}, true },
+		}
+	}
+}
+
+// fieldSamplers compiles one sampler per declared field, resolving
+// FieldOf once. Fields randomizeAbove would skip (absent from the type)
+// cannot occur here: fast-path values are built by draw from the type
+// itself.
+func fieldSamplers(fields []types.Field, obs lattice.Label, lat lattice.Lattice) ([]string, []sampler) {
+	names := make([]string, len(fields))
+	subs := make([]sampler, len(fields))
+	for i, f := range fields {
+		names[i] = f.Name
+		subs[i] = compileSampler(f.Type, obs, lat)
+	}
+	return names, subs
+}
+
 // randomizeAbove returns v with every scalar leaf whose label does NOT
 // flow to obs replaced by a fresh random value; observable leaves are
 // preserved, so the result is below-obs-equivalent to v.
-func randomizeAbove(v eval.Value, t types.SecType, obs lattice.Label, lat lattice.Lattice, rng *rand.Rand) eval.Value {
+func randomizeAbove(v eval.Value, t types.SecType, obs lattice.Label, lat lattice.Lattice, rng eval.Rng) eval.Value {
 	if types.IsScalar(t.T) {
 		if lat.Leq(t.L, obs) {
 			return v
 		}
-		return eval.Random(t.T, rng)
+		return eval.RandomFrom(t.T, rng)
 	}
 	switch tt := t.T.(type) {
 	case *types.Record:
@@ -298,14 +711,29 @@ func randomizeAbove(v eval.Value, t types.SecType, obs lattice.Label, lat lattic
 }
 
 // diffObservable compares the observable (χ ⊑ obs) scalar leaves of a and
-// b; on a mismatch it returns the witness and false.
+// b; on a mismatch it returns the witness and false. Witness paths are
+// built only along the failing spine — the match case (virtually every
+// trial of every campaign) allocates nothing.
 func diffObservable(path string, a, b eval.Value, t types.SecType, obs lattice.Label, lat lattice.Lattice) (Violation, bool) {
+	v, ok := diffObs(a, b, t, obs, lat)
+	if ok {
+		return Violation{}, true
+	}
+	v.Where = path + v.Where
+	return v, false
+}
+
+// diffObs is diffObservable with the witness path kept relative: the
+// returned Violation's Where is the suffix below the comparison root
+// (empty at a scalar leaf), prefixed one step at a time as the failure
+// unwinds.
+func diffObs(a, b eval.Value, t types.SecType, obs lattice.Label, lat lattice.Lattice) (Violation, bool) {
 	if types.IsScalar(t.T) {
 		if !lat.Leq(t.L, obs) {
 			return Violation{}, true
 		}
 		if !eval.ValueEqual(a, b) {
-			return Violation{Where: path, A: a.String(), B: b.String()}, false
+			return Violation{A: a.String(), B: b.String()}, false
 		}
 		return Violation{}, true
 	}
@@ -321,7 +749,8 @@ func diffObservable(path string, a, b eval.Value, t types.SecType, obs lattice.L
 			if !ok || i >= len(rb.Fields) {
 				continue
 			}
-			if v, ok := diffObservable(path+"."+ra.Fields[i].Name, ra.Fields[i].Val, rb.Fields[i].Val, f.Type, obs, lat); !ok {
+			if v, ok := diffObs(ra.Fields[i].Val, rb.Fields[i].Val, f.Type, obs, lat); !ok {
+				v.Where = "." + ra.Fields[i].Name + v.Where
 				return v, false
 			}
 		}
@@ -337,7 +766,8 @@ func diffObservable(path string, a, b eval.Value, t types.SecType, obs lattice.L
 			if !ok || i >= len(hb.Fields) {
 				continue
 			}
-			if v, ok := diffObservable(path+"."+ha.Fields[i].Name, ha.Fields[i].Val, hb.Fields[i].Val, f.Type, obs, lat); !ok {
+			if v, ok := diffObs(ha.Fields[i].Val, hb.Fields[i].Val, f.Type, obs, lat); !ok {
+				v.Where = "." + ha.Fields[i].Name + v.Where
 				return v, false
 			}
 		}
@@ -349,7 +779,8 @@ func diffObservable(path string, a, b eval.Value, t types.SecType, obs lattice.L
 			return Violation{}, true
 		}
 		for i := range sa.Elems {
-			if v, ok := diffObservable(fmt.Sprintf("%s[%d]", path, i), sa.Elems[i], sb.Elems[i], tt.Elem, obs, lat); !ok {
+			if v, ok := diffObs(sa.Elems[i], sb.Elems[i], tt.Elem, obs, lat); !ok {
+				v.Where = fmt.Sprintf("[%d]%s", i, v.Where)
 				return v, false
 			}
 		}

@@ -29,6 +29,7 @@ import (
 	"repro/internal/basecheck"
 	"repro/internal/core"
 	"repro/internal/diag"
+	"repro/internal/eval"
 	"repro/internal/lattice"
 	"repro/internal/ni"
 	"repro/internal/parser"
@@ -411,8 +412,14 @@ func runJob(job Job, opts Options, trials int) JobResult {
 	if opts.NITrialsMax > trials {
 		maxT = (opts.NITrialsMax + split - 1) / split
 	}
+	// Compile once per job: every observer level (and every trial within
+	// it) runs the same closure tree. A compile failure pins the whole
+	// sweep to the tree-walking interpreter rather than retrying the
+	// compilation per observer.
+	code, compileErr := eval.Compile(prog)
 	for _, obs := range observers {
-		exp := &ni.Experiment{Prog: prog, Lat: lat, Observer: obs}
+		exp := &ni.Experiment{Prog: prog, Lat: lat, Observer: obs,
+			Code: code, Interp: compileErr != nil}
 		var vio []ni.Violation
 		var ran int
 		var err error

@@ -46,7 +46,11 @@
 // The Session owns the corpus handle: the directory is opened once (its
 // metadata index makes that open cheap — sources are read and parsed only
 // when an operation needs them), and every operation reads and writes
-// through the same cached handle. Session.Corpus exposes it for direct
+// through the same cached handle. NI checking inside a campaign compiles
+// each program once per job — the trials themselves run on the compiled
+// engine (falling back to the tree-walking interpreter only if
+// compilation fails), so the per-trial cost is the compiled rate
+// recorded in BENCH_ni.json, not the interpreter's. Session.Corpus exposes it for direct
 // queries:
 //
 //	c, err := s.Corpus()
