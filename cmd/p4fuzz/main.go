@@ -8,12 +8,15 @@
 //	              [-workers 0] [-depth 3] [-stmts 5] [-fields 3]
 //	              [-timeout 0] [-lattice SPEC] [-corpus-dir DIR]
 //	              [-minimize] [-shard i/n] [-resume] [-mutate] [-triage]
-//	              [-events]
-//	p4fuzz replay [-trials 4] [-trials-max 32] [-events] [DIR]
-//	p4fuzz triage [-json] [-novelty N] [-o FILE] [-events] [DIR]
+//	              [-events] [-events-json]
+//	p4fuzz replay [-trials 4] [-trials-max 32] [-events] [-events-json]
+//	              [DIR]
+//	p4fuzz triage [-json] [-novelty N] [-o FILE] [-events] [-events-json]
+//	              [DIR]
 //	p4fuzz retire [-promote-dir DIR] [-trials 4] [-trials-max 32]
-//	              [-events] [DIR]
-//	p4fuzz compact [-trials 4] [-trials-max 32] [-events] DIR
+//	              [-events] [-events-json] [DIR]
+//	p4fuzz compact [-trials 4] [-trials-max 32] [-events] [-events-json]
+//	              DIR
 //	p4fuzz index  [-o FILE] [DIR]
 //
 // The pre-subcommand flag spellings (p4fuzz -corpus-dir ... -mutate,
@@ -44,12 +47,17 @@
 // recency, novelty, and triage-cluster saturation). -triage appends the
 // corpus's ranked cluster summary after the campaign.
 //
-// -events streams structured progress to stderr while any campaign-mode
-// or corpus subcommand runs: coarse progress ticks and drift/cluster/
-// retired lines as they happen, plus one finding line per new finding as
-// the post-analysis phase minimizes and persists it — the live view CI
-// logs tail, where the final report is the summary. (The one-shot
-// harness has no event stream; -events without a campaign flag says so.)
+// -events streams structured progress to stderr while any subcommand
+// runs: op-start/op-end framing around every operation, coarse progress
+// ticks and drift/cluster/retired lines as they happen, one finding line
+// per new finding as the post-analysis phase minimizes and persists it,
+// and a warning line with the drop count when a slow listener forced the
+// stream to shed events — the live view CI logs tail, where the final
+// report is the summary. -events-json emits the same stream as one JSON
+// object per line on stdout (repro.Event marshalled verbatim, the form
+// fleet coordinators and jq pipelines consume); the report then prints
+// to stderr so stdout stays machine-parseable. In one-shot mode the
+// stream is batched at classification time rather than live.
 //
 // # replay, retire
 //
@@ -135,31 +143,63 @@ func main() {
 	os.Exit(runMain(args))
 }
 
-// watchEvents starts the live event renderer when enabled: structured
-// progress to stderr while the operation runs. The returned stop function
-// closes the session's stream and waits for the renderer to drain.
-func watchEvents(s *repro.Session, enabled bool) (stop func()) {
-	if !enabled {
+// eventMode is how a subcommand streams its session's events: not at
+// all, rendered as text lines on stderr (-events), or as one JSON object
+// per line on stdout (-events-json; the report moves to stderr so stdout
+// stays machine-parseable).
+type eventMode int
+
+const (
+	eventsOff eventMode = iota
+	eventsText
+	eventsJSON
+)
+
+func pickEventMode(text, asJSON bool) eventMode {
+	if asJSON {
+		return eventsJSON
+	}
+	if text {
+		return eventsText
+	}
+	return eventsOff
+}
+
+// reportWriter is where a subcommand's final report goes: stdout
+// normally, stderr when stdout is the -events-json stream.
+func (m eventMode) reportWriter() *os.File {
+	if m == eventsJSON {
+		return os.Stderr
+	}
+	return os.Stdout
+}
+
+// watchEvents starts the live event renderer when a mode is selected.
+// The returned stop function closes the session's stream and waits for
+// the renderer to drain, so every event of the finished operation —
+// including the op-end framing — is rendered before the report prints.
+func watchEvents(s *repro.Session, mode eventMode) (stop func()) {
+	if mode == eventsOff {
 		return func() { s.Close() }
 	}
 	ch := s.Events()
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
+		if mode == eventsJSON {
+			enc := json.NewEncoder(os.Stdout)
+			for ev := range ch {
+				// repro.Event marshalled verbatim, one object per line —
+				// the contract CI's jq gate and fleet coordinators parse.
+				enc.Encode(ev)
+			}
+			return
+		}
 		for ev := range ch {
-			switch ev.Kind {
-			case repro.EventProgress:
-				fmt.Fprintf(os.Stderr, "[%s] %d/%d done\n", ev.Op, ev.Done, ev.Total)
-			case repro.EventFinding:
-				fmt.Fprintf(os.Stderr, "[%s] finding %s (index %d): %s\n", ev.Op, ev.Class, ev.Index, ev.Detail)
-			case repro.EventDrift:
-				fmt.Fprintf(os.Stderr, "[%s] drift %s: recorded %s, %s\n", ev.Op, ev.Path, ev.Class, ev.Detail)
-			case repro.EventCluster:
-				fmt.Fprintf(os.Stderr, "[%s] cluster %s/%s/%s: %d findings\n", ev.Op, ev.Class, ev.Rule, ev.Detail, ev.Done)
-			case repro.EventRetired:
-				fmt.Fprintf(os.Stderr, "[%s] retired %s: %s\n", ev.Op, ev.Path, ev.Detail)
-			case repro.EventWarning:
-				fmt.Fprintf(os.Stderr, "[%s] warning %s: %s\n", ev.Op, ev.Path, ev.Detail)
+			// Event.Text is the shared one-line rendering; job-done events
+			// have none (too chatty at campaign rates) and are skipped.
+			if line := ev.Text(); line != "" {
+				fmt.Fprintln(os.Stderr, line)
 			}
 		}
 	}()
@@ -203,6 +243,7 @@ func runMain(args []string) int {
 	mutateSeeds := fs.Bool("mutate", false, "mutate persisted corpus findings for half the jobs (coverage-guided loop)")
 	triageAfter := fs.Bool("triage", false, "print the corpus's triage cluster summary after the campaign (requires -corpus-dir)")
 	liveEvents := fs.Bool("events", false, "stream structured progress events to stderr while running")
+	jsonEvents := fs.Bool("events-json", false, "stream events to stdout as one JSON object per line (the report moves to stderr)")
 	// Legacy mode spellings, kept so pre-subcommand invocations work
 	// unchanged; the subcommands are the documented surface.
 	replayDir := fs.String("replay", "", "legacy spelling of the replay subcommand: corpus dir to replay")
@@ -221,11 +262,12 @@ func runMain(args []string) int {
 		defer cancel()
 	}
 
+	mode := pickEventMode(*liveEvents, *jsonEvents)
 	if *retireDir != "" {
-		return retire(ctx, *retireDir, *promoteDir, *trials, *trialsMax, *liveEvents)
+		return retire(ctx, *retireDir, *promoteDir, *trials, *trialsMax, mode)
 	}
 	if *replayDir != "" {
-		return replay(ctx, *replayDir, *trials, *trialsMax, *liveEvents)
+		return replay(ctx, *replayDir, *trials, *trialsMax, mode)
 	}
 
 	gcfg := gen.Config{
@@ -246,24 +288,26 @@ func runMain(args []string) int {
 		return 2
 	}
 	if !campaignMode {
-		if *liveEvents {
-			// The one-shot harness materializes and classifies its whole
-			// corpus through DiffFuzz, which has no event stream; say so
-			// instead of silently eating the flag.
-			fmt.Fprintln(os.Stderr, "p4fuzz: -events has no effect in one-shot mode (add a campaign flag such as -corpus-dir)")
-		}
+		// The one-shot harness runs through the same Session as the
+		// campaign engine, so -events/-events-json stream its job-done,
+		// finding, and op-framing events exactly like campaign mode.
 		t := *trials
 		if t == 0 {
 			t = 8
 		}
-		rep, err := repro.DiffFuzz(ctx, repro.FuzzConfig{
-			N:           *n,
-			Seed:        *seed,
-			NITrials:    t,
-			NITrialsMax: *trialsMax,
-			Workers:     *workers,
-			Gen:         gcfg,
-		})
+		s, err := repro.NewSession(
+			repro.WithSeed(*seed),
+			repro.WithGenConfig(gcfg),
+			repro.WithNIBudget(t, *trialsMax),
+			repro.WithWorkers(*workers),
+		)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p4fuzz: %v\n", err)
+			return 2
+		}
+		stop := watchEvents(s, mode)
+		rep, err := s.DiffFuzz(ctx, *n)
+		stop()
 		if rep == nil {
 			fmt.Fprintf(os.Stderr, "p4fuzz: %v\n", err)
 			return 2
@@ -271,7 +315,7 @@ func runMain(args []string) int {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "p4fuzz: campaign aborted after %v: %v\n", rep.Elapsed.Round(time.Millisecond), err)
 		}
-		fmt.Print(repro.FormatFuzzReport(rep))
+		fmt.Fprint(mode.reportWriter(), repro.FormatFuzzReport(rep))
 		if !rep.OK() || err != nil {
 			return 1
 		}
@@ -316,7 +360,7 @@ func runMain(args []string) int {
 		fmt.Fprintf(os.Stderr, "p4fuzz: %v\n", err)
 		return 2
 	}
-	stop := watchEvents(s, *liveEvents)
+	stop := watchEvents(s, mode)
 	defer stop()
 	rep, err := s.Campaign(ctx, *n)
 	if rep == nil {
@@ -326,7 +370,7 @@ func runMain(args []string) int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "p4fuzz: campaign aborted after %v: %v\n", rep.Elapsed.Round(time.Millisecond), err)
 	}
-	fmt.Print(repro.FormatCampaignReport(rep))
+	fmt.Fprint(mode.reportWriter(), repro.FormatCampaignReport(rep))
 	triageClean := true
 	if *triageAfter {
 		// The summary covers the whole corpus the campaign just grew, so
@@ -337,8 +381,8 @@ func runMain(args []string) int {
 			fmt.Fprintf(os.Stderr, "p4fuzz: triage: %v\n", terr)
 			return 2
 		}
-		fmt.Println()
-		fmt.Print(repro.FormatTriageReport(trep))
+		fmt.Fprintln(mode.reportWriter())
+		fmt.Fprint(mode.reportWriter(), repro.FormatTriageReport(trep))
 		// A malformed corpus entry fails the run just as it fails
 		// p4triage: a green job must mean the corpus is trustworthy.
 		triageClean = trep.OK()
@@ -354,15 +398,16 @@ func replayMain(args []string) int {
 	trials := fs.Int("trials", 0, "base NI trials for findings recorded without a budget (0 = 4)")
 	trialsMax := fs.Int("trials-max", 0, "adaptive NI ceiling for findings recorded without a budget (0 = 32)")
 	liveEvents := fs.Bool("events", false, "stream structured progress events to stderr while running")
+	jsonEvents := fs.Bool("events-json", false, "stream events to stdout as one JSON object per line (the report moves to stderr)")
 	fs.Parse(args)
 	dir, ok := corpusArg(fs, "testdata/regression-corpus")
 	if !ok {
 		return 2
 	}
-	return replay(context.Background(), dir, *trials, *trialsMax, *liveEvents)
+	return replay(context.Background(), dir, *trials, *trialsMax, pickEventMode(*liveEvents, *jsonEvents))
 }
 
-func replay(ctx context.Context, dir string, trials, trialsMax int, liveEvents bool) int {
+func replay(ctx context.Context, dir string, trials, trialsMax int, mode eventMode) int {
 	s, err := repro.NewSession(
 		repro.WithCorpus(dir),
 		repro.WithNIBudget(trials, trialsMax),
@@ -372,14 +417,14 @@ func replay(ctx context.Context, dir string, trials, trialsMax int, liveEvents b
 		fmt.Fprintf(os.Stderr, "p4fuzz: replay: %v\n", err)
 		return 2
 	}
-	stop := watchEvents(s, liveEvents)
+	stop := watchEvents(s, mode)
 	rep, err := s.Replay(ctx)
 	stop()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "p4fuzz: replay: %v\n", err)
 		return 2
 	}
-	fmt.Print(repro.FormatReplayReport(rep))
+	fmt.Fprint(mode.reportWriter(), repro.FormatReplayReport(rep))
 	if !rep.OK() {
 		return 1
 	}
@@ -392,6 +437,7 @@ func retireMain(args []string) int {
 	trials := fs.Int("trials", 0, "base NI trials for findings recorded without a budget (0 = 4)")
 	trialsMax := fs.Int("trials-max", 0, "adaptive NI ceiling for findings recorded without a budget (0 = 32)")
 	liveEvents := fs.Bool("events", false, "stream structured progress events to stderr while running")
+	jsonEvents := fs.Bool("events-json", false, "stream events to stdout as one JSON object per line (the report moves to stderr)")
 	fs.Parse(args)
 	// No default corpus here, deliberately: retire deletes drifted entries
 	// from the live corpus, and a bare `p4fuzz retire` must not clean the
@@ -404,10 +450,10 @@ func retireMain(args []string) int {
 		fmt.Fprintln(os.Stderr, "p4fuzz: retire needs an explicit corpus directory (it removes drifted findings)")
 		return 2
 	}
-	return retire(context.Background(), dir, *promoteDir, *trials, *trialsMax, *liveEvents)
+	return retire(context.Background(), dir, *promoteDir, *trials, *trialsMax, pickEventMode(*liveEvents, *jsonEvents))
 }
 
-func retire(ctx context.Context, dir, promoteDir string, trials, trialsMax int, liveEvents bool) int {
+func retire(ctx context.Context, dir, promoteDir string, trials, trialsMax int, mode eventMode) int {
 	s, err := repro.NewSession(
 		repro.WithCorpus(dir),
 		repro.WithPromoteDir(promoteDir),
@@ -418,14 +464,14 @@ func retire(ctx context.Context, dir, promoteDir string, trials, trialsMax int, 
 		fmt.Fprintf(os.Stderr, "p4fuzz: retire: %v\n", err)
 		return 2
 	}
-	stop := watchEvents(s, liveEvents)
+	stop := watchEvents(s, mode)
 	rep, err := s.Retire(ctx)
 	stop()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "p4fuzz: retire: %v\n", err)
 		return 2
 	}
-	fmt.Print(repro.FormatRetireReport(rep))
+	fmt.Fprint(mode.reportWriter(), repro.FormatRetireReport(rep))
 	if !rep.OK() {
 		return 1
 	}
@@ -437,6 +483,7 @@ func compactMain(args []string) int {
 	trials := fs.Int("trials", 0, "base NI trials for findings recorded without a budget (0 = 4)")
 	trialsMax := fs.Int("trials-max", 0, "adaptive NI ceiling for findings recorded without a budget (0 = 32)")
 	liveEvents := fs.Bool("events", false, "stream structured progress events to stderr while running")
+	jsonEvents := fs.Bool("events-json", false, "stream events to stdout as one JSON object per line (the report moves to stderr)")
 	fs.Parse(args)
 	// Like retire: compact rewrites and removes corpus entries, so it never
 	// defaults to the checked-in regression corpus.
@@ -448,6 +495,7 @@ func compactMain(args []string) int {
 		fmt.Fprintln(os.Stderr, "p4fuzz: compact needs an explicit corpus directory (it rewrites findings)")
 		return 2
 	}
+	mode := pickEventMode(*liveEvents, *jsonEvents)
 	s, err := repro.NewSession(
 		repro.WithCorpus(dir),
 		repro.WithNIBudget(*trials, *trialsMax),
@@ -457,14 +505,14 @@ func compactMain(args []string) int {
 		fmt.Fprintf(os.Stderr, "p4fuzz: compact: %v\n", err)
 		return 2
 	}
-	stop := watchEvents(s, *liveEvents)
+	stop := watchEvents(s, mode)
 	rep, err := s.Compact(context.Background())
 	stop()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "p4fuzz: compact: %v\n", err)
 		return 2
 	}
-	fmt.Print(repro.FormatCompactReport(rep))
+	fmt.Fprint(mode.reportWriter(), repro.FormatCompactReport(rep))
 	if !rep.OK() {
 		return 1
 	}
@@ -510,17 +558,18 @@ func triageMain(args []string) int {
 	novelty := fs.Int("novelty", 10, "max seeds in the novelty ranking (-1 = unlimited)")
 	outPath := fs.String("o", "", "write the report to this file instead of stdout")
 	liveEvents := fs.Bool("events", false, "stream structured progress events to stderr while running")
+	jsonEvents := fs.Bool("events-json", false, "stream events to stdout as one JSON object per line (the report moves to stderr)")
 	fs.Parse(args)
 	dir, ok := corpusArg(fs, "testdata/regression-corpus")
 	if !ok {
 		return 2
 	}
-	return triageReport(dir, *asJSON, *novelty, *outPath, *liveEvents)
+	return triageReport(dir, *asJSON, *novelty, *outPath, pickEventMode(*liveEvents, *jsonEvents))
 }
 
 // triageReport renders one corpus's triage report — the same Session
 // calls cmd/p4triage's shim makes.
-func triageReport(dir string, asJSON bool, novelty int, outPath string, liveEvents bool) int {
+func triageReport(dir string, asJSON bool, novelty int, outPath string, mode eventMode) int {
 	s, err := repro.NewSession(
 		repro.WithCorpus(dir),
 		repro.WithMaxNovelty(novelty),
@@ -529,7 +578,7 @@ func triageReport(dir string, asJSON bool, novelty int, outPath string, liveEven
 		fmt.Fprintf(os.Stderr, "p4fuzz: triage: %v\n", err)
 		return 2
 	}
-	stop := watchEvents(s, liveEvents)
+	stop := watchEvents(s, mode)
 	rep, err := s.Triage()
 	stop()
 	if err != nil {
@@ -551,7 +600,7 @@ func triageReport(dir string, asJSON bool, novelty int, outPath string, liveEven
 			return 2
 		}
 	} else {
-		os.Stdout.Write(out)
+		mode.reportWriter().Write(out)
 	}
 	if !rep.OK() {
 		return 1

@@ -111,12 +111,26 @@ func classOf(v difftest.Verdict) (Class, bool) {
 	return "", false
 }
 
+// Window is an explicit global-index window [Lo, Hi) — the unit of work a
+// fleet coordinator leases to a worker. Where Shard/NumShards partition by
+// residue and the resume cursor decides where a run starts, a window is
+// told exactly what to cover and covers it at stride 1.
+type Window struct {
+	Lo, Hi int64
+}
+
 // Config configures a campaign run.
 type Config struct {
 	// N is the number of global campaign indices this run covers; a shard
 	// analyzes its ≈ N/NumShards share of them. The run covers indices
 	// [first, first+N), where first is 0 or the resume cursor.
 	N int
+	// Window, when non-nil, makes the run cover exactly the global indices
+	// [Lo, Hi) at stride 1 — the fleet's lease execution mode. Mutually
+	// exclusive with N, Resume, and Shard/NumShards: the window already is
+	// one worker's slice, and coverage is tracked by the coordinator's
+	// done markers, so the run neither reads nor writes the shard cursor.
+	Window *Window
 	// Seed is the campaign seed: global index i generates its program
 	// from Seed+i and seeds its NI experiment with Seed+i, independent of
 	// sharding and worker interleaving.
@@ -336,7 +350,22 @@ type pendingFinding struct {
 // The returned error is a configuration, corpus-I/O, or context failure;
 // oracle disagreements are reported in the Report, not as errors.
 func Run(ctx context.Context, cfg Config) (*Report, error) {
-	if cfg.N <= 0 {
+	if cfg.Window != nil {
+		w := *cfg.Window
+		if w.Lo < 0 || w.Hi <= w.Lo {
+			return nil, fmt.Errorf("campaign: window [%d, %d) is empty or inverted", w.Lo, w.Hi)
+		}
+		if cfg.N != 0 {
+			return nil, fmt.Errorf("campaign: Window and N are mutually exclusive — the window defines the job count")
+		}
+		if cfg.Resume {
+			return nil, fmt.Errorf("campaign: Window and Resume are mutually exclusive — lease coverage is the coordinator's, not the shard cursor's")
+		}
+		if cfg.NumShards > 1 || cfg.Shard != 0 {
+			return nil, fmt.Errorf("campaign: Window and Shard are mutually exclusive — a window already is one worker's slice")
+		}
+		cfg.N = int(w.Hi - w.Lo)
+	} else if cfg.N <= 0 {
 		return nil, fmt.Errorf("campaign: N must be positive, got %d", cfg.N)
 	}
 	numShards := cfg.NumShards
@@ -410,8 +439,10 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	var first int64
 	var prior shardState
-	if e.corp != nil {
-		if prior, err = loadState(cfg.CorpusDir, cfg.Shard, numShards); err != nil {
+	if cfg.Window != nil {
+		first = cfg.Window.Lo
+	} else if e.corp != nil {
+		if prior, err = loadState(cfg.CorpusDir, cfg.Shard, numShards, cfg.Events); err != nil {
 			return nil, err
 		}
 		if cfg.Resume && prior.NextIndex > 0 {
@@ -420,6 +451,16 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			}
 			if prior.Gen != e.gcfg {
 				return nil, fmt.Errorf("campaign: resume cursor was recorded for a different generator config")
+			}
+			// The mutation schedule changes what each index means just like
+			// Seed and Gen do; cursors from before these fields existed have
+			// nil here and resume freely (the legacy escape hatch).
+			if prior.Mutate != nil && *prior.Mutate != cfg.Mutate {
+				return nil, fmt.Errorf("campaign: resume cursor was recorded with mutation %s", onOff(*prior.Mutate))
+			}
+			if prior.MutateFrac != nil && *prior.MutateFrac != effectiveMutateFrac(cfg.Mutate, cfg.MutateFrac) {
+				return nil, fmt.Errorf("campaign: resume cursor was recorded for mutate-frac %g, not %g",
+					*prior.MutateFrac, effectiveMutateFrac(cfg.Mutate, cfg.MutateFrac))
 			}
 			first = prior.NextIndex
 		}
@@ -513,19 +554,23 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		return e.rep, ctx.Err()
 	}
 	e.rep.NextIndex = end
-	if e.corp != nil {
+	if e.corp != nil && cfg.Window == nil {
 		// Never regress the cursor: a short non-Resume run over an old
 		// window (say, reproducing a finding) must not rewind the search
 		// frontier a long campaign has built up.
 		if prior.NextIndex > end {
 			e.rep.NextIndex = prior.NextIndex
 		} else {
+			mut := cfg.Mutate
+			frac := effectiveMutateFrac(cfg.Mutate, cfg.MutateFrac)
 			st := shardState{
-				Seed:      cfg.Seed,
-				NextIndex: end,
-				Gen:       e.gcfg,
-				Runs:      prior.Runs + 1,
-				UpdatedAt: time.Now(),
+				Seed:       cfg.Seed,
+				NextIndex:  end,
+				Gen:        e.gcfg,
+				Mutate:     &mut,
+				MutateFrac: &frac,
+				Runs:       prior.Runs + 1,
+				UpdatedAt:  time.Now(),
 			}
 			if err := saveState(cfg.CorpusDir, st, cfg.Shard, numShards); err != nil {
 				return e.rep, err
@@ -546,10 +591,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 func (e *engine) jobSource(idx int64) string {
 	rng := rand.New(rand.NewSource(e.cfg.Seed + idx))
 	if e.cfg.Mutate && e.pool != nil && e.pool.size() > 0 {
-		frac := e.cfg.MutateFrac
-		if frac == 0 {
-			frac = 0.5
-		}
+		frac := effectiveMutateFrac(e.cfg.Mutate, e.cfg.MutateFrac)
 		if rng.Float64() < frac {
 			seed := e.pool.pick(rng)
 			mcfg := mutate.Config{Lattice: e.gcfg.Lattice}
@@ -568,6 +610,27 @@ func (e *engine) jobSource(idx int64) string {
 		}
 	}
 	return gen.Random(rng, e.gcfg)
+}
+
+// effectiveMutateFrac resolves the mutation probability a config actually
+// runs with: 0 when mutation is off, the 0.5 default when on with no
+// explicit fraction. Resume cursors record this resolved value so that an
+// explicit `-mutate-frac 0.5` and the implicit default compare equal.
+func effectiveMutateFrac(mutate bool, frac float64) float64 {
+	if !mutate {
+		return 0
+	}
+	if frac == 0 {
+		return 0.5
+	}
+	return frac
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
 }
 
 // provenanceOf pops the recorded provenance for one index (zero value for

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/difftest"
+	"repro/internal/events"
 	"repro/internal/gen"
 	"repro/internal/lattice"
 	"repro/internal/pipeline"
@@ -215,6 +216,98 @@ func TestCampaignShardUnion(t *testing.T) {
 	}
 }
 
+// TestCampaignWindowUnion: covering [0, n) as a set of explicit lease
+// windows finds the same dedup-key set and verdict counts as the
+// unsharded run — the partition-exactness the fleet coordinator builds on
+// — and window runs never touch the shard cursor.
+func TestCampaignWindowUnion(t *testing.T) {
+	const n = 90
+	base := Config{
+		Seed:        7,
+		Gen:         smallGen(),
+		NITrials:    2,
+		NITrialsMax: 4,
+		Workers:     2,
+		MaxPerClass: -1,
+	}
+
+	whole := t.TempDir()
+	wcfg := base
+	wcfg.N = n
+	wcfg.CorpusDir = whole
+	repWhole, err := Run(context.Background(), wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var winAnalyzed int
+	var winCounts [difftest.NumVerdicts]int
+	union := map[string]bool{}
+	dir := t.TempDir()
+	for _, w := range []Window{{0, 30}, {30, 35}, {35, 90}} {
+		cfg := base
+		cfg.Window = &Window{Lo: w.Lo, Hi: w.Hi}
+		cfg.CorpusDir = dir
+		rep, err := Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("window [%d, %d): %v", w.Lo, w.Hi, err)
+		}
+		if rep.FirstIndex != w.Lo || rep.NextIndex != w.Hi {
+			t.Errorf("window [%d, %d) reported [%d, %d)", w.Lo, w.Hi, rep.FirstIndex, rep.NextIndex)
+		}
+		winAnalyzed += rep.Analyzed
+		for v, c := range rep.Counts {
+			winCounts[v] += c
+		}
+	}
+	for k := range readKeys(t, dir) {
+		union[k] = true
+	}
+
+	if winAnalyzed != repWhole.Analyzed || winAnalyzed != n {
+		t.Errorf("windows analyzed %d programs, unsharded %d, want %d", winAnalyzed, repWhole.Analyzed, n)
+	}
+	if winCounts != repWhole.Counts {
+		t.Errorf("window verdict counts %v != unsharded %v", winCounts, repWhole.Counts)
+	}
+	wholeKeys := readKeys(t, whole)
+	if len(union) != len(wholeKeys) {
+		t.Errorf("window corpus union has %d findings, unsharded %d", len(union), len(wholeKeys))
+	}
+	for k := range wholeKeys {
+		if !union[k] {
+			t.Errorf("finding %s missing from the window union", k)
+		}
+	}
+	// Window runs track coverage via the coordinator's done markers, never
+	// the shard cursor.
+	if _, err := os.Stat(statePath(dir, 0, 1)); !os.IsNotExist(err) {
+		t.Errorf("window run wrote a shard cursor (stat err %v)", err)
+	}
+}
+
+// TestCampaignWindowValidation: Window is mutually exclusive with N,
+// Resume, and sharding, and must be non-empty.
+func TestCampaignWindowValidation(t *testing.T) {
+	base := Config{Gen: smallGen(), NITrials: 1}
+	for name, cfg := range map[string]Config{
+		"empty":    {Window: &Window{Lo: 5, Hi: 5}},
+		"inverted": {Window: &Window{Lo: 9, Hi: 3}},
+		"negative": {Window: &Window{Lo: -1, Hi: 3}},
+		"with-n":   {Window: &Window{Lo: 0, Hi: 3}, N: 3},
+		"with-resume": {
+			Window: &Window{Lo: 0, Hi: 3}, Resume: true, CorpusDir: t.TempDir(),
+		},
+		"with-shard": {Window: &Window{Lo: 0, Hi: 3}, Shard: 1, NumShards: 2},
+	} {
+		cfg.Gen = base.Gen
+		cfg.NITrials = base.NITrials
+		if _, err := Run(context.Background(), cfg); err == nil {
+			t.Errorf("%s: invalid window config accepted", name)
+		}
+	}
+}
+
 // TestCampaignCancellation: mid-run cancellation reports Aborted, does not
 // advance the resume cursor, and the next run re-covers the window.
 func TestCampaignCancellation(t *testing.T) {
@@ -231,7 +324,7 @@ func TestCampaignCancellation(t *testing.T) {
 	if err == nil || !rep.Aborted {
 		t.Fatalf("cancelled campaign returned err=%v aborted=%v", err, rep.Aborted)
 	}
-	st, err := loadState(dir, 0, 1)
+	st, err := loadState(dir, 0, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,7 +351,7 @@ func TestCampaignCursorNeverRegresses(t *testing.T) {
 	if rep.NextIndex != 40 {
 		t.Errorf("short run reports NextIndex %d, want the preserved 40", rep.NextIndex)
 	}
-	st, err := loadState(dir, 0, 1)
+	st, err := loadState(dir, 0, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,6 +379,129 @@ func TestCampaignResumeMismatch(t *testing.T) {
 	bad.Gen.MaxStmts++
 	if _, err := Run(context.Background(), bad); err == nil {
 		t.Error("resume with a different generator config must fail")
+	}
+}
+
+// TestCampaignTruncatedCursorRecovery: a cursor file truncated mid-write
+// (the pre-atomic-save failure mode) must not brick the shard — the next
+// run warns and re-covers from index 0 instead of erroring.
+func TestCampaignTruncatedCursorRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{N: 4, Seed: 1, Gen: smallGen(), NITrials: 1, CorpusDir: dir}
+	if _, err := Run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the cursor the way a killed worker's partial write would.
+	path := statePath(dir, 0, 1)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var warnings []events.Event
+	next := cfg
+	next.Resume = true
+	next.Events = func(e events.Event) {
+		if e.Kind == events.KindWarning {
+			warnings = append(warnings, e)
+		}
+	}
+	rep, err := Run(context.Background(), next)
+	if err != nil {
+		t.Fatalf("truncated cursor bricked the shard: %v", err)
+	}
+	if rep.FirstIndex != 0 {
+		t.Errorf("recovered run started at %d, want 0", rep.FirstIndex)
+	}
+	found := false
+	for _, w := range warnings {
+		if strings.Contains(w.Detail, "corrupt resume cursor") && w.Path == path {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no corrupt-cursor warning emitted; warnings: %+v", warnings)
+	}
+	// The recovered run rewrote the cursor; a plain resume works again.
+	st, err := loadState(dir, 0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NextIndex != 4 {
+		t.Errorf("rewritten cursor at %d, want 4", st.NextIndex)
+	}
+}
+
+// TestCampaignResumeMutationMismatch: the cursor records the mutation
+// schedule, and a resume under a different one is refused — a different
+// Mutate/MutateFrac silently changes what every index means, exactly like
+// a different seed.
+func TestCampaignResumeMutationMismatch(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{N: 4, Seed: 1, Gen: smallGen(), NITrials: 1, CorpusDir: dir}
+	if _, err := Run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.Resume = true
+	bad.Mutate = true
+	if _, err := Run(context.Background(), bad); err == nil {
+		t.Error("resume with mutation toggled on must fail")
+	}
+
+	mdir := t.TempDir()
+	mcfg := Config{N: 4, Seed: 1, Gen: smallGen(), NITrials: 1, CorpusDir: mdir, Mutate: true}
+	if _, err := Run(context.Background(), mcfg); err != nil {
+		t.Fatal(err)
+	}
+	// The cursor stores the *effective* fraction, so spelling the 0.5
+	// default explicitly still resumes...
+	ok := mcfg
+	ok.Resume = true
+	ok.MutateFrac = 0.5
+	if _, err := Run(context.Background(), ok); err != nil {
+		t.Errorf("resume with the explicit default fraction failed: %v", err)
+	}
+	// ...while an actually different fraction is refused.
+	bad = mcfg
+	bad.Resume = true
+	bad.MutateFrac = 0.25
+	if _, err := Run(context.Background(), bad); err == nil {
+		t.Error("resume with a different mutate-frac must fail")
+	}
+}
+
+// TestCampaignResumeLegacyCursor: cursors written before the mutation
+// fields existed (nil Mutate/MutateFrac) resume under any schedule — the
+// escape hatch that keeps existing .fuzz-corpus caches resumable.
+func TestCampaignResumeLegacyCursor(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{N: 4, Seed: 1, Gen: smallGen(), NITrials: 1, CorpusDir: dir}
+	if _, err := Run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the cursor without the mutation fields, as an old build
+	// would have left it.
+	st, err := loadState(dir, 0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Mutate = nil
+	st.MutateFrac = nil
+	if err := saveState(dir, st, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	next := cfg
+	next.Resume = true
+	next.Mutate = true
+	rep, err := Run(context.Background(), next)
+	if err != nil {
+		t.Fatalf("legacy cursor refused a resume: %v", err)
+	}
+	if rep.FirstIndex != 4 {
+		t.Errorf("legacy resume started at %d, want 4", rep.FirstIndex)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/corpus"
+	"repro/internal/events"
 	"repro/internal/gen"
 )
 
@@ -79,6 +80,18 @@ type shardState struct {
 	NextIndex int64 `json:"next_index"`
 	// Gen echoes the generator configuration for the same reason as Seed.
 	Gen gen.Config `json:"gen"`
+	// Mutate and MutateFrac echo the mutation schedule the covered indices
+	// were generated under — a resume with a different schedule would
+	// silently change what every index means, exactly like a different
+	// Seed. Pointers, because cursors written before these fields existed
+	// must keep resuming: an absent field reads as "unrecorded" and
+	// matches anything (the legacy escape hatch), where a plain bool would
+	// read as false and refuse every legacy mutation campaign.
+	Mutate *bool `json:"mutate,omitempty"`
+	// MutateFrac is the *effective* fraction (the 0-means-0.5 default
+	// resolved, 0 when mutation is off), so spelling the default
+	// explicitly and leaving it implicit compare equal.
+	MutateFrac *float64 `json:"mutate_frac,omitempty"`
 	// Runs counts completed runs contributing to the cursor.
 	Runs int `json:"runs"`
 	// UpdatedAt is when the cursor last advanced.
@@ -89,10 +102,16 @@ func statePath(dir string, shard, numShards int) string {
 	return filepath.Join(dir, "state", fmt.Sprintf("shard-%d-of-%d.json", shard, numShards))
 }
 
-// loadState reads the shard's cursor; a missing file is a zero cursor.
-func loadState(dir string, shard, numShards int) (shardState, error) {
+// loadState reads the shard's cursor; a missing file is a zero cursor. So
+// is a corrupt one — a worker killed mid-write used to leave truncated
+// JSON that hard-errored every later run on the shard until someone
+// deleted the file by hand; recovery is a warning event and a fresh start
+// at index 0, where re-covering the window costs time and dedup absorbs
+// the repeats.
+func loadState(dir string, shard, numShards int, sink events.Sink) (shardState, error) {
 	var st shardState
-	raw, err := os.ReadFile(statePath(dir, shard, numShards))
+	path := statePath(dir, shard, numShards)
+	raw, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
 		return st, nil
 	}
@@ -100,12 +119,19 @@ func loadState(dir string, shard, numShards int) (shardState, error) {
 		return st, fmt.Errorf("campaign: resume state: %w", err)
 	}
 	if err := json.Unmarshal(raw, &st); err != nil {
-		return st, fmt.Errorf("campaign: resume state %s: %w", statePath(dir, shard, numShards), err)
+		sink.Emit(events.Event{
+			Kind: events.KindWarning, Op: "campaign", Path: path,
+			Detail: fmt.Sprintf("corrupt resume cursor (%v): treating as index 0 — the window will be re-covered and dedup absorbs repeats", err),
+		})
+		return shardState{}, nil
 	}
 	return st, nil
 }
 
-// saveState writes the shard's cursor.
+// saveState writes the shard's cursor atomically (write-then-rename, the
+// same pattern the novelty file and the corpus index use): a worker
+// killed mid-write must never leave a truncated cursor behind, because
+// the fleet's whole liveness story is that killed workers are routine.
 func saveState(dir string, st shardState, shard, numShards int) error {
 	if err := os.MkdirAll(filepath.Join(dir, "state"), 0o755); err != nil {
 		return fmt.Errorf("campaign: save state: %w", err)
@@ -114,7 +140,13 @@ func saveState(dir string, st shardState, shard, numShards int) error {
 	if err != nil {
 		return fmt.Errorf("campaign: encode state: %w", err)
 	}
-	if err := os.WriteFile(statePath(dir, shard, numShards), append(raw, '\n'), 0o644); err != nil {
+	path := statePath(dir, shard, numShards)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(raw, '\n'), 0o644); err != nil {
+		return fmt.Errorf("campaign: save state: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("campaign: save state: %w", err)
 	}
 	return nil

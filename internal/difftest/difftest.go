@@ -37,6 +37,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/events"
 	"repro/internal/gen"
 	"repro/internal/pipeline"
 )
@@ -95,6 +96,13 @@ type Config struct {
 	NITrialsMax int
 	// Workers bounds the pipeline worker pool (<= 0 = GOMAXPROCS).
 	Workers int
+	// Events receives the run's structured event stream: one job-done per
+	// classified program (Op "fuzz", Class the verdict), one finding event
+	// per reported finding, and a final progress tick. The batch pipeline
+	// classifies after the run drains, so events arrive in index order at
+	// the end rather than live — Campaign is the streaming form. nil
+	// discards.
+	Events events.Sink
 }
 
 // Finding is one interesting (non-Sound) program, kept with enough context
@@ -195,6 +203,10 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		r := &sum.Results[i]
 		v, detail := Classify(r)
 		rep.Counts[v]++
+		cfg.Events.Emit(events.Event{
+			Kind: events.KindJobDone, Op: "fuzz",
+			Index: int64(i), Class: v.String(), Rule: r.CitedRule(),
+		})
 		if r.IFC != nil && !r.IFC.OK {
 			for _, d := range r.IFC.Diags {
 				if d.Rule != "" {
@@ -210,8 +222,15 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 				Source:  r.Job.Source,
 				Detail:  detail,
 			})
+			cfg.Events.Emit(events.Event{
+				Kind: events.KindFinding, Op: "fuzz",
+				Index: int64(i), Class: v.String(), Detail: detail,
+			})
 		}
 	}
+	cfg.Events.Emit(events.Event{
+		Kind: events.KindProgress, Op: "fuzz", Done: rep.Analyzed, Total: cfg.N,
+	})
 	return rep, err
 }
 

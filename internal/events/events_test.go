@@ -1,0 +1,84 @@
+package events
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestKindStringRoundTrip: every kind's string name resolves back to the
+// kind — the JSON vocabulary is total and unambiguous.
+func TestKindStringRoundTrip(t *testing.T) {
+	for k := Kind(0); int(k) < len(kindNames); k++ {
+		name := k.String()
+		if name == "event" {
+			t.Fatalf("kind %d has no name", k)
+		}
+		got, ok := KindFromString(name)
+		if !ok || got != k {
+			t.Errorf("KindFromString(%q) = %v, %v; want %v", name, got, ok, k)
+		}
+	}
+	if _, ok := KindFromString("no-such-kind"); ok {
+		t.Error("KindFromString accepted an unknown name")
+	}
+}
+
+// TestEventJSONRoundTrip: the serialized form spells the kind as a string,
+// omits zero-valued optional fields, and unmarshals back to the same
+// event — the `-events-json` contract fleet ingestion depends on.
+func TestEventJSONRoundTrip(t *testing.T) {
+	e := Event{
+		Kind:   KindLease,
+		Op:     "fleet",
+		Time:   time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC),
+		Worker: "w1",
+		Lo:     1000,
+		Hi:     2000,
+	}
+	raw, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(raw)
+	if !strings.Contains(s, `"kind":"lease"`) {
+		t.Errorf("kind not spelled as string: %s", s)
+	}
+	for _, absent := range []string{"index", "class", "rule", "detail", "key", "path", "done", "total"} {
+		if strings.Contains(s, `"`+absent+`"`) {
+			t.Errorf("zero field %q not omitted: %s", absent, s)
+		}
+	}
+	var back Event
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != e {
+		t.Errorf("round trip changed the event:\n  in  %+v\n  out %+v", e, back)
+	}
+}
+
+// TestEventJSONUnknownKind: ingesting a stream from a newer emitter with
+// an unknown kind is an explicit error, not a silent zero kind.
+func TestEventJSONUnknownKind(t *testing.T) {
+	var e Event
+	err := json.Unmarshal([]byte(`{"kind":"quantum-leap"}`), &e)
+	if err == nil || !strings.Contains(err.Error(), "unknown kind") {
+		t.Errorf("unknown kind unmarshalled with err=%v", err)
+	}
+}
+
+// TestSinkNilSafe: emitting through a nil sink is a no-op, and Emit stamps
+// the time when unset.
+func TestSinkNilSafe(t *testing.T) {
+	var s Sink
+	s.Emit(Event{Kind: KindProgress}) // must not panic
+
+	var got Event
+	s = func(e Event) { got = e }
+	s.Emit(Event{Kind: KindProgress})
+	if got.Time.IsZero() {
+		t.Error("Emit did not stamp the time")
+	}
+}

@@ -42,6 +42,17 @@
 //	rr, err := s.Replay(ctx)           // corpus as regression suite
 //	tr, err := s.Triage()              // ranked (class, rule, shape) clusters
 //	cr, err := s.Compact(ctx)          // re-minimize, fold equal findings
+//	fr, err := s.DiffFuzz(ctx, 2000)   // one-shot fuzz, no corpus needed
+//	bs, err := s.CheckAll(ctx, jobs)   // batch-analyze caller-supplied jobs
+//
+// Every operation frames its events with op-start/op-end (op-end carries
+// a one-line outcome), so one consumer can interleave many operations'
+// events; if a slow consumer forces the stream to shed events, the
+// operation ends with a warning event carrying the drop count. The
+// p4fuzz CLI exposes the stream as text (-events) or as one JSON object
+// per line (-events-json), and cmd/p4fuzzd runs campaigns as a
+// work-leasing fleet of processes coordinated through files under
+// <corpus>/fleet/ — see internal/fleet and EXPERIMENTS.md.
 //
 // The Session owns the corpus handle: the directory is opened once (its
 // metadata index makes that open cheap — sources are read and parsed only
@@ -222,6 +233,10 @@ const (
 // running parse → resolve → baseline-check → IFC-check → (optionally) an
 // NI experiment per job. It returns the partial summary and ctx.Err() if
 // cancelled mid-batch.
+//
+// Deprecated: configure a Session and call Session.CheckAll — same
+// pipeline, same summary, plus the event stream. This wrapper remains so
+// existing callers keep working.
 func CheckAll(ctx context.Context, jobs []BatchJob, opts BatchOptions) (*BatchSummary, error) {
 	return pipeline.Run(ctx, jobs, opts)
 }
@@ -238,6 +253,10 @@ type (
 // baseline checker, and the NI harness. Report.OK() is false iff the
 // campaign found an implementation defect (a soundness violation, a
 // generator bug, or a runtime error).
+//
+// Deprecated: configure a Session and call Session.DiffFuzz — same
+// harness, same report, plus the event stream. This wrapper remains so
+// existing callers keep working.
 func DiffFuzz(ctx context.Context, cfg FuzzConfig) (*FuzzReport, error) {
 	return difftest.Run(ctx, cfg)
 }
@@ -252,6 +271,10 @@ func FormatFuzzReport(r *FuzzReport) string { return difftest.FormatReport(r) }
 // producer controls reproducibility by numbering jobs. Cancelling ctx
 // stops the workers without leaking goroutines; producers must select on
 // ctx.Done when sending.
+//
+// Deprecated: configure a Session and call Session.CheckStream — same
+// pipeline, same results, plus the event stream. This wrapper remains so
+// existing callers keep working.
 func CheckStream(ctx context.Context, jobs <-chan BatchJob, opts BatchOptions) <-chan BatchResult {
 	return pipeline.RunStream(ctx, jobs, opts)
 }

@@ -16,11 +16,14 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/corpus"
+	"repro/internal/difftest"
 	"repro/internal/events"
 	"repro/internal/gen"
+	"repro/internal/pipeline"
 	"repro/internal/shrink"
 	"repro/internal/triage"
 )
@@ -42,8 +45,23 @@ const (
 	EventRetired  = events.KindRetired
 	EventProgress = events.KindProgress
 	// EventWarning is a recoverable anomaly an operation worked around —
-	// e.g. a corrupt corpus index rebuilt from a directory rescan.
+	// e.g. a corrupt corpus index rebuilt from a directory rescan, or
+	// events dropped by a slow listener (Done carries the drop count,
+	// emitted just before EventOpEnd).
 	EventWarning = events.KindWarning
+	// EventOpStart and EventOpEnd frame every Session operation's stream:
+	// a consumer that saw EventOpStart but no EventOpEnd knows the stream
+	// was cut short. Both ride a guaranteed path that displaces older
+	// buffered events instead of being dropped.
+	EventOpStart = events.KindOpStart
+	EventOpEnd   = events.KindOpEnd
+	// Fleet lifecycle kinds (emitted by internal/fleet coordinators):
+	// a window leased, an expired lease reclaimed, a window completed,
+	// and a worker finding merged into the main corpus.
+	EventLease      = events.KindLease
+	EventReclaim    = events.KindReclaim
+	EventWindowDone = events.KindWindowDone
+	EventMerge      = events.KindMerge
 )
 
 // Corpus is a cached, validated handle over an on-disk finding corpus:
@@ -293,6 +311,66 @@ func (s *Session) sink() events.Sink {
 	}
 }
 
+// emitCritical delivers e even when the buffer is full, by displacing the
+// oldest buffered events (each counted as dropped) until the send lands.
+// Op framing and the drop-count warning use this path: a stream missing
+// its op-end, or missing the warning that says events were lost, would
+// make an incomplete stream look complete. The displacement loop is
+// bounded — with an unbuffered channel and no receiver, the event itself
+// is counted dropped rather than spinning.
+func (s *Session) emitCritical(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.events == nil || s.closed {
+		return
+	}
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	for i := 0; i <= cap(s.events); i++ {
+		select {
+		case s.events <- e:
+			return
+		default:
+		}
+		select {
+		case <-s.events:
+			s.dropped.Add(1)
+		default:
+		}
+	}
+	s.dropped.Add(1)
+}
+
+// startOp frames one operation's event stream: an op-start event now, and
+// the returned finish func emits — when the listener lost events since
+// op-start — a warning carrying the drop count, then the op-end event
+// with the outcome detail. Framing events are never dropped (see
+// emitCritical), so a consumer that saw op-end without a drop warning
+// holds the operation's complete stream.
+func (s *Session) startOp(op string) func(detail string) {
+	before := s.dropped.Load()
+	s.emitCritical(Event{Kind: events.KindOpStart, Op: op})
+	return func(detail string) {
+		if d := s.dropped.Load() - before; d > 0 {
+			s.emitCritical(Event{
+				Kind: events.KindWarning, Op: op, Done: int(d),
+				Detail: fmt.Sprintf("%d events dropped by a slow listener — this stream is incomplete", d),
+			})
+		}
+		s.emitCritical(Event{Kind: events.KindOpEnd, Op: op, Detail: detail})
+	}
+}
+
+// opOutcome renders an op-end detail: the error when the operation
+// failed, the summary otherwise.
+func opOutcome(err error, summary string) string {
+	if err != nil {
+		return "error: " + err.Error()
+	}
+	return summary
+}
+
 // Campaign runs n global campaign indices' worth of streaming
 // differential fuzzing under the session's configuration: lazily
 // generated (and, with WithMutation, corpus-mutated) programs flow
@@ -307,7 +385,8 @@ func (s *Session) Campaign(ctx context.Context, n int) (*CampaignReport, error) 
 			return nil, err
 		}
 	}
-	return campaign.Run(ctx, campaign.Config{
+	finish := s.startOp("campaign")
+	rep, err := campaign.Run(ctx, campaign.Config{
 		N:           n,
 		Seed:        s.seed,
 		Gen:         s.gcfg,
@@ -326,6 +405,51 @@ func (s *Session) Campaign(ctx context.Context, n int) (*CampaignReport, error) 
 		Log:         s.log,
 		Events:      s.sink(),
 	})
+	summary := ""
+	if rep != nil {
+		summary = fmt.Sprintf("analyzed %d, %d new findings", rep.Analyzed, rep.NewFindings)
+	}
+	finish(opOutcome(err, summary))
+	return rep, err
+}
+
+// CampaignWindow runs the campaign over exactly the global indices
+// [lo, hi) at stride 1 — the fleet's lease execution mode. Sharding and
+// resume configuration are ignored: the window already is one worker's
+// slice, and coverage is the coordinator's to track, so the run neither
+// reads nor writes the shard cursor.
+func (s *Session) CampaignWindow(ctx context.Context, lo, hi int64) (*CampaignReport, error) {
+	var corp *Corpus
+	if s.corpusDir != "" {
+		var err error
+		if corp, err = s.Corpus(); err != nil {
+			return nil, err
+		}
+	}
+	finish := s.startOp("campaign")
+	rep, err := campaign.Run(ctx, campaign.Config{
+		Window:      &campaign.Window{Lo: lo, Hi: hi},
+		Seed:        s.seed,
+		Gen:         s.gcfg,
+		NITrials:    s.trials,
+		NITrialsMax: s.trialsMax,
+		Workers:     s.workers,
+		Mutate:      s.mutate,
+		MutateFrac:  s.mutateFrac,
+		CorpusDir:   s.corpusDir,
+		Corpus:      corp,
+		Minimize:    s.minimize,
+		MaxPerClass: s.maxPerClass,
+		Log:         s.log,
+		Events:      s.sink(),
+	})
+	summary := ""
+	if rep != nil {
+		summary = fmt.Sprintf("window [%d, %d): analyzed %d, %d new findings",
+			lo, hi, rep.Analyzed, rep.NewFindings)
+	}
+	finish(opOutcome(err, summary))
+	return rep, err
 }
 
 // needCorpus guards the corpus-reading operations: without WithCorpus
@@ -349,7 +473,8 @@ func (s *Session) Replay(ctx context.Context) (*ReplayReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	return campaign.Replay(ctx, campaign.ReplayConfig{
+	finish := s.startOp("replay")
+	rep, err := campaign.Replay(ctx, campaign.ReplayConfig{
 		CorpusDir:   s.corpusDir,
 		Corpus:      corp,
 		NITrials:    s.trials,
@@ -357,6 +482,12 @@ func (s *Session) Replay(ctx context.Context) (*ReplayReport, error) {
 		Log:         s.log,
 		Events:      s.sink(),
 	})
+	summary := ""
+	if rep != nil {
+		summary = fmt.Sprintf("replayed %d, %d drifted", rep.Total, len(rep.Drifts))
+	}
+	finish(opOutcome(err, summary))
+	return rep, err
 }
 
 // Triage clusters the session corpus by (verdict class, cited rule, AST
@@ -370,12 +501,19 @@ func (s *Session) Triage() (*TriageReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	return triage.Triage(triage.Config{
+	finish := s.startOp("triage")
+	rep, err := triage.Triage(triage.Config{
 		CorpusDir:  s.corpusDir,
 		Corpus:     corp,
 		MaxNovelty: s.maxNovelty,
 		Events:     s.sink(),
 	})
+	summary := ""
+	if rep != nil {
+		summary = fmt.Sprintf("%d findings in %d clusters", rep.Total, len(rep.Clusters))
+	}
+	finish(opOutcome(err, summary))
+	return rep, err
 }
 
 // Retire runs the corpus hygiene pass: findings whose recorded defect the
@@ -390,7 +528,8 @@ func (s *Session) Retire(ctx context.Context) (*RetireReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	return triage.Retire(ctx, triage.RetireConfig{
+	finish := s.startOp("retire")
+	rep, err := triage.Retire(ctx, triage.RetireConfig{
 		CorpusDir:   s.corpusDir,
 		Corpus:      corp,
 		PromoteDir:  s.promoteDir,
@@ -399,6 +538,12 @@ func (s *Session) Retire(ctx context.Context) (*RetireReport, error) {
 		Log:         s.log,
 		Events:      s.sink(),
 	})
+	summary := ""
+	if rep != nil {
+		summary = fmt.Sprintf("replayed %d, retired %d", rep.Total, len(rep.Retired))
+	}
+	finish(opOutcome(err, summary))
+	return rep, err
 }
 
 // Compact re-minimizes every finding in the session corpus with the
@@ -416,7 +561,8 @@ func (s *Session) Compact(ctx context.Context) (*CompactReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	return campaign.Compact(ctx, campaign.CompactConfig{
+	finish := s.startOp("compact")
+	rep, err := campaign.Compact(ctx, campaign.CompactConfig{
 		CorpusDir:   s.corpusDir,
 		Corpus:      corp,
 		NITrials:    s.trials,
@@ -424,6 +570,114 @@ func (s *Session) Compact(ctx context.Context) (*CompactReport, error) {
 		Log:         s.log,
 		Events:      s.sink(),
 	})
+	summary := ""
+	if rep != nil {
+		summary = fmt.Sprintf("%d entries, %d minimized, %d collapsed", rep.Total, rep.Minimized, rep.Collapsed)
+	}
+	finish(opOutcome(err, summary))
+	return rep, err
+}
+
+// batchOptions is the pipeline configuration the session's batch-analysis
+// methods share: full NI, the session's budgets, seed, and worker pool.
+func (s *Session) batchOptions() pipeline.Options {
+	return pipeline.Options{
+		Workers:     s.workers,
+		NI:          pipeline.NIAll,
+		NITrials:    s.trials,
+		NITrialsMax: s.trialsMax,
+		NISeed:      s.seed,
+	}
+}
+
+// CheckAll batch-analyzes jobs concurrently under the session's
+// configuration: parse → resolve → baseline-check → IFC-check → NI
+// experiment per job. One job-done event per classified result streams to
+// Events (Op "check"), inside op-start/op-end framing. It returns the
+// partial summary and ctx.Err() if cancelled mid-batch.
+func (s *Session) CheckAll(ctx context.Context, jobs []BatchJob) (*BatchSummary, error) {
+	finish := s.startOp("check")
+	sum, err := pipeline.Run(ctx, jobs, s.batchOptions())
+	sink := s.sink()
+	summary := ""
+	if sum != nil {
+		for i := range sum.Results {
+			r := &sum.Results[i]
+			v, _ := difftest.Classify(r)
+			sink.Emit(Event{
+				Kind: events.KindJobDone, Op: "check",
+				Index: int64(i), Class: v.String(), Rule: r.CitedRule(),
+			})
+		}
+		summary = fmt.Sprintf("checked %d jobs", len(sum.Results))
+	}
+	finish(opOutcome(err, summary))
+	return sum, err
+}
+
+// CheckStream is the channel-fed variant of CheckAll for corpora too
+// large (or too lazily produced) to materialize: workers pull jobs as
+// they arrive and results land on the returned channel in completion
+// order. Each job's NI experiment runs with the session seed + job.Seq,
+// so the producer controls reproducibility by numbering jobs. A job-done
+// event per result streams to Events (Op "check-stream"); op-end is
+// emitted when the result channel closes. Cancelling ctx stops the
+// workers; producers must select on ctx.Done when sending.
+func (s *Session) CheckStream(ctx context.Context, jobs <-chan BatchJob) <-chan BatchResult {
+	finish := s.startOp("check-stream")
+	sink := s.sink()
+	results := pipeline.RunStream(ctx, jobs, s.batchOptions())
+	out := make(chan BatchResult)
+	go func() {
+		defer close(out)
+		n := 0
+		for r := range results {
+			v, _ := difftest.Classify(&r)
+			sink.Emit(Event{
+				Kind: events.KindJobDone, Op: "check-stream",
+				Index: r.Job.Seq, Class: v.String(), Rule: r.CitedRule(),
+			})
+			select {
+			case out <- r:
+				n++
+			case <-ctx.Done():
+				// The consumer is gone; drain the pipeline so its workers
+				// exit, then close out.
+				for range results {
+				}
+				finish(opOutcome(ctx.Err(), ""))
+				return
+			}
+		}
+		finish(fmt.Sprintf("streamed %d results", n))
+	}()
+	return out
+}
+
+// DiffFuzz runs a one-shot differential soundness-fuzzing campaign under
+// the session's configuration: n random programs generated and
+// cross-checked against the IFC checker, the baseline checker, and the NI
+// harness. Report.OK() is false iff the campaign found an implementation
+// defect. Job-done and finding events stream to Events (Op "fuzz") —
+// batched at classification time, after the pipeline drains; Campaign is
+// the streaming, corpus-persisting form.
+func (s *Session) DiffFuzz(ctx context.Context, n int) (*FuzzReport, error) {
+	finish := s.startOp("fuzz")
+	rep, err := difftest.Run(ctx, difftest.Config{
+		N:           n,
+		Seed:        s.seed,
+		Gen:         s.gcfg,
+		NITrials:    s.trials,
+		NITrialsMax: s.trialsMax,
+		Workers:     s.workers,
+		Events:      s.sink(),
+	})
+	summary := ""
+	if rep != nil {
+		summary = fmt.Sprintf("analyzed %d, %d findings", rep.Analyzed, len(rep.Findings))
+	}
+	finish(opOutcome(err, summary))
+	return rep, err
 }
 
 // Minimize delta-debugs src down to a smaller program for which keep

@@ -436,3 +436,186 @@ func TestSessionProductLatticeCampaign(t *testing.T) {
 		t.Errorf("no sound programs under the product lattice: %+v", rep.Counts)
 	}
 }
+
+// TestSessionOpFraming: every operation's stream opens with op-start and
+// closes with op-end, and the op-end detail summarizes the outcome — the
+// contract that lets a fleet coordinator distinguish a complete worker
+// stream from one cut short by a crash.
+func TestSessionOpFraming(t *testing.T) {
+	s, err := repro.NewSession(
+		repro.WithCorpus(t.TempDir()),
+		repro.WithGenConfig(smallSessionGen()),
+		repro.WithSeed(5),
+		repro.WithNIBudget(1, 0),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := s.Events()
+	collected := make(chan []repro.Event, 1)
+	go func() {
+		var evs []repro.Event
+		for ev := range ch {
+			evs = append(evs, ev)
+		}
+		collected <- evs
+	}()
+	if _, err := s.Campaign(context.Background(), 20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Replay(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.DiffFuzz(context.Background(), 10); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	evs := <-collected
+
+	var frames []repro.Event
+	for _, ev := range evs {
+		if ev.Kind == repro.EventOpStart || ev.Kind == repro.EventOpEnd {
+			frames = append(frames, ev)
+		}
+	}
+	wantOps := []string{"campaign", "campaign", "replay", "replay", "fuzz", "fuzz"}
+	if len(frames) != len(wantOps) {
+		t.Fatalf("got %d framing events, want %d: %+v", len(frames), len(wantOps), frames)
+	}
+	for i, f := range frames {
+		if f.Op != wantOps[i] {
+			t.Errorf("frame %d op %q, want %q", i, f.Op, wantOps[i])
+		}
+		wantKind := repro.EventOpStart
+		if i%2 == 1 {
+			wantKind = repro.EventOpEnd
+		}
+		if f.Kind != wantKind {
+			t.Errorf("frame %d kind %v, want %v", i, f.Kind, wantKind)
+		}
+		if f.Kind == repro.EventOpEnd && f.Detail == "" {
+			t.Errorf("frame %d (op-end %s) has no outcome detail", i, f.Op)
+		}
+	}
+	// Framing must wrap the payload: the first event of the whole stream
+	// is op-start, the last op-end.
+	if evs[0].Kind != repro.EventOpStart || evs[len(evs)-1].Kind != repro.EventOpEnd {
+		t.Errorf("stream not framed: first %v, last %v", evs[0].Kind, evs[len(evs)-1].Kind)
+	}
+}
+
+// TestSessionDropWarning: a consumer too slow for the buffer loses
+// events, and the operation's final framing says so — a guaranteed
+// KindWarning with the drop count before op-end, delivered even though
+// the buffer is full.
+func TestSessionDropWarning(t *testing.T) {
+	s, err := repro.NewSession(
+		repro.WithGenConfig(smallSessionGen()),
+		repro.WithSeed(5),
+		repro.WithNIBudget(1, 0),
+		repro.WithEventBuffer(2), // force drops: a campaign emits far more
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := s.Events()
+	if _, err := s.Campaign(context.Background(), 40); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	var evs []repro.Event
+	for ev := range ch {
+		evs = append(evs, ev)
+	}
+	if s.Dropped() == 0 {
+		t.Fatal("no events dropped with a 2-slot buffer and no consumer; the test premise is broken")
+	}
+	// The stream must end op-end, preceded by the drop warning.
+	if len(evs) < 2 {
+		t.Fatalf("only %d events survived", len(evs))
+	}
+	last, warn := evs[len(evs)-1], evs[len(evs)-2]
+	if last.Kind != repro.EventOpEnd {
+		t.Errorf("stream does not end with op-end: %+v", last)
+	}
+	if warn.Kind != repro.EventWarning || warn.Done == 0 || !strings.Contains(warn.Detail, "dropped") {
+		t.Errorf("no drop-count warning before op-end: %+v", warn)
+	}
+}
+
+// TestSessionCheckMethodsMatchWrappers: Session.CheckAll and
+// Session.DiffFuzz produce the same summaries as the deprecated
+// standalone wrappers, and CheckStream delivers every result with
+// job-done events.
+func TestSessionCheckMethodsMatchWrappers(t *testing.T) {
+	s, err := repro.NewSession(
+		repro.WithGenConfig(smallSessionGen()),
+		repro.WithSeed(11),
+		repro.WithNIBudget(2, 4),
+		repro.WithWorkers(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// DiffFuzz: same verdict counts as the wrapper.
+	sRep, err := s.DiffFuzz(context.Background(), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wRep, err := repro.DiffFuzz(context.Background(), repro.FuzzConfig{
+		N: 30, Seed: 11, Gen: smallSessionGen(), NITrials: 2, NITrialsMax: 4, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sRep.Counts != wRep.Counts {
+		t.Errorf("Session.DiffFuzz counts %v != wrapper %v", sRep.Counts, wRep.Counts)
+	}
+
+	// CheckAll: same per-job outcomes as the wrapper.
+	var jobs []repro.BatchJob
+	for i, cs := range repro.CaseStudies() {
+		jobs = append(jobs, repro.BatchJob{Name: cs.FileName(repro.Buggy), Source: cs.Source(repro.Buggy), Lat: cs.Lattice(), Seq: int64(i)})
+	}
+	sSum, err := s.CheckAll(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wSum, err := repro.CheckAll(context.Background(), jobs, repro.BatchOptions{
+		Workers: 2, NI: repro.NIAll, NITrials: 2, NITrialsMax: 4, NISeed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sSum.Results) != len(wSum.Results) {
+		t.Fatalf("Session.CheckAll %d results, wrapper %d", len(sSum.Results), len(wSum.Results))
+	}
+	for i := range sSum.Results {
+		if sSum.Results[i].IFCOK() != wSum.Results[i].IFCOK() {
+			t.Errorf("job %d: session IFC %v, wrapper %v", i, sSum.Results[i].IFCOK(), wSum.Results[i].IFCOK())
+		}
+	}
+
+	// CheckStream: all jobs come back, framed with job-done events.
+	ch := s.Events()
+	go func() {
+		for range ch {
+		}
+	}()
+	in := make(chan repro.BatchJob)
+	go func() {
+		defer close(in)
+		for _, j := range jobs {
+			in <- j
+		}
+	}()
+	n := 0
+	for range s.CheckStream(context.Background(), in) {
+		n++
+	}
+	if n != len(jobs) {
+		t.Errorf("CheckStream delivered %d results, want %d", n, len(jobs))
+	}
+}
