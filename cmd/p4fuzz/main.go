@@ -59,6 +59,14 @@
 // to stderr so stdout stays machine-parseable. In one-shot mode the
 // stream is batched at classification time rather than live.
 //
+// Every operation also leaves its telemetry behind: progress ticks carry
+// jobs/sec and findings/sec, periodic metrics events ship full registry
+// snapshots on the stream, and when -corpus-dir is set a metrics.json
+// snapshot (job counters, per-stage pipeline timings, op-duration
+// histograms) is rewritten atomically next to the corpus at op-end — the
+// artifact CI's jq gate validates. Live endpoints are p4fuzzd's job: see
+// `p4fuzzd -http`.
+//
 // # replay, retire
 //
 // replay re-checks every finding persisted under DIR (default

@@ -12,9 +12,9 @@
 //	        [-seed 1] [-depth 3] [-stmts 5] [-fields 3] [-lattice SPEC]
 //	        [-trials 4] [-trials-max 32] [-mutate] [-mutate-frac F]
 //	        [-minimize] [-max-per-class 25] [-lease-ttl 1m] [-poll 0]
-//	        [-pool 0] [-timeout 0] [-events] [-events-json]
+//	        [-pool 0] [-timeout 0] [-events] [-events-json] [-http ADDR]
 //	p4fuzzd -work -corpus-dir DIR [-worker-id ID] [-pool 0] [-poll 0]
-//	        [-events] [-events-json]
+//	        [-events] [-events-json] [-http ADDR]
 //
 // The first form is the coordinator. It opens (or, after a crash, adopts)
 // the fleet manifest for the next -n indices after the corpus's frontier,
@@ -39,6 +39,18 @@
 // object per line on stdout (repro.Event marshalled verbatim — the same
 // contract as p4fuzz -events-json) and moves the final report to stderr.
 //
+// -http ADDR serves live introspection while the run is up: /metrics
+// (Prometheus text), /metrics.json (the same snapshot as JSON), /healthz
+// (fleet liveness — 200 while the manifest is open and the coordinator's
+// scan loop is fresh, 503 otherwise), and the standard /debug/pprof/
+// endpoints. ADDR may be ":0" to pick a free port; the bound address is
+// printed to stderr. The coordinator's view merges its own registry with
+// the per-window snapshots workers ship on their event streams, and the
+// merged snapshot is also persisted to <corpus>/metrics.json when the
+// run ends. In -work mode the endpoints expose that worker alone, and
+// /healthz only reflects the shared protocol files (manifest, frontier),
+// not coordinator liveness.
+//
 // Exit status 0 when the span completes, 1 on an aborted or failed run,
 // 2 on usage errors.
 package main
@@ -49,9 +61,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/exec"
 	"os/signal"
+	"path/filepath"
 	"sync"
 	"syscall"
 	"time"
@@ -59,6 +75,7 @@ import (
 	"repro/internal/events"
 	"repro/internal/fleet"
 	"repro/internal/gen"
+	"repro/internal/metrics"
 )
 
 func main() { os.Exit(run(os.Args[1:])) }
@@ -88,6 +105,7 @@ func run(args []string) int {
 	timeout := fs.Duration("timeout", 0, "overall run timeout (0 = none)")
 	liveEvents := fs.Bool("events", false, "render the merged event stream as text on stderr")
 	jsonEvents := fs.Bool("events-json", false, "emit the merged event stream as one JSON object per line on stdout (the report moves to stderr)")
+	httpAddr := fs.String("http", "", "serve /metrics, /metrics.json, /healthz, and /debug/pprof on this address (\":0\" = free port; \"\" = off)")
 	fs.Parse(args)
 	if fs.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "p4fuzzd: unexpected arguments %v\n", fs.Args())
@@ -111,6 +129,20 @@ func run(args []string) int {
 
 	sink, reportOut := makeSink(*liveEvents, *jsonEvents)
 
+	// Every mode owns a registry; the coordinator additionally merges the
+	// snapshots its local workers ship over their event streams into a
+	// View, so /metrics shows the whole fleet, worker-labeled.
+	reg := metrics.NewRegistry()
+	view := metrics.NewView(reg)
+	if *httpAddr != "" {
+		bound, err := serveHTTP(*httpAddr, *corpusDir, view, reg, *leaseTTL)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p4fuzzd: -http %s: %v\n", *httpAddr, err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "p4fuzzd: serving /metrics /metrics.json /healthz /debug/pprof on http://%s\n", bound)
+	}
+
 	if *workMode {
 		rep, err := fleet.RunWorker(ctx, *corpusDir, fleet.WorkerOptions{
 			WorkerID: *workerID,
@@ -118,6 +150,7 @@ func run(args []string) int {
 			Poll:     *poll,
 			Log:      os.Stderr,
 			Events:   sink,
+			Metrics:  reg,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "p4fuzzd: worker %s: %v\n", rep.WorkerID, err)
@@ -145,7 +178,7 @@ func run(args []string) int {
 	// something if a worker's death cannot take the coordinator with it.
 	var wg sync.WaitGroup
 	for i := 0; i < *workers; i++ {
-		if err := spawnWorker(ctx, &wg, *corpusDir, fmt.Sprintf("local-%d", i), *pool, sink); err != nil {
+		if err := spawnWorker(ctx, &wg, *corpusDir, fmt.Sprintf("local-%d", i), *pool, sink, view); err != nil {
 			fmt.Fprintf(os.Stderr, "p4fuzzd: %v\n", err)
 			return 2
 		}
@@ -167,10 +200,17 @@ func run(args []string) int {
 		Poll:        *poll,
 		Log:         os.Stderr,
 		Events:      sink,
+		Metrics:     reg,
 	})
 	// Workers exit on their own once the manifest is retired (success) or
 	// their context dies (cancellation); wait so their final events land.
 	wg.Wait()
+	// Persist the fleet-merged telemetry next to the corpus: the
+	// coordinator's own series plus every worker's last shipped snapshot,
+	// overlaid on whatever series other processes already left there.
+	if werr := metrics.UpdateFile(filepath.Join(*corpusDir, "metrics.json"), view.Snapshot()); werr != nil {
+		fmt.Fprintf(os.Stderr, "p4fuzzd: metrics.json: %v\n", werr)
+	}
 	if rep != nil {
 		fmt.Fprintf(reportOut, "fleet: span [%d, %d) in %d windows of %d: %d merged, %d known, %d leases reclaimed, %v\n",
 			rep.Lo, rep.Hi, rep.Windows, rep.WindowSize, rep.Merged, rep.Known, rep.Reclaimed, rep.Elapsed.Round(time.Millisecond))
@@ -189,6 +229,37 @@ func run(args []string) int {
 		return 1
 	}
 	return 0
+}
+
+// serveHTTP binds addr and serves the introspection surface in the
+// background for the life of the process: /metrics and /metrics.json
+// from the merged view, /healthz from the registry's coordinator gauges
+// plus the on-disk protocol files, and net/http/pprof on its usual
+// paths. It returns the bound address so ":0" is usable in scripts.
+func serveHTTP(addr, corpusDir string, view *metrics.View, reg *metrics.Registry, leaseTTL time.Duration) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", metrics.ExpositionHandler(view.Snapshot))
+	mux.Handle("/metrics.json", metrics.JSONHandler(view.Snapshot))
+	mux.Handle("/healthz", &fleet.HealthChecker{
+		CorpusDir: corpusDir,
+		Metrics:   reg,
+		// The scan loop ticks at least once per poll interval, which is
+		// far below the lease TTL — so a scan older than the TTL means
+		// the coordinator is wedged, not merely slow.
+		MaxScanAge: leaseTTL,
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
 }
 
 // makeSink builds the process's event sink — text to stderr, JSON lines
@@ -220,10 +291,12 @@ func makeSink(text, asJSON bool) (events.Sink, *os.File) {
 
 // spawnWorker re-execs this binary in -work mode and ingests its event
 // stream: the worker writes one JSON event per stdout line, the
-// coordinator decodes each and re-emits it on its own sink. Lines that
-// do not decode (a stray print, a truncated crash line) pass through to
-// stderr rather than being lost.
-func spawnWorker(ctx context.Context, wg *sync.WaitGroup, corpusDir, id string, pool int, sink events.Sink) error {
+// coordinator decodes each and re-emits it on its own sink, and any
+// KindMetrics event's snapshot is absorbed into the coordinator's merged
+// view — that stream is the only channel a worker's telemetry travels
+// over. Lines that do not decode (a stray print, a truncated crash line)
+// pass through to stderr rather than being lost.
+func spawnWorker(ctx context.Context, wg *sync.WaitGroup, corpusDir, id string, pool int, sink events.Sink, view *metrics.View) error {
 	exe, err := os.Executable()
 	if err != nil {
 		return fmt.Errorf("spawn %s: %w", id, err)
@@ -256,6 +329,9 @@ func spawnWorker(ctx context.Context, wg *sync.WaitGroup, corpusDir, id string, 
 			if json.Unmarshal(line, &probe) == nil && probe.Kind != "" {
 				var e events.Event
 				if json.Unmarshal(line, &e) == nil {
+					if e.Kind == events.KindMetrics && e.Snapshot != nil {
+						view.Absorb(e.Worker, *e.Snapshot)
+					}
 					sink.Emit(e)
 					continue
 				}

@@ -19,7 +19,10 @@
 //
 // -diff compares two JSON reports (the artifact form) as a time series:
 // clusters present only in NEW are new defect classes, grown ones are
-// more of a known class, gone ones emptied out. -md renders the diff as a
+// more of a known class, gone ones emptied out. When the new report's
+// corpus has a persisted metrics.json (p4fuzzd writes one per fleet
+// run), the diff also prints a one-line fleet summary — windows done,
+// lease reclaims, merged findings per worker. -md renders the diff as a
 // GitHub-flavored Markdown fragment — the form the nightly workflow
 // appends to its job summary.
 //

@@ -59,6 +59,7 @@ import (
 	"repro/internal/events"
 	"repro/internal/gen"
 	"repro/internal/lattice"
+	"repro/internal/metrics"
 	"repro/internal/mutate"
 	"repro/internal/parser"
 	"repro/internal/pipeline"
@@ -193,6 +194,12 @@ type Config struct {
 	// synchronously, so sinks must be fast and non-blocking — the
 	// Session layer's buffered fan-out is the intended consumer.
 	Events events.Sink
+	// Metrics, when non-nil, receives the run's telemetry — job, verdict,
+	// finding, dedup, and seed-draw counters, a corpus-size gauge, and
+	// (threaded into the pipeline) per-stage duration histograms — and
+	// makes progress ticks carry jobs/sec / findings/sec rates plus
+	// periodic KindMetrics snapshot events.
+	Metrics *metrics.Registry
 }
 
 // Finding is one interesting program collected by the campaign.
@@ -315,6 +322,16 @@ type engine struct {
 	novelty  map[string]NoveltyStat
 	credited map[int64]bool
 
+	// metric handles, cached once per run; all nil (and no-op) when the
+	// config carries no registry. start anchors the rate computations.
+	met        *metrics.Registry
+	start      time.Time
+	mJobs      *metrics.Counter
+	mVerdicts  [difftest.NumVerdicts]*metrics.Counter
+	mDedup     *metrics.Counter
+	mSeedDraws *metrics.Counter
+	mCorpus    *metrics.Gauge
+
 	// prov records mutant provenance by global index, written by the job
 	// producer and read by the result consumer (concurrent goroutines).
 	// Only mutant indices have entries.
@@ -402,6 +419,22 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if e.gcfg == (gen.Config{}) {
 		e.gcfg = gen.DefaultConfig()
 	}
+	// Cache the run's metric handles (nil-and-no-op without a registry)
+	// and pre-register every known series at zero, so a snapshot's series
+	// set is deterministic — present from the first scrape, not from the
+	// first event that would have created it.
+	e.met = cfg.Metrics
+	e.mJobs = e.met.Counter("campaign_jobs_total")
+	for v := difftest.Verdict(0); v < difftest.NumVerdicts; v++ {
+		e.mVerdicts[v] = e.met.Counter("campaign_verdicts_total", "class", v.String())
+	}
+	for _, c := range []Class{ClassSoundnessViolation, ClassGeneratorBug,
+		ClassRuntimeError, ClassRejectedClean, ClassParserDisagreement} {
+		e.met.Counter("campaign_findings_total", "class", string(c))
+	}
+	e.mDedup = e.met.Counter("campaign_dedup_hits_total")
+	e.mSeedDraws = e.met.Counter("campaign_seed_pool_draws_total")
+	e.mCorpus = e.met.Gauge("campaign_corpus_size")
 	var err error
 	if e.lat, err = e.gcfg.ResolveLattice(); err != nil {
 		return nil, fmt.Errorf("campaign: %w", err)
@@ -495,6 +528,10 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		e.tickEvery = 1
 	}
 	start := time.Now()
+	e.start = start
+	if e.corp != nil {
+		e.mCorpus.SetInt(int64(e.corp.Len()))
+	}
 
 	jobs := make(chan pipeline.Job)
 	go func() {
@@ -523,6 +560,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		NITrials:    e.trials,
 		NITrialsMax: e.max,
 		NISeed:      cfg.Seed,
+		Metrics:     cfg.Metrics,
 	})
 	for r := range results {
 		e.consume(&r)
@@ -546,7 +584,12 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		if err := e.corp.SaveIndex(); err != nil {
 			fmt.Fprintf(e.log, "campaign: %v (index rebuilt on next open)\n", err)
 		}
+		e.mCorpus.SetInt(int64(e.corp.Len()))
 	}
+	// A final snapshot after the finalize loop, so the run's last
+	// KindMetrics event reflects its findings — the stream's periodic
+	// snapshots predate finalization and cannot.
+	e.emitMetrics()
 	e.rep.Elapsed = time.Since(start)
 
 	if aborted {
@@ -594,9 +637,11 @@ func (e *engine) jobSource(idx int64) string {
 		frac := effectiveMutateFrac(e.cfg.Mutate, e.cfg.MutateFrac)
 		if rng.Float64() < frac {
 			seed := e.pool.pick(rng)
+			e.mSeedDraws.Inc()
 			mcfg := mutate.Config{Lattice: e.gcfg.Lattice}
 			if e.pool.size() > 1 && rng.Intn(4) == 0 {
 				mcfg.Donor = e.pool.pick(rng).source
+				e.mSeedDraws.Inc()
 			}
 			res, err := mutate.Mutate(rng, fmt.Sprintf("mut-%d.p4", idx), seed.source, mcfg)
 			if err == nil {
@@ -633,6 +678,16 @@ func onOff(b bool) string {
 	return "off"
 }
 
+// emitMetrics ships one KindMetrics snapshot event; no-op without a
+// registry.
+func (e *engine) emitMetrics() {
+	if e.met == nil {
+		return
+	}
+	snap := e.met.Snapshot()
+	e.sink.Emit(events.Event{Kind: events.KindMetrics, Op: "campaign", Snapshot: &snap})
+}
+
 // provenanceOf pops the recorded provenance for one index (zero value for
 // fresh jobs).
 func (e *engine) provenanceOf(idx int64) (provenance, bool) {
@@ -649,6 +704,7 @@ func (e *engine) provenanceOf(idx int64) (provenance, bool) {
 func (e *engine) consume(r *pipeline.JobResult) {
 	e.rep.Analyzed++
 	e.rep.TrialsRun += int64(r.NITrialsRun)
+	e.mJobs.Inc()
 	prov, mutant := e.provenanceOf(r.Job.Seq)
 	if mutant {
 		e.rep.MutantJobs++
@@ -658,16 +714,29 @@ func (e *engine) consume(r *pipeline.JobResult) {
 	}
 	v, detail := difftest.Classify(r)
 	e.rep.Counts[v]++
+	e.mVerdicts[v].Inc()
 	rule := r.CitedRule()
 	e.sink.Emit(events.Event{
 		Kind: events.KindJobDone, Op: "campaign",
 		Index: r.Job.Seq, Class: v.String(), Rule: rule,
 	})
 	if e.rep.Analyzed%e.tickEvery == 0 || e.rep.Analyzed == e.shardJobs {
-		e.sink.Emit(events.Event{
+		ev := events.Event{
 			Kind: events.KindProgress, Op: "campaign",
 			Done: e.rep.Analyzed, Total: e.shardJobs,
-		})
+		}
+		if e.met != nil {
+			// Rates come from the registry's job counter and the live
+			// finding count (persisted findings trail the stream in the
+			// finalize phase, so pending ones count too — otherwise
+			// findings/sec would read 0 for the whole run).
+			if elapsed := time.Since(e.start).Seconds(); elapsed > 0 {
+				ev.JobsPerSec = float64(e.mJobs.Value()) / elapsed
+				ev.FindingsPerSec = float64(e.rep.NewFindings+len(e.pending)) / elapsed
+			}
+			e.emitMetrics()
+		}
+		e.sink.Emit(ev)
 	}
 	if r.IFC != nil && !r.IFC.OK {
 		for _, d := range r.IFC.Diags {
@@ -754,10 +823,12 @@ func (e *engine) finalize(p pendingFinding, minimize bool) {
 	switch {
 	case e.seen[f.Key]:
 		e.rep.DupFindings++
+		e.mDedup.Inc()
 		return
 	case e.corp.Has(f.Key):
 		e.seen[f.Key] = true
 		e.rep.KnownFindings++
+		e.mDedup.Inc()
 		return
 	}
 	e.seen[f.Key] = true
@@ -801,6 +872,7 @@ func (e *engine) finalize(p pendingFinding, minimize bool) {
 		e.novelty[p.parent] = st
 	}
 	e.rep.NewFindings++
+	e.met.Counter("campaign_findings_total", "class", string(class)).Inc()
 	e.rep.Findings = append(e.rep.Findings, f)
 	e.sink.Emit(events.Event{
 		Kind: events.KindFinding, Op: "campaign",
@@ -838,6 +910,7 @@ func (e *engine) keepClass(class Class, v difftest.Verdict, idx int64) shrink.Ke
 			NITrials:    e.trials,
 			NITrialsMax: e.max,
 			NISeed:      e.cfg.Seed + idx, // same NI randomness as the original job
+			Metrics:     e.met,            // shrink replays are real pipeline work
 		})
 		if err != nil || len(sum.Results) != 1 {
 			return false

@@ -1,0 +1,89 @@
+package campaign
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/events"
+	"repro/internal/metrics"
+)
+
+// TestCampaignMetrics: a campaign with a registry attached (a) counts
+// every analyzed job and every persisted finding, (b) stamps throughput
+// rates onto its progress events, and (c) ships periodic KindMetrics
+// snapshots plus one final snapshot that already reflects the findings.
+func TestCampaignMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	var mu sync.Mutex
+	var progress, snaps []events.Event
+	rep, err := Run(context.Background(), Config{
+		N: 60, Seed: 7, Gen: smallGen(), NITrials: 2, Workers: 2,
+		CorpusDir: t.TempDir(), MaxPerClass: -1,
+		Metrics: reg,
+		Events: func(e events.Event) {
+			mu.Lock()
+			defer mu.Unlock()
+			switch e.Kind {
+			case events.KindProgress:
+				progress = append(progress, e)
+			case events.KindMetrics:
+				snaps = append(snaps, e)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	if got := int(snap.Counter("campaign_jobs_total")); got != rep.Analyzed {
+		t.Errorf("campaign_jobs_total = %d, report analyzed %d", got, rep.Analyzed)
+	}
+	if got := int(snap.Counter("pipeline_jobs_total")); got < rep.Analyzed {
+		t.Errorf("pipeline_jobs_total = %d, want >= %d (every analyzed job ran the pipeline)", got, rep.Analyzed)
+	}
+	var findings float64
+	for _, c := range snap.Counters {
+		if c.Name == "campaign_findings_total" {
+			findings += c.Value
+		}
+	}
+	if int(findings) != rep.NewFindings {
+		t.Errorf("campaign_findings_total sums to %d, report has %d new findings", int(findings), rep.NewFindings)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(progress) == 0 {
+		t.Fatal("no progress events")
+	}
+	rated := 0
+	for _, e := range progress {
+		if e.JobsPerSec > 0 {
+			rated++
+		}
+	}
+	if rated == 0 {
+		t.Error("no progress event carried a jobs/sec rate despite an attached registry")
+	}
+
+	if len(snaps) == 0 {
+		t.Fatal("no KindMetrics events on the stream")
+	}
+	last := snaps[len(snaps)-1]
+	if last.Snapshot == nil {
+		t.Fatal("KindMetrics event without a snapshot payload")
+	}
+	// The final snapshot is emitted after finalization, so its finding
+	// counters must agree with the report, not trail it.
+	var lastFindings float64
+	for _, c := range last.Snapshot.Counters {
+		if c.Name == "campaign_findings_total" {
+			lastFindings += c.Value
+		}
+	}
+	if int(lastFindings) != rep.NewFindings {
+		t.Errorf("final snapshot records %d findings, report %d", int(lastFindings), rep.NewFindings)
+	}
+}

@@ -17,6 +17,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // Kind discriminates events.
@@ -73,6 +75,11 @@ const (
 	// KindMerge is one worker finding merged into the fleet's main corpus;
 	// Key and Class identify it, Worker where it came from.
 	KindMerge
+	// KindMetrics is a periodic telemetry snapshot: Snapshot carries the
+	// emitting process's metrics registry. Fleet coordinators absorb these
+	// from worker streams into a merged view; the final one an operation
+	// emits reflects its end state.
+	KindMetrics
 )
 
 // kindNames is the canonical string form of each kind — the JSON
@@ -91,6 +98,7 @@ var kindNames = [...]string{
 	KindReclaim:    "reclaim",
 	KindWindowDone: "window-done",
 	KindMerge:      "merge",
+	KindMetrics:    "metrics",
 }
 
 // String names the kind.
@@ -157,6 +165,14 @@ type Event struct {
 	// Lo and Hi delimit a fleet lease window [Lo, Hi).
 	Lo int64 `json:"lo,omitempty"`
 	Hi int64 `json:"hi,omitempty"`
+	// JobsPerSec and FindingsPerSec are throughput rates since the
+	// operation started, carried on KindProgress ticks when the emitter
+	// has a metrics registry to compute them from.
+	JobsPerSec     float64 `json:"jobs_per_sec,omitempty"`
+	FindingsPerSec float64 `json:"findings_per_sec,omitempty"`
+	// Snapshot is the KindMetrics payload. A pointer so Event stays
+	// comparable and the field marshals away on every other kind.
+	Snapshot *metrics.Snapshot `json:"snapshot,omitempty"`
 }
 
 // Sink receives events; a nil Sink discards them. Engines call Emit, not
@@ -185,6 +201,9 @@ func (e Event) Text() string {
 	case KindOpEnd:
 		return fmt.Sprintf("[%s] end: %s", e.Op, e.Detail)
 	case KindProgress:
+		if e.JobsPerSec > 0 {
+			return fmt.Sprintf("[%s] %d/%d done (%.1f jobs/s, %.2f findings/s)", e.Op, e.Done, e.Total, e.JobsPerSec, e.FindingsPerSec)
+		}
 		return fmt.Sprintf("[%s] %d/%d done", e.Op, e.Done, e.Total)
 	case KindFinding:
 		return fmt.Sprintf("[%s] finding %s (index %d): %s", e.Op, e.Class, e.Index, e.Detail)
@@ -207,6 +226,12 @@ func (e Event) Text() string {
 		return fmt.Sprintf("[%s] %s finished [%d, %d): %d analyzed, %d findings", e.Op, e.Worker, e.Lo, e.Hi, e.Total, e.Done)
 	case KindMerge:
 		return fmt.Sprintf("[%s] merged %s finding %.12s (%s) from [%d, %d)", e.Op, e.Worker, e.Key, e.Class, e.Lo, e.Hi)
+	case KindMetrics:
+		if e.Snapshot == nil {
+			return fmt.Sprintf("[%s] metrics snapshot", e.Op)
+		}
+		return fmt.Sprintf("[%s] metrics snapshot: %d counters, %d gauges, %d histograms",
+			e.Op, len(e.Snapshot.Counters), len(e.Snapshot.Gauges), len(e.Snapshot.Histograms))
 	}
 	return ""
 }

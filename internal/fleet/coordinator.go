@@ -19,6 +19,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/events"
 	"repro/internal/gen"
+	"repro/internal/metrics"
 )
 
 // Config configures a coordinator run.
@@ -60,6 +61,11 @@ type Config struct {
 	// as dead leases are harvested, one merge event per finding copied
 	// into the main corpus, and warnings. nil discards.
 	Events events.Sink
+	// Metrics, when non-nil, receives the coordinator's fleet telemetry:
+	// active/stale lease and heartbeat-age gauges, reclaim and window
+	// counters, per-worker merge counters, and the
+	// fleet_last_scan_unix_seconds liveness gauge HealthChecker reads.
+	Metrics *metrics.Registry
 }
 
 // Report is the coordinator's outcome.
@@ -145,7 +151,19 @@ func RunCoordinator(ctx context.Context, cfg Config) (*Report, error) {
 	mergedKeys := map[string]bool{}
 	start := time.Now()
 
+	// Pre-register the fleet series so a scrape taken the instant the
+	// coordinator starts already shows them (at zero), and cache the
+	// per-scan handles. All nil and no-op without a registry.
+	lastScan := cfg.Metrics.Gauge("fleet_last_scan_unix_seconds")
+	cfg.Metrics.Gauge("fleet_active_leases")
+	cfg.Metrics.Gauge("fleet_stale_leases")
+	cfg.Metrics.Gauge("fleet_lease_heartbeat_age_seconds")
+	cfg.Metrics.Counter("fleet_reclaims_total")
+	cfg.Metrics.Counter("fleet_windows_done_total")
+	cfg.Metrics.Gauge("fleet_windows_total").SetInt(int64(len(windows)))
+
 	for {
+		lastScan.SetInt(time.Now().Unix())
 		scanDone(ctx, cfg, main, windows, states, mergedKeys, rep)
 		if err := reclaimExpired(cfg, man, rep); err != nil {
 			return rep, err
@@ -282,6 +300,7 @@ func scanDone(ctx context.Context, cfg Config, main *corpus.Corpus, windows []Wi
 		}
 		if mergeMarker(cfg, main, sc, st.marker, mergedKeys, rep) {
 			st.merged = true
+			cfg.Metrics.Counter("fleet_windows_done_total").Inc()
 		}
 	}
 }
@@ -325,6 +344,7 @@ func mergeMarker(cfg Config, main, staging *corpus.Corpus, m *DoneMarker, merged
 		}
 		mergedKeys[key] = true
 		rep.Merged++
+		cfg.Metrics.Counter("fleet_merged_findings_total", "worker", m.Worker).Inc()
 		cfg.Events.Emit(events.Event{
 			Kind: events.KindMerge, Op: "fleet", Worker: m.Worker,
 			Key: key, Class: string(e.Meta.Class), Lo: m.Lo, Hi: m.Hi,
@@ -344,6 +364,16 @@ func reclaimExpired(cfg Config, man *Manifest, rep *Report) error {
 	if err != nil {
 		return fmt.Errorf("fleet: %w", err)
 	}
+	// Per-scan lease survey: how many leases are live, how many this scan
+	// found stale (and reclaims below), and the oldest live heartbeat —
+	// the gauges /healthz summarizes.
+	var active, stale int
+	var oldest time.Duration
+	defer func() {
+		cfg.Metrics.Gauge("fleet_active_leases").SetInt(int64(active))
+		cfg.Metrics.Gauge("fleet_stale_leases").SetInt(int64(stale))
+		cfg.Metrics.Gauge("fleet_lease_heartbeat_age_seconds").Set(oldest.Seconds())
+	}()
 	for _, de := range ents {
 		var lo, hi int64
 		if _, err := fmt.Sscanf(de.Name(), "win-%d-%d.json", &lo, &hi); err != nil {
@@ -357,9 +387,14 @@ func reclaimExpired(cfg Config, man *Manifest, rep *Report) error {
 			os.Remove(filepath.Join(leasesDir(cfg.CorpusDir), de.Name()))
 			continue
 		}
-		if time.Since(info.ModTime()) <= man.LeaseTTL {
+		if age := time.Since(info.ModTime()); age <= man.LeaseTTL {
+			active++
+			if age > oldest {
+				oldest = age
+			}
 			continue
 		}
+		stale++
 		// Expired. The content is best-effort (the worker may have died
 		// mid-create); reclaim is by mtime alone.
 		var l Lease
@@ -371,6 +406,7 @@ func reclaimExpired(cfg Config, man *Manifest, rep *Report) error {
 			return fmt.Errorf("fleet: reclaim: %w", err)
 		}
 		rep.Reclaimed++
+		cfg.Metrics.Counter("fleet_reclaims_total").Inc()
 		cfg.Events.Emit(events.Event{
 			Kind: events.KindReclaim, Op: "fleet", Worker: l.Worker, Lo: lo, Hi: hi,
 			Detail: fmt.Sprintf("lease heartbeat stale for > %v; window re-issued", man.LeaseTTL),

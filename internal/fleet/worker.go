@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/events"
+	"repro/internal/metrics"
 )
 
 // WorkerOptions configures RunWorker. Campaign parameters come from the
@@ -37,6 +38,13 @@ type WorkerOptions struct {
 	// event per completed window, all carrying the worker id. nil
 	// discards.
 	Events events.Sink
+	// Metrics, when non-nil, accumulates across every window this worker
+	// runs: the leased campaigns (and their pipelines) record into it, and
+	// a fleet_worker_windows_total counter tracks completed windows. Each
+	// finished window also emits a KindMetrics snapshot event, which is
+	// how a coordinator ingesting this worker's stream learns its
+	// telemetry without sharing memory.
+	Metrics *metrics.Registry
 }
 
 // WorkerReport summarizes one worker's participation in a fleet run.
@@ -191,6 +199,7 @@ func runWindow(ctx context.Context, corpusDir, staging, id string, man *Manifest
 		MaxPerClass: man.MaxPerClass,
 		Log:         opts.Log,
 		Events:      workerStamped(opts.Events, id),
+		Metrics:     opts.Metrics,
 	})
 	close(hbStop)
 	<-hbDone
@@ -227,6 +236,15 @@ func runWindow(ctx context.Context, corpusDir, staging, id string, man *Manifest
 	rep.Windows++
 	rep.Analyzed += crep.Analyzed
 	rep.NewFindings += crep.NewFindings
+	if opts.Metrics != nil {
+		opts.Metrics.Counter("fleet_worker_windows_total").Inc()
+		// A snapshot after the window counter moved, so the stream's last
+		// KindMetrics per window reflects the window it closed.
+		snap := opts.Metrics.Snapshot()
+		workerStamped(opts.Events, id).Emit(events.Event{
+			Kind: events.KindMetrics, Op: "fleet", Snapshot: &snap,
+		})
+	}
 	return nil
 }
 

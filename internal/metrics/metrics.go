@@ -1,0 +1,278 @@
+// Package metrics is a dependency-free, race-clean registry of counters,
+// gauges, and fixed-bucket histograms for the fuzzing stack.
+//
+// There are no package-level globals: every component that wants to be
+// instrumented accepts a *Registry (usually through its config struct) and
+// a nil Registry is always legal — it hands out nil metric handles whose
+// methods no-op, so call sites never branch on "is telemetry on".
+//
+// A Registry serializes to two surfaces: Snapshot() produces a stable,
+// sorted, JSON-marshalable value (the schema behind metrics.json and the
+// KindMetrics event payload), and Snapshot.WriteExposition renders the
+// Prometheus text format served by `p4fuzzd -http`. A View merges the
+// snapshots of several processes (the coordinator plus its workers) into
+// one exposition, labeling each remote sample with its worker id.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DurationBuckets is the default histogram layout for operation latencies,
+// in seconds. It spans 100µs to 10s, which covers everything from a single
+// parse stage to a whole campaign window.
+var DurationBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// A Registry owns a process-local set of metric families. The zero value is
+// not usable; construct with NewRegistry. A nil *Registry is usable: every
+// lookup returns a nil handle whose methods do nothing.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	meta       map[string]series // key → (name, labels) for snapshots
+}
+
+type series struct {
+	name   string
+	labels map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+		meta:       make(map[string]series),
+	}
+}
+
+// labelsOf pairs up kv ("k1", "v1", "k2", "v2", ...); a trailing odd key is
+// ignored. Returns nil for no labels.
+func labelsOf(kv []string) map[string]string {
+	if len(kv) < 2 {
+		return nil
+	}
+	m := make(map[string]string, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		m[kv[i]] = kv[i+1]
+	}
+	return m
+}
+
+// seriesKey is the canonical map key: name{k1="v1",k2="v2"} with label keys
+// sorted, which is also exactly the exposition spelling of the series.
+func seriesKey(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[k]))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// Counter registers (or finds) a monotonically increasing counter.
+// kv are alternating label key/value pairs.
+func (r *Registry) Counter(name string, kv ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	labels := labelsOf(kv)
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[key]; ok {
+		return c
+	}
+	c := &Counter{}
+	r.counters[key] = c
+	r.meta[key] = series{name: name, labels: labels}
+	return c
+}
+
+// Gauge registers (or finds) a gauge: a float value that may go up or down.
+func (r *Registry) Gauge(name string, kv ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	labels := labelsOf(kv)
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[key]; ok {
+		return g
+	}
+	g := &Gauge{}
+	r.gauges[key] = g
+	r.meta[key] = series{name: name, labels: labels}
+	return g
+}
+
+// Histogram registers (or finds) a fixed-bucket histogram. buckets are the
+// finite upper bounds, ascending; an implicit +Inf bucket catches the rest.
+// All handles for one key share the layout of the first registration.
+func (r *Registry) Histogram(name string, buckets []float64, kv ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	labels := labelsOf(kv)
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[key]; ok {
+		return h
+	}
+	bounds := make([]float64, len(buckets))
+	copy(bounds, buckets)
+	sort.Float64s(bounds)
+	h := &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	r.histograms[key] = h
+	r.meta[key] = series{name: name, labels: labels}
+	return h
+}
+
+// A Counter is a monotonically increasing int64. Nil-safe.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (n must be >= 0 to keep the counter monotone; negative n is
+// ignored).
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count. Nil counters read as 0.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// A Gauge is a float64 that may move in either direction. Nil-safe.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// SetInt is Set for integer quantities (sizes, unix timestamps).
+func (g *Gauge) SetInt(v int64) { g.Set(float64(v)) }
+
+// Add moves the gauge by delta (CAS loop; safe under concurrency).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value. Nil gauges read as 0.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// A Histogram counts observations into fixed buckets. Nil-safe.
+type Histogram struct {
+	bounds []float64      // ascending finite upper bounds
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf overflow
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(d.Seconds())
+}
+
+// Count returns the total number of observations. Nil histograms read as 0.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}

@@ -1,0 +1,28 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// ExpositionHandler serves src() in the Prometheus text format. src is
+// called per request, so handing in (*Registry).Snapshot or
+// (*View).Snapshot gives a live endpoint.
+func ExpositionHandler(src func() Snapshot) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = src().WriteExposition(w)
+	})
+}
+
+// JSONHandler serves src() as indented JSON — the same schema WriteFile
+// persists, so `curl /metrics.json` and the final metrics.json artifact
+// are directly diffable.
+func JSONHandler(src func() Snapshot) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(src())
+	})
+}

@@ -1,0 +1,302 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// A Snapshot is a point-in-time copy of a registry, sorted by series name
+// then label set so equal registries marshal to byte-identical JSON. Bucket
+// bounds are finite only — the +Inf bucket is implied by Count and rendered
+// in the exposition, never stored (encoding/json cannot represent +Inf).
+type Snapshot struct {
+	Time       time.Time         `json:"time"`
+	Counters   []Sample          `json:"counters"`
+	Gauges     []Sample          `json:"gauges"`
+	Histograms []HistogramSample `json:"histograms"`
+}
+
+// A Sample is one counter or gauge series.
+type Sample struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// A HistogramSample is one histogram series. Buckets are cumulative, as in
+// the Prometheus exposition.
+type HistogramSample struct {
+	Name    string            `json:"name"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Count   int64             `json:"count"`
+	Sum     float64           `json:"sum"`
+	Buckets []Bucket          `json:"buckets"`
+}
+
+// A Bucket is a cumulative count of observations <= Le.
+type Bucket struct {
+	Le    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+func sortKey(name string, labels map[string]string) string {
+	return seriesKey(name, labels)
+}
+
+// Snapshot copies the registry's current values. Safe to call concurrently
+// with updates; each series is read atomically (the snapshot as a whole is
+// not a single atomic cut, which is fine for telemetry). Nil registries
+// produce an empty (but fully non-nil) snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Time:       time.Now().UTC(),
+		Counters:   []Sample{},
+		Gauges:     []Sample{},
+		Histograms: []HistogramSample{},
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for key, c := range r.counters {
+		m := r.meta[key]
+		snap.Counters = append(snap.Counters, Sample{Name: m.name, Labels: copyLabels(m.labels), Value: float64(c.Value())})
+	}
+	for key, g := range r.gauges {
+		m := r.meta[key]
+		snap.Gauges = append(snap.Gauges, Sample{Name: m.name, Labels: copyLabels(m.labels), Value: g.Value()})
+	}
+	for key, h := range r.histograms {
+		m := r.meta[key]
+		hs := HistogramSample{
+			Name:    m.name,
+			Labels:  copyLabels(m.labels),
+			Count:   h.Count(),
+			Sum:     h.Sum(),
+			Buckets: make([]Bucket, len(h.bounds)),
+		}
+		var cum int64
+		for i, le := range h.bounds {
+			cum += h.counts[i].Load()
+			hs.Buckets[i] = Bucket{Le: le, Count: cum}
+		}
+		snap.Histograms = append(snap.Histograms, hs)
+	}
+	snap.sort()
+	return snap
+}
+
+func copyLabels(labels map[string]string) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(labels))
+	for k, v := range labels {
+		m[k] = v
+	}
+	return m
+}
+
+func (s *Snapshot) sort() {
+	sort.Slice(s.Counters, func(i, j int) bool {
+		return sortKey(s.Counters[i].Name, s.Counters[i].Labels) < sortKey(s.Counters[j].Name, s.Counters[j].Labels)
+	})
+	sort.Slice(s.Gauges, func(i, j int) bool {
+		return sortKey(s.Gauges[i].Name, s.Gauges[i].Labels) < sortKey(s.Gauges[j].Name, s.Gauges[j].Labels)
+	})
+	sort.Slice(s.Histograms, func(i, j int) bool {
+		return sortKey(s.Histograms[i].Name, s.Histograms[i].Labels) < sortKey(s.Histograms[j].Name, s.Histograms[j].Labels)
+	})
+}
+
+// Counter returns the value of the named counter series (labels as kv
+// pairs), or 0 when absent. Convenience for consumers of persisted
+// snapshots (triage diff, CI gates, tests).
+func (s Snapshot) Counter(name string, kv ...string) float64 {
+	key := seriesKey(name, labelsOf(kv))
+	for _, c := range s.Counters {
+		if seriesKey(c.Name, c.Labels) == key {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// Gauge returns the value of the named gauge series, or 0 when absent.
+func (s Snapshot) Gauge(name string, kv ...string) float64 {
+	key := seriesKey(name, labelsOf(kv))
+	for _, g := range s.Gauges {
+		if seriesKey(g.Name, g.Labels) == key {
+			return g.Value
+		}
+	}
+	return 0
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteExposition renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): one `# TYPE` line per family, then one line per
+// series, with histograms expanded into cumulative _bucket series (the
+// `le="+Inf"` bucket restored from Count) plus _sum and _count.
+func (s Snapshot) WriteExposition(w io.Writer) error {
+	var lastFamily string
+	family := func(name, typ string) error {
+		if name == lastFamily {
+			return nil
+		}
+		lastFamily = name
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+		return err
+	}
+	for _, c := range s.Counters {
+		if err := family(c.Name, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", seriesKey(c.Name, c.Labels), formatFloat(c.Value)); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if err := family(g.Name, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", seriesKey(g.Name, g.Labels), formatFloat(g.Value)); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		if err := family(h.Name, "histogram"); err != nil {
+			return err
+		}
+		for _, b := range h.Buckets {
+			labels := withLabel(h.Labels, "le", formatFloat(b.Le))
+			if _, err := fmt.Fprintf(w, "%s %d\n", seriesKey(h.Name+"_bucket", labels), b.Count); err != nil {
+				return err
+			}
+		}
+		inf := withLabel(h.Labels, "le", "+Inf")
+		if _, err := fmt.Fprintf(w, "%s %d\n", seriesKey(h.Name+"_bucket", inf), h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", seriesKey(h.Name+"_sum", h.Labels), formatFloat(h.Sum)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", seriesKey(h.Name+"_count", h.Labels), h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// withLabel returns labels plus one extra pair, leaving the input intact.
+// The "le" key sorts within seriesKey like any other, but Prometheus
+// parsers accept label order freely.
+func withLabel(labels map[string]string, k, v string) map[string]string {
+	m := make(map[string]string, len(labels)+1)
+	for lk, lv := range labels {
+		m[lk] = lv
+	}
+	m[k] = v
+	return m
+}
+
+// WriteFile persists the snapshot as indented JSON via a temp file and
+// rename, so a reader never observes a torn write. The file lands with a
+// trailing newline, like every other artifact the stack writes.
+func WriteFile(path string, s Snapshot) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".metrics-*.json")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadFile loads a snapshot previously persisted by WriteFile.
+func ReadFile(path string) (Snapshot, error) {
+	var s Snapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// MergeSnapshots overlays upd on base: every series in upd replaces its
+// same-key counterpart in base, series only in base survive, and the
+// result carries upd's timestamp. This is the "rewrite what you know,
+// preserve what you don't" rule UpdateFile applies, so one process's
+// snapshot (say, a triage session's op timings) never erases another's
+// (a fleet run's worker-labeled telemetry) from a shared artifact.
+func MergeSnapshots(base, upd Snapshot) Snapshot {
+	out := Snapshot{Time: upd.Time}
+	seenC := make(map[string]bool, len(upd.Counters))
+	for _, c := range upd.Counters {
+		seenC[seriesKey(c.Name, c.Labels)] = true
+	}
+	out.Counters = append([]Sample{}, upd.Counters...)
+	for _, c := range base.Counters {
+		if !seenC[seriesKey(c.Name, c.Labels)] {
+			out.Counters = append(out.Counters, c)
+		}
+	}
+	seenG := make(map[string]bool, len(upd.Gauges))
+	for _, g := range upd.Gauges {
+		seenG[seriesKey(g.Name, g.Labels)] = true
+	}
+	out.Gauges = append([]Sample{}, upd.Gauges...)
+	for _, g := range base.Gauges {
+		if !seenG[seriesKey(g.Name, g.Labels)] {
+			out.Gauges = append(out.Gauges, g)
+		}
+	}
+	seenH := make(map[string]bool, len(upd.Histograms))
+	for _, h := range upd.Histograms {
+		seenH[seriesKey(h.Name, h.Labels)] = true
+	}
+	out.Histograms = append([]HistogramSample{}, upd.Histograms...)
+	for _, h := range base.Histograms {
+		if !seenH[seriesKey(h.Name, h.Labels)] {
+			out.Histograms = append(out.Histograms, h)
+		}
+	}
+	out.sort()
+	return out
+}
+
+// UpdateFile atomically rewrites path with the on-disk snapshot overlaid
+// by s (see MergeSnapshots). A missing or unreadable file degrades to a
+// plain WriteFile, so first writes and corrupt artifacts both heal.
+func UpdateFile(path string, s Snapshot) error {
+	if prev, err := ReadFile(path); err == nil {
+		s = MergeSnapshots(prev, s)
+	}
+	return WriteFile(path, s)
+}

@@ -1,0 +1,75 @@
+package metrics
+
+import "sync"
+
+// A View merges a local registry with snapshots shipped in from other
+// processes. The coordinator in cmd/p4fuzzd holds one: its own fleet
+// registry is local, and each worker subprocess periodically ships a
+// KindMetrics event whose payload Absorb stores here. Snapshot() then
+// yields one combined exposition in which every remote series carries a
+// worker="id" label (a remote series that already has a worker label —
+// stamped by the worker itself — is kept as-is).
+type View struct {
+	mu     sync.Mutex
+	local  *Registry
+	remote map[string]Snapshot
+}
+
+// NewView wraps a local registry (which may be nil).
+func NewView(local *Registry) *View {
+	return &View{local: local, remote: make(map[string]Snapshot)}
+}
+
+// Absorb stores the latest snapshot for one remote worker, replacing any
+// earlier one.
+func (v *View) Absorb(worker string, s Snapshot) {
+	if v == nil {
+		return
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.remote[worker] = s
+}
+
+// Snapshot merges local and all absorbed remote series into one sorted
+// snapshot. The timestamp is the local registry's (i.e. "now"), not the
+// remotes' — remote snapshot ages are visible per-worker via whatever
+// gauges the workers export, and the merged artifact should date itself.
+func (v *View) Snapshot() Snapshot {
+	if v == nil {
+		return (*Registry)(nil).Snapshot()
+	}
+	out := v.local.Snapshot()
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for worker, rs := range v.remote {
+		for _, c := range rs.Counters {
+			out.Counters = append(out.Counters, Sample{
+				Name:   c.Name,
+				Labels: ensureWorker(c.Labels, worker),
+				Value:  c.Value,
+			})
+		}
+		for _, g := range rs.Gauges {
+			out.Gauges = append(out.Gauges, Sample{
+				Name:   g.Name,
+				Labels: ensureWorker(g.Labels, worker),
+				Value:  g.Value,
+			})
+		}
+		for _, h := range rs.Histograms {
+			hs := h
+			hs.Labels = ensureWorker(h.Labels, worker)
+			out.Histograms = append(out.Histograms, hs)
+		}
+	}
+	out.sort()
+	return out
+}
+
+func ensureWorker(labels map[string]string, worker string) map[string]string {
+	if _, ok := labels["worker"]; ok {
+		return copyLabels(labels)
+	}
+	return withLabel(labels, "worker", worker)
+}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/diag"
 	"repro/internal/eval"
 	"repro/internal/lattice"
+	"repro/internal/metrics"
 	"repro/internal/resolve"
 	"repro/internal/types"
 )
@@ -69,6 +70,10 @@ type Experiment struct {
 	// signals, error strings, and rng stream); this exists for
 	// differential testing and benchmarking.
 	Interp bool
+	// Metrics, when non-nil, receives ni_trials_total (trials executed),
+	// ni_witnesses_total (violations found), and
+	// ni_escalation_rounds_total (adaptive rounds beyond the first).
+	Metrics *metrics.Registry
 
 	triedCompile bool
 	machA, machB *eval.Machine
@@ -137,6 +142,15 @@ func (e *Experiment) Run(trials int, seed int64) ([]Violation, error) {
 // fewer than requested when a runtime error aborts the loop, which keeps
 // trial-budget accounting exact.
 func (e *Experiment) RunN(trials int, seed int64) ([]Violation, int, error) {
+	out, ran, err := e.runN(trials, seed)
+	if e.Metrics != nil {
+		e.Metrics.Counter("ni_trials_total").Add(int64(ran))
+		e.Metrics.Counter("ni_witnesses_total").Add(int64(len(out)))
+	}
+	return out, ran, err
+}
+
+func (e *Experiment) runN(trials int, seed int64) ([]Violation, int, error) {
 	// BatchRand produces the bit-identical stream to
 	// rand.New(rand.NewSource(seed)), so the three engine paths below (and
 	// any recorded corpus seed) draw exactly the same trials.
@@ -247,9 +261,14 @@ func (e *Experiment) RunAdaptive(min, max int, seed int64) ([]Violation, int, er
 	}
 	ran := 0
 	round := min
+	rounds := 0
 	for ran < max {
 		if round > max-ran {
 			round = max - ran
+		}
+		rounds++
+		if rounds > 1 && e.Metrics != nil {
+			e.Metrics.Counter("ni_escalation_rounds_total").Inc()
 		}
 		out, executed, err := e.RunN(round, seed+int64(ran))
 		ran += executed

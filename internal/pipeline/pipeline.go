@@ -31,6 +31,7 @@ import (
 	"repro/internal/diag"
 	"repro/internal/eval"
 	"repro/internal/lattice"
+	"repro/internal/metrics"
 	"repro/internal/ni"
 	"repro/internal/parser"
 	"repro/internal/resolve"
@@ -123,6 +124,39 @@ type Options struct {
 	NISeed int64
 	// Observer overrides the NI observer label (zero = lattice bottom).
 	Observer lattice.Label
+	// Metrics, when non-nil, receives per-stage duration histograms
+	// (pipeline_stage_seconds{stage=...}), a pipeline_jobs_total counter,
+	// and the NI stage's trial/witness counters. Nil costs one no-op call
+	// per stage.
+	Metrics *metrics.Registry
+}
+
+// instruments caches the metric handles a run's hot path touches, so
+// workers never take the registry lock per job. The zero value (from a nil
+// registry) is all nil handles, whose methods no-op.
+type instruments struct {
+	jobs   *metrics.Counter
+	stages [NumStages]*metrics.Histogram
+}
+
+func newInstruments(r *metrics.Registry) instruments {
+	var ins instruments
+	ins.jobs = r.Counter("pipeline_jobs_total")
+	for s := Stage(0); s < NumStages; s++ {
+		ins.stages[s] = r.Histogram("pipeline_stage_seconds", metrics.DurationBuckets, "stage", s.String())
+	}
+	return ins
+}
+
+// observe records one finished job: stages that never ran (zero duration
+// after an earlier stage failed) are not observed.
+func (ins instruments) observe(r *JobResult) {
+	ins.jobs.Inc()
+	for s := Stage(0); s < NumStages; s++ {
+		if r.StageDur[s] > 0 {
+			ins.stages[s].ObserveDuration(r.StageDur[s])
+		}
+	}
 }
 
 // JobResult is the outcome of all stages for one job. Stages after a
@@ -231,6 +265,7 @@ func Run(ctx context.Context, jobs []Job, opts Options) (*Summary, error) {
 	}
 
 	start := time.Now()
+	ins := newInstruments(opts.Metrics)
 	results := make([]JobResult, len(jobs))
 	done := make([]bool, len(jobs))
 	idx := make(chan int)
@@ -242,7 +277,7 @@ func Run(ctx context.Context, jobs []Job, opts Options) (*Summary, error) {
 			for i := range idx {
 				job := jobs[i]
 				job.Seq = int64(i)
-				results[i] = runJob(job, opts, trials)
+				results[i] = runJob(job, opts, trials, ins)
 				done[i] = true
 			}
 		}()
@@ -317,6 +352,7 @@ func RunStream(ctx context.Context, jobs <-chan Job, opts Options) <-chan JobRes
 	if trials <= 0 {
 		trials = 8
 	}
+	ins := newInstruments(opts.Metrics)
 	out := make(chan JobResult)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -331,7 +367,7 @@ func RunStream(ctx context.Context, jobs <-chan Job, opts Options) <-chan JobRes
 					if !ok {
 						return
 					}
-					r := runJob(job, opts, trials)
+					r := runJob(job, opts, trials, ins)
 					select {
 					case out <- r:
 					case <-ctx.Done():
@@ -349,9 +385,10 @@ func RunStream(ctx context.Context, jobs <-chan Job, opts Options) <-chan JobRes
 }
 
 // runJob pushes one job through the stage sequence.
-func runJob(job Job, opts Options, trials int) JobResult {
+func runJob(job Job, opts Options, trials int, ins instruments) JobResult {
 	niSeed := opts.NISeed + job.Seq
 	r := JobResult{Job: job}
+	defer func() { ins.observe(&r) }()
 	lat := job.Lat
 	if lat == nil {
 		lat = lattice.TwoPoint()
@@ -419,7 +456,7 @@ func runJob(job Job, opts Options, trials int) JobResult {
 	code, compileErr := eval.Compile(prog)
 	for _, obs := range observers {
 		exp := &ni.Experiment{Prog: prog, Lat: lat, Observer: obs,
-			Code: code, Interp: compileErr != nil}
+			Code: code, Interp: compileErr != nil, Metrics: opts.Metrics}
 		var vio []ni.Violation
 		var ran int
 		var err error

@@ -11,7 +11,11 @@ package triage
 import (
 	"encoding/json"
 	"fmt"
+	"path/filepath"
+	"sort"
 	"strings"
+
+	"repro/internal/metrics"
 )
 
 // ClusterDelta is one cluster present in both reports whose size changed.
@@ -36,6 +40,12 @@ type DiffReport struct {
 	Shrunk []ClusterDelta `json:"shrunk,omitempty"`
 	// Unchanged counts clusters with identical membership size.
 	Unchanged int `json:"unchanged"`
+	// Fleet is a one-line summary of the fleet run that produced the new
+	// report, read from the metrics.json snapshot p4fuzzd persists next to
+	// the corpus: windows covered, lease reclaims, and per-worker merged
+	// finding counts. Empty when the corpus has no telemetry snapshot
+	// (single-process campaigns, pre-telemetry corpora).
+	Fleet string `json:"fleet,omitempty"`
 }
 
 // Changed reports whether the diff found any cluster-level movement.
@@ -74,7 +84,47 @@ func DiffReports(old, new *Report) *DiffReport {
 			d.Gone = append(d.Gone, old.Clusters[i])
 		}
 	}
+	d.Fleet = fleetSummary(new.CorpusDir)
 	return d
+}
+
+// fleetSummary condenses the corpus's persisted metrics snapshot into one
+// line of fleet context for the diff: how much work the run did and who
+// contributed the merged findings. Returns "" when no snapshot exists or
+// it records no fleet series.
+func fleetSummary(corpusDir string) string {
+	if corpusDir == "" {
+		return ""
+	}
+	snap, err := metrics.ReadFile(filepath.Join(corpusDir, "metrics.json"))
+	if err != nil {
+		return ""
+	}
+	windows := int(snap.Counter("fleet_windows_done_total"))
+	reclaims := int(snap.Counter("fleet_reclaims_total"))
+	type workerCount struct {
+		worker string
+		n      int
+	}
+	var merged []workerCount
+	for _, c := range snap.Counters {
+		if c.Name == "fleet_merged_findings_total" {
+			merged = append(merged, workerCount{c.Labels["worker"], int(c.Value)})
+		}
+	}
+	if windows == 0 && reclaims == 0 && len(merged) == 0 {
+		return ""
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].worker < merged[j].worker })
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet: %d windows done, %d reclaims", windows, reclaims)
+	if len(merged) > 0 {
+		b.WriteString("; merged findings by worker:")
+		for _, m := range merged {
+			fmt.Fprintf(&b, " %s=%d", m.worker, m.n)
+		}
+	}
+	return b.String()
 }
 
 // UnmarshalReport decodes a triage report from its JSON artifact form
@@ -93,6 +143,9 @@ func FormatDiff(d *DiffReport) string {
 	fmt.Fprintf(&b, "triage diff: %s -> %s\n", d.OldDir, d.NewDir)
 	fmt.Fprintf(&b, "  %d new, %d grown, %d shrunk, %d gone, %d unchanged\n",
 		len(d.New), len(d.Grown), len(d.Shrunk), len(d.Gone), d.Unchanged)
+	if d.Fleet != "" {
+		fmt.Fprintf(&b, "  %s\n", d.Fleet)
+	}
 	for _, c := range d.New {
 		fmt.Fprintf(&b, "\nNEW CLUSTER %s/%s/%s (%d findings)\n  exemplar %s\n  %s\n",
 			c.Class, c.Rule, c.Fingerprint, c.Size, c.ExemplarPath, c.ExemplarDetail)
@@ -119,6 +172,9 @@ func MarkdownDiff(d *DiffReport) string {
 	fmt.Fprintf(&b, "### Triage diff\n\n")
 	fmt.Fprintf(&b, "%d new · %d grown · %d shrunk · %d gone · %d unchanged\n\n",
 		len(d.New), len(d.Grown), len(d.Shrunk), len(d.Gone), d.Unchanged)
+	if d.Fleet != "" {
+		fmt.Fprintf(&b, "_%s_\n\n", d.Fleet)
+	}
 	if !d.Changed() {
 		b.WriteString("No cluster-level changes since the previous report.\n")
 		return b.String()

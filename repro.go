@@ -54,6 +54,15 @@
 // work-leasing fleet of processes coordinated through files under
 // <corpus>/fleet/ — see internal/fleet and EXPERIMENTS.md.
 //
+// Every operation also records telemetry — job counters, per-stage
+// pipeline timings, op-duration histograms — into the Session's metrics
+// registry: Session.Metrics returns the live snapshot, and the same
+// snapshot is persisted as metrics.json next to the corpus when each
+// operation ends. `p4fuzzd -http ADDR` serves the fleet-merged form
+// live (/metrics, /metrics.json, /healthz, /debug/pprof) while a fleet
+// runs — see internal/metrics and the fleet telemetry section of
+// EXPERIMENTS.md.
+//
 // The Session owns the corpus handle: the directory is opened once (its
 // metadata index makes that open cheap — sources are read and parsed only
 // when an operation needs them), and every operation reads and writes

@@ -14,6 +14,8 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -23,6 +25,7 @@ import (
 	"repro/internal/difftest"
 	"repro/internal/events"
 	"repro/internal/gen"
+	"repro/internal/metrics"
 	"repro/internal/pipeline"
 	"repro/internal/shrink"
 	"repro/internal/triage"
@@ -62,7 +65,16 @@ const (
 	EventReclaim    = events.KindReclaim
 	EventWindowDone = events.KindWindowDone
 	EventMerge      = events.KindMerge
+	// EventMetrics is a periodic telemetry snapshot; Event.Snapshot
+	// carries the emitting process's metrics registry.
+	EventMetrics = events.KindMetrics
 )
+
+// MetricsSnapshot is a point-in-time copy of a session's (or fleet
+// process's) metrics registry: sorted counter/gauge/histogram samples that
+// marshal to stable JSON (the metrics.json schema) and render to the
+// Prometheus text exposition via WriteExposition.
+type MetricsSnapshot = metrics.Snapshot
 
 // Corpus is a cached, validated handle over an on-disk finding corpus:
 // iter.Seq2-based iteration (Entries), filtered queries (Select), Stats,
@@ -129,6 +141,13 @@ type Session struct {
 	events   chan Event
 	closed   bool
 	dropped  atomic.Int64
+
+	// metrics is the session's registry, threaded through every operation:
+	// campaigns, their pipelines, and NI experiments all record into it,
+	// so counts accumulate across the session's operations. Snapshots are
+	// exposed live via Metrics() and persisted as <corpus>/metrics.json at
+	// every op-end.
+	metrics *metrics.Registry
 
 	// corp is the session's one corpus handle, opened lazily by Corpus()
 	// and threaded through every operation: Campaign, Replay, Triage,
@@ -218,7 +237,7 @@ func WithEventBuffer(n int) SessionOption { return func(s *Session) { s.eventBuf
 // eagerly — an unresolvable lattice spec or an out-of-range shard fails
 // here, not minutes into a campaign.
 func NewSession(opts ...SessionOption) (*Session, error) {
-	s := &Session{numShards: 1, eventBuf: 1024}
+	s := &Session{numShards: 1, eventBuf: 1024, metrics: metrics.NewRegistry()}
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -350,8 +369,10 @@ func (s *Session) emitCritical(e Event) {
 // holds the operation's complete stream.
 func (s *Session) startOp(op string) func(detail string) {
 	before := s.dropped.Load()
+	t0 := time.Now()
 	s.emitCritical(Event{Kind: events.KindOpStart, Op: op})
 	return func(detail string) {
+		s.metrics.Histogram("session_op_seconds", metrics.DurationBuckets, "op", op).ObserveDuration(time.Since(t0))
 		if d := s.dropped.Load() - before; d > 0 {
 			s.emitCritical(Event{
 				Kind: events.KindWarning, Op: op, Done: int(d),
@@ -359,6 +380,33 @@ func (s *Session) startOp(op string) func(detail string) {
 			})
 		}
 		s.emitCritical(Event{Kind: events.KindOpEnd, Op: op, Detail: detail})
+		s.writeMetricsSnapshot()
+	}
+}
+
+// Metrics returns a point-in-time snapshot of the session's telemetry:
+// job/verdict/finding counters, per-stage pipeline histograms, NI budget
+// spend, and per-operation duration histograms, accumulated across every
+// operation this session has run.
+func (s *Session) Metrics() MetricsSnapshot { return s.metrics.Snapshot() }
+
+// writeMetricsSnapshot persists the registry as <corpus>/metrics.json
+// (atomically, temp+rename) so every run leaves a machine-diffable
+// telemetry artifact next to its findings. Sessions without a corpus
+// directory have nowhere durable to write; a write failure costs the
+// artifact, never the operation.
+func (s *Session) writeMetricsSnapshot() {
+	if s.corpusDir == "" {
+		return
+	}
+	if err := os.MkdirAll(s.corpusDir, 0o755); err != nil {
+		return
+	}
+	// Merge-on-write (UpdateFile): this session overwrites only its own
+	// series, so telemetry another process left in the artifact — a fleet
+	// run's worker-labeled counters, say — survives a later triage pass.
+	if err := metrics.UpdateFile(filepath.Join(s.corpusDir, "metrics.json"), s.metrics.Snapshot()); err != nil && s.log != nil {
+		fmt.Fprintf(s.log, "session: %v (metrics snapshot lost)\n", err)
 	}
 }
 
@@ -404,6 +452,7 @@ func (s *Session) Campaign(ctx context.Context, n int) (*CampaignReport, error) 
 		MaxPerClass: s.maxPerClass,
 		Log:         s.log,
 		Events:      s.sink(),
+		Metrics:     s.metrics,
 	})
 	summary := ""
 	if rep != nil {
@@ -442,6 +491,7 @@ func (s *Session) CampaignWindow(ctx context.Context, lo, hi int64) (*CampaignRe
 		MaxPerClass: s.maxPerClass,
 		Log:         s.log,
 		Events:      s.sink(),
+		Metrics:     s.metrics,
 	})
 	summary := ""
 	if rep != nil {
@@ -587,6 +637,7 @@ func (s *Session) batchOptions() pipeline.Options {
 		NITrials:    s.trials,
 		NITrialsMax: s.trialsMax,
 		NISeed:      s.seed,
+		Metrics:     s.metrics,
 	}
 }
 

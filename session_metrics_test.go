@@ -1,0 +1,77 @@
+// Tests for the Session's telemetry surface: the in-process Metrics()
+// snapshot and the metrics.json artifact persisted next to the corpus at
+// the end of every operation.
+package repro_test
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"repro"
+	"repro/internal/metrics"
+)
+
+// TestSessionMetricsPersisted: after a campaign, Metrics() and the
+// persisted metrics.json agree with the report — the job counter equals
+// the analyzed count (the same number the op-end event summarizes) — and
+// the session's own operation histogram recorded the op.
+func TestSessionMetricsPersisted(t *testing.T) {
+	dir := t.TempDir()
+	s, err := repro.NewSession(
+		repro.WithCorpus(dir),
+		repro.WithGenConfig(smallSessionGen()),
+		repro.WithSeed(17),
+		repro.WithNIBudget(2, 0),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	rep, err := s.Campaign(context.Background(), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	live := s.Metrics()
+	if got := int(live.Counter("campaign_jobs_total")); got != rep.Analyzed {
+		t.Errorf("live campaign_jobs_total = %d, report analyzed %d", got, rep.Analyzed)
+	}
+
+	persisted, err := metrics.ReadFile(filepath.Join(dir, "metrics.json"))
+	if err != nil {
+		t.Fatalf("metrics.json not persisted next to the corpus: %v", err)
+	}
+	if got := int(persisted.Counter("campaign_jobs_total")); got != rep.Analyzed {
+		t.Errorf("persisted campaign_jobs_total = %d, report analyzed %d", got, rep.Analyzed)
+	}
+	opSeen := false
+	for _, h := range persisted.Histograms {
+		if h.Name == "session_op_seconds" && h.Labels["op"] == "campaign" && h.Count > 0 {
+			opSeen = true
+		}
+	}
+	if !opSeen {
+		t.Error("persisted snapshot has no session_op_seconds{op=\"campaign\"} observation")
+	}
+
+	// A second operation on the same session accumulates into the same
+	// registry and rewrites the artifact.
+	if _, err := s.Replay(context.Background()); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	persisted, err = metrics.ReadFile(filepath.Join(dir, "metrics.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replaySeen := false
+	for _, h := range persisted.Histograms {
+		if h.Name == "session_op_seconds" && h.Labels["op"] == "replay" && h.Count > 0 {
+			replaySeen = true
+		}
+	}
+	if !replaySeen {
+		t.Error("rewritten snapshot has no session_op_seconds{op=\"replay\"} observation")
+	}
+}
