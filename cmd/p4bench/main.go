@@ -8,6 +8,8 @@
 //	                       throughput over a generated corpus
 //	p4bench -ni            NI trials/sec, tree-walking interpreter vs the
 //	                       compiled engine, single-core and parallel
+//	p4bench -exhaust       exhaustive NI oracle assignments/sec at secret
+//	                       widths 4/8/12/16 (the BENCH_exhaust.json format)
 //	p4bench -all           everything
 //
 // Every suite prints human-readable text to stdout; -o FILE additionally
@@ -21,7 +23,10 @@
 //	p4bench -compare [-md] BASELINE.json CURRENT.json
 //
 // which exits 1 when the current NI run regressed against the committed
-// baseline (see bench.CompareNI for the policy).
+// baseline (see bench.CompareNI for the policy). When both files are
+// exhaustive-oracle documents (schema "p4bench/exhaust/v1"), the gate is
+// bench.CompareExhaust instead: enumeration identity must hold exactly,
+// absolute rates are advisory.
 //
 // See EXPERIMENTS.md for the recorded paper-vs-measured comparison.
 package main
@@ -37,13 +42,14 @@ import (
 
 // combinedDoc is the -o payload when more than one suite ran.
 type combinedDoc struct {
-	Schema         string              `json:"schema"`
-	Table1         []bench.Table1Row   `json:"table1,omitempty"`
-	Matrix         []bench.MatrixRow   `json:"matrix,omitempty"`
-	ScalingSize    []bench.ScalingRow  `json:"scaling_size,omitempty"`
-	ScalingLattice []bench.LatticeRow  `json:"scaling_lattice,omitempty"`
-	Pipeline       []bench.PipelineRow `json:"pipeline,omitempty"`
-	NI             *bench.NIBenchDoc   `json:"ni,omitempty"`
+	Schema         string                 `json:"schema"`
+	Table1         []bench.Table1Row      `json:"table1,omitempty"`
+	Matrix         []bench.MatrixRow      `json:"matrix,omitempty"`
+	ScalingSize    []bench.ScalingRow     `json:"scaling_size,omitempty"`
+	ScalingLattice []bench.LatticeRow     `json:"scaling_lattice,omitempty"`
+	Pipeline       []bench.PipelineRow    `json:"pipeline,omitempty"`
+	NI             *bench.NIBenchDoc      `json:"ni,omitempty"`
+	Exhaust        *bench.ExhaustBenchDoc `json:"exhaust,omitempty"`
 }
 
 func main() {
@@ -52,6 +58,7 @@ func main() {
 	scaling := flag.Bool("scaling", false, "run the scaling sweeps")
 	pipe := flag.Bool("pipeline", false, "run the batch-analysis throughput sweep")
 	nib := flag.Bool("ni", false, "run the NI throughput suite (interpreter vs compiled engine)")
+	exb := flag.Bool("exhaust", false, "run the exhaustive-oracle throughput suite (assignments/sec by secret width)")
 	corpus := flag.Int("corpus", 200, "corpus size for -pipeline")
 	all := flag.Bool("all", false, "run everything")
 	reps := flag.Int("reps", 50, "repetitions per timing measurement")
@@ -65,9 +72,9 @@ func main() {
 		os.Exit(runCompare(*md, flag.Args()))
 	}
 	if *all {
-		*table1, *matrix, *scaling, *pipe, *nib = true, true, true, true, true
+		*table1, *matrix, *scaling, *pipe, *nib, *exb = true, true, true, true, true, true
 	}
-	if !*table1 && !*matrix && !*scaling && !*pipe && !*nib {
+	if !*table1 && !*matrix && !*scaling && !*pipe && !*nib && !*exb {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -109,12 +116,25 @@ func main() {
 		doc.NI = ni
 		fmt.Print(bench.FormatNI(ni))
 	}
+	if *exb {
+		suites++
+		ex, err := bench.ExhaustBench(bench.ExhaustBenchOptions{Seed: *seed})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p4bench: %v\n", err)
+			os.Exit(1)
+		}
+		doc.Exhaust = ex
+		fmt.Print(bench.FormatExhaust(ex))
+	}
 	if *out != "" {
 		// A lone -ni run writes the NI document itself — the BENCH_ni.json
 		// format the CI gate consumes.
 		var payload any = doc
 		if suites == 1 && doc.NI != nil {
 			payload = doc.NI
+		}
+		if suites == 1 && doc.Exhaust != nil {
+			payload = doc.Exhaust
 		}
 		if err := writeJSON(*out, payload); err != nil {
 			fmt.Fprintf(os.Stderr, "p4bench: %v\n", err)
@@ -150,12 +170,73 @@ func loadNIDoc(path string) (*bench.NIBenchDoc, error) {
 	return nil, fmt.Errorf("%s: not an NI benchmark document (want schema %q)", path, bench.NIBenchSchema)
 }
 
+// loadExhaustDoc reads an exhaustive-oracle benchmark document, accepting
+// both the bare BENCH_exhaust.json format and a combined -o document.
+func loadExhaustDoc(path string) (*bench.ExhaustBenchDoc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc bench.ExhaustBenchDoc
+	if err := json.Unmarshal(data, &doc); err == nil && doc.Schema == bench.ExhaustBenchSchema {
+		return &doc, nil
+	}
+	var combined combinedDoc
+	if err := json.Unmarshal(data, &combined); err == nil && combined.Exhaust != nil {
+		return combined.Exhaust, nil
+	}
+	return nil, fmt.Errorf("%s: not an exhaustive benchmark document (want schema %q)", path, bench.ExhaustBenchSchema)
+}
+
+// runCompareExhaust gates a current exhaustive-bench run against its
+// baseline; dispatched when both inputs carry the exhaust schema.
+func runCompareExhaust(md bool, basePath, curPath string) int {
+	base, err := loadExhaustDoc(basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p4bench: baseline: %v\n", err)
+		return 1
+	}
+	cur, err := loadExhaustDoc(curPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p4bench: current: %v\n", err)
+		return 1
+	}
+	c := bench.CompareExhaust(base, cur)
+	if md {
+		fmt.Print(bench.MarkdownCompareExhaust(c))
+		fmt.Println()
+		fmt.Print(bench.MarkdownExhaust(cur))
+	} else {
+		for _, w := range c.Warnings {
+			fmt.Printf("warning: %s\n", w)
+		}
+		for _, f := range c.Failures {
+			fmt.Printf("FAIL: %s\n", f)
+		}
+		if c.OK() {
+			fmt.Println("ok: enumeration identity matches the baseline")
+		}
+	}
+	if !c.OK() {
+		return 1
+	}
+	return 0
+}
+
 func runCompare(md bool, args []string) int {
 	if len(args) != 2 {
 		fmt.Fprintln(os.Stderr, "usage: p4bench -compare [-md] BASELINE.json CURRENT.json")
 		return 2
 	}
+	// NI documents keep priority (a combined doc can embed both suites;
+	// the historical gate is the NI one) — the exhaust gate runs when the
+	// baseline is not an NI document at all.
 	base, err := loadNIDoc(args[0])
+	if err != nil {
+		if _, eerr := loadExhaustDoc(args[0]); eerr == nil {
+			return runCompareExhaust(md, args[0], args[1])
+		}
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "p4bench: baseline: %v\n", err)
 		return 1

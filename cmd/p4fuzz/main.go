@@ -238,6 +238,9 @@ func runMain(args []string) int {
 	seed := fs.Int64("seed", 1, "base generation seed (program i uses seed+i)")
 	trials := fs.Int("trials", 0, "base NI trials per program (0 = 8 one-shot, 4 campaign)")
 	trialsMax := fs.Int("trials-max", 0, "adaptive NI ceiling for rejected programs (0 = campaign default, <0 or <= -trials disables)")
+	niOracle := fs.String("ni-oracle", "", "NI backend: adaptive (default), randomized, or exhaustive (proof-grade verdicts within -exhaust-budget)")
+	exhaustBudget := fs.Uint64("exhaust-budget", 0, "exhaustive oracle: assignment ceiling per observer (0 = 2^16)")
+	exhaustProbes := fs.Int("exhaust-probes", 0, "exhaustive oracle: public-input probes when only the secret space fits (0 = derived)")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	depth := fs.Int("depth", 3, "max conditional nesting in generated programs")
 	stmts := fs.Int("stmts", 5, "max statements per generated block")
@@ -307,6 +310,8 @@ func runMain(args []string) int {
 			repro.WithSeed(*seed),
 			repro.WithGenConfig(gcfg),
 			repro.WithNIBudget(t, *trialsMax),
+			repro.WithNIOracle(*niOracle),
+			repro.WithExhaustBudget(*exhaustBudget, *exhaustProbes),
 			repro.WithWorkers(*workers),
 		)
 		if err != nil {
@@ -349,6 +354,8 @@ func runMain(args []string) int {
 		repro.WithSeed(*seed),
 		repro.WithGenConfig(gcfg),
 		repro.WithNIBudget(*trials, *trialsMax),
+		repro.WithNIOracle(*niOracle),
+		repro.WithExhaustBudget(*exhaustBudget, *exhaustProbes),
 		repro.WithWorkers(*workers),
 		repro.WithShard(shardIdx, numShards),
 		repro.WithCorpus(*corpusDir),

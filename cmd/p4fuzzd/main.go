@@ -76,6 +76,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/gen"
 	"repro/internal/metrics"
+	"repro/internal/pipeline"
 )
 
 func main() { os.Exit(run(os.Args[1:])) }
@@ -97,6 +98,9 @@ func run(args []string) int {
 	latSpec := fs.String("lattice", "", "campaign lattice: two-point (default), diamond, chain:N, nparty:N, powerset:N, or product:a,b")
 	trials := fs.Int("trials", 0, "base NI trials per program (0 = campaign default)")
 	trialsMax := fs.Int("trials-max", 0, "adaptive NI ceiling for rejected programs (0 = campaign default)")
+	niOracle := fs.String("ni-oracle", "", "NI backend, manifest-wide: adaptive (default), randomized, or exhaustive")
+	exhaustBudget := fs.Uint64("exhaust-budget", 0, "exhaustive oracle: assignment ceiling per observer (0 = 2^16)")
+	exhaustProbes := fs.Int("exhaust-probes", 0, "exhaustive oracle: public-input probes when only the secret space fits (0 = derived)")
 	mutate := fs.Bool("mutate", false, "mutate staged corpus findings for half of each worker's jobs")
 	mutateFrac := fs.Float64("mutate-frac", 0, "fraction of jobs mutated under -mutate (0 = 0.5)")
 	minimize := fs.Bool("minimize", false, "shrink findings to minimal reproducers before persisting")
@@ -184,23 +188,31 @@ func run(args []string) int {
 		}
 	}
 
+	if !pipeline.ValidOracle(*niOracle) {
+		fmt.Fprintf(os.Stderr, "p4fuzzd: unknown NI oracle %q (want adaptive, randomized, or exhaustive)\n", *niOracle)
+		return 2
+	}
+
 	rep, err := fleet.RunCoordinator(ctx, fleet.Config{
-		CorpusDir:   *corpusDir,
-		N:           *n,
-		WindowSize:  *window,
-		Seed:        *seed,
-		Gen:         gcfg,
-		NITrials:    *trials,
-		NITrialsMax: *trialsMax,
-		Mutate:      *mutate,
-		MutateFrac:  *mutateFrac,
-		Minimize:    *minimize,
-		MaxPerClass: *maxPerClass,
-		LeaseTTL:    *leaseTTL,
-		Poll:        *poll,
-		Log:         os.Stderr,
-		Events:      sink,
-		Metrics:     reg,
+		CorpusDir:     *corpusDir,
+		N:             *n,
+		WindowSize:    *window,
+		Seed:          *seed,
+		Gen:           gcfg,
+		NITrials:      *trials,
+		NITrialsMax:   *trialsMax,
+		NIOracle:      *niOracle,
+		ExhaustBudget: *exhaustBudget,
+		ExhaustProbes: *exhaustProbes,
+		Mutate:        *mutate,
+		MutateFrac:    *mutateFrac,
+		Minimize:      *minimize,
+		MaxPerClass:   *maxPerClass,
+		LeaseTTL:      *leaseTTL,
+		Poll:          *poll,
+		Log:           os.Stderr,
+		Events:        sink,
+		Metrics:       reg,
 	})
 	// Workers exit on their own once the manifest is retired (success) or
 	// their context dies (cancellation); wait so their final events land.

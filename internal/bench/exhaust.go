@@ -1,0 +1,265 @@
+// Exhaustive-oracle throughput suite: the enumeration point of the
+// cross-PR perf trajectory. One synthetic program per secret width runs
+// under internal/exhaust with a budget that admits the full space, so
+// every row measures a complete proof: the secret space is 2^width, the
+// public space a fixed 2 bits, and the measured rate is assignments/sec
+// over the compiled engine.
+//
+// The CI gate compares what is machine-portable — the schema, each row's
+// verdict, and its exact assignment count (enumeration is deterministic:
+// the same width and budget must enumerate the same space) — and treats
+// absolute rates as advisory: a rate warning is telemetry, a verdict or
+// count drift is a real semantic change and fails the gate outright.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/exhaust"
+	"repro/internal/lattice"
+	"repro/internal/ni"
+	"repro/internal/parser"
+)
+
+// ExhaustBenchSchema versions BENCH_exhaust.json; bump it when the
+// workload construction or row semantics change.
+const ExhaustBenchSchema = "p4bench/exhaust/v1"
+
+// ExhaustBenchOptions configures the suite. The zero value means
+// defaults.
+type ExhaustBenchOptions struct {
+	// Seed seeds each width's enumeration (probe draws are unused in
+	// total mode, but the seed is part of the deterministic contract).
+	Seed int64
+	// Widths lists the secret widths (bits) to sweep.
+	Widths []int
+	// Budget is the assignment ceiling handed to the oracle; it must
+	// admit 2^(width+2) for the widest width or that row goes
+	// inconclusive (the gate will catch it as a verdict drift).
+	Budget uint64
+}
+
+func (o ExhaustBenchOptions) withDefaults() ExhaustBenchOptions {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if len(o.Widths) == 0 {
+		o.Widths = []int{4, 8, 12, 16}
+	}
+	if o.Budget == 0 {
+		o.Budget = 1 << 22
+	}
+	return o
+}
+
+// ExhaustBenchRow is one measured width cell.
+type ExhaustBenchRow struct {
+	// Width is the secret field's bit width; SecretSpace is 2^Width.
+	Width       int    `json:"width"`
+	SecretSpace uint64 `json:"secret_space"`
+	// Verdict is the oracle's outcome string ("proved-secure" for every
+	// row of a healthy run) and Total whether the whole input space was
+	// enumerated; Assignments the exact number of enumerated assignments.
+	Verdict     string `json:"verdict"`
+	Total       bool   `json:"total"`
+	Assignments uint64 `json:"assignments"`
+	// ElapsedNS and AssignmentsPerSec are the measured (machine-local,
+	// advisory) rate.
+	ElapsedNS         int64   `json:"elapsed_ns"`
+	AssignmentsPerSec float64 `json:"assignments_per_sec"`
+}
+
+// ExhaustBenchDoc is the schema-versioned content of BENCH_exhaust.json.
+type ExhaustBenchDoc struct {
+	Schema    string              `json:"schema"`
+	GoVersion string              `json:"go_version"`
+	GOOS      string              `json:"goos"`
+	GOARCH    string              `json:"goarch"`
+	NumCPU    int                 `json:"num_cpu"`
+	Options   ExhaustBenchOptions `json:"options"`
+	Rows      []ExhaustBenchRow   `json:"rows"`
+}
+
+// exhaustBenchSrc builds the width-parameterized workload program: one
+// bit<width> secret the apply block reads but never leaks (the guarded
+// write is the identity), one 2-bit public field. The program is
+// IFC-rejected — a low write under a high guard — so it exercises
+// exactly the proved-imprecise path the oracle exists for, and a clean
+// enumeration is the expected verdict.
+func exhaustBenchSrc(width int) string {
+	return fmt.Sprintf(`
+header data_t {
+    <bit<2>, low> lo;
+    <bit<%d>, high> hi;
+    <bool, high> bhi;
+}
+struct headers { data_t d; }
+control Bench(inout headers hdr) {
+    apply {
+        if (hdr.d.bhi) {
+            hdr.d.lo = (hdr.d.lo ^ 2w0);
+        }
+    }
+}
+`, width)
+}
+
+// ExhaustBench measures every width row.
+func ExhaustBench(opts ExhaustBenchOptions) (*ExhaustBenchDoc, error) {
+	opts = opts.withDefaults()
+	doc := &ExhaustBenchDoc{
+		Schema:    ExhaustBenchSchema,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Options:   opts,
+	}
+	for _, w := range opts.Widths {
+		prog, err := parser.Parse(fmt.Sprintf("exhaust-%d.p4", w), exhaustBenchSrc(w))
+		if err != nil {
+			return nil, fmt.Errorf("bench: exhaust width %d: %v", w, err)
+		}
+		e := &ni.Experiment{Prog: prog, Lat: lattice.TwoPoint()}
+		o := exhaust.Oracle{Budget: opts.Budget}
+		start := time.Now()
+		res, err := o.Check(e, opts.Seed)
+		elapsed := time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("bench: exhaust width %d: %v", w, err)
+		}
+		row := ExhaustBenchRow{
+			Width:       w,
+			SecretSpace: uint64(1) << (w + 1), // bit<w> plus the bool guard
+			Verdict:     res.Outcome.String(),
+			Total:       res.Total,
+			Assignments: res.Assignments,
+			ElapsedNS:   elapsed.Nanoseconds(),
+		}
+		if elapsed > 0 {
+			row.AssignmentsPerSec = float64(res.Assignments) / elapsed.Seconds()
+		}
+		doc.Rows = append(doc.Rows, row)
+	}
+	return doc, nil
+}
+
+// ExhaustComparison is the CI gate's judgment of a current run against
+// the committed baseline.
+type ExhaustComparison struct {
+	// Failures are semantic drifts (schema, row set, verdict, assignment
+	// count) that fail the gate; Warnings are advisory rate observations.
+	Failures []string
+	Warnings []string
+}
+
+// OK reports a passing gate.
+func (c *ExhaustComparison) OK() bool { return len(c.Failures) == 0 }
+
+// exhaustRateWarnFactor is how far a row's assignments/sec may fall below
+// the baseline before the comparison notes it. Rates are machine-local so
+// this is a warning, never a failure.
+const exhaustRateWarnFactor = 0.5
+
+// CompareExhaust gates a current exhaustive-bench document against the
+// baseline: enumeration identity (verdicts, assignment counts, the width
+// set itself) must be bit-for-bit stable; throughput movement is
+// advisory.
+func CompareExhaust(base, cur *ExhaustBenchDoc) *ExhaustComparison {
+	c := &ExhaustComparison{}
+	if base.Schema != cur.Schema {
+		c.Failures = append(c.Failures, fmt.Sprintf("schema drift: baseline %q vs current %q — regenerate the baseline deliberately", base.Schema, cur.Schema))
+		return c
+	}
+	baseBy := map[int]ExhaustBenchRow{}
+	for _, r := range base.Rows {
+		baseBy[r.Width] = r
+	}
+	seen := map[int]bool{}
+	for _, r := range cur.Rows {
+		seen[r.Width] = true
+		b, ok := baseBy[r.Width]
+		if !ok {
+			c.Warnings = append(c.Warnings, fmt.Sprintf("width %d: new row, no baseline", r.Width))
+			continue
+		}
+		if r.Verdict != b.Verdict || r.Total != b.Total {
+			c.Failures = append(c.Failures, fmt.Sprintf("width %d: verdict drift: baseline %s (total=%v) vs current %s (total=%v)",
+				r.Width, b.Verdict, b.Total, r.Verdict, r.Total))
+		}
+		if r.Assignments != b.Assignments {
+			c.Failures = append(c.Failures, fmt.Sprintf("width %d: enumerated %d assignments, baseline enumerated %d — the swept space changed",
+				r.Width, r.Assignments, b.Assignments))
+		}
+		if b.AssignmentsPerSec > 0 && r.AssignmentsPerSec < b.AssignmentsPerSec*exhaustRateWarnFactor {
+			c.Warnings = append(c.Warnings, fmt.Sprintf("width %d: %.0f assignments/sec vs baseline %.0f (advisory; rates are machine-local)",
+				r.Width, r.AssignmentsPerSec, b.AssignmentsPerSec))
+		}
+	}
+	for _, b := range base.Rows {
+		if !seen[b.Width] {
+			c.Failures = append(c.Failures, fmt.Sprintf("width %d: row present in baseline but missing from current run", b.Width))
+		}
+	}
+	return c
+}
+
+// FormatExhaust renders the suite's rows as text.
+func FormatExhaust(doc *ExhaustBenchDoc) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "exhaustive NI oracle throughput (%s %s/%s, %d CPUs, budget %d)\n",
+		doc.GoVersion, doc.GOOS, doc.GOARCH, doc.NumCPU, doc.Options.Budget)
+	fmt.Fprintf(&b, "  %6s  %14s  %12s  %7s  %18s\n", "width", "secret space", "assignments", "verdict", "assignments/sec")
+	for _, r := range doc.Rows {
+		fmt.Fprintf(&b, "  %6d  %14d  %12d  %7s  %18.0f\n",
+			r.Width, r.SecretSpace, r.Assignments, shortVerdict(r.Verdict), r.AssignmentsPerSec)
+	}
+	return b.String()
+}
+
+func shortVerdict(v string) string {
+	switch v {
+	case "proved-secure":
+		return "secure"
+	case "proved-insecure":
+		return "leak"
+	}
+	return v
+}
+
+// MarkdownExhaust renders the rows as a GitHub-flavored Markdown table —
+// the fragment the CI job appends to its step summary.
+func MarkdownExhaust(doc *ExhaustBenchDoc) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### Exhaustive oracle throughput\n\n")
+	fmt.Fprintf(&b, "%s %s/%s · %d CPUs · budget %d\n\n", doc.GoVersion, doc.GOOS, doc.GOARCH, doc.NumCPU, doc.Options.Budget)
+	b.WriteString("| width | secret space | assignments | verdict | assignments/sec |\n")
+	b.WriteString("|---|---|---|---|---|\n")
+	for _, r := range doc.Rows {
+		fmt.Fprintf(&b, "| %d | %d | %d | %s | %.0f |\n", r.Width, r.SecretSpace, r.Assignments, r.Verdict, r.AssignmentsPerSec)
+	}
+	return b.String()
+}
+
+// MarkdownCompareExhaust renders the gate's judgment for the step
+// summary.
+func MarkdownCompareExhaust(c *ExhaustComparison) string {
+	var b strings.Builder
+	b.WriteString("### Exhaustive oracle gate\n\n")
+	switch {
+	case !c.OK():
+		b.WriteString("**FAIL** — enumeration identity drifted:\n\n")
+		for _, f := range c.Failures {
+			fmt.Fprintf(&b, "- ❌ %s\n", f)
+		}
+	default:
+		b.WriteString("✅ enumeration identity matches the baseline\n")
+	}
+	for _, w := range c.Warnings {
+		fmt.Fprintf(&b, "- ⚠️ %s\n", w)
+	}
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallExhaustOpts keeps the test fast: two narrow widths, full-space
+// proofs still guaranteed by the default budget.
+func smallExhaustOpts() ExhaustBenchOptions {
+	return ExhaustBenchOptions{Seed: 3, Widths: []int{2, 4}}
+}
+
+func TestExhaustBenchDeterministicIdentity(t *testing.T) {
+	a, err := ExhaustBench(smallExhaustOpts())
+	if err != nil {
+		t.Fatalf("ExhaustBench: %v", err)
+	}
+	b, err := ExhaustBench(smallExhaustOpts())
+	if err != nil {
+		t.Fatalf("ExhaustBench: %v", err)
+	}
+	if a.Schema != ExhaustBenchSchema {
+		t.Fatalf("schema = %q, want %q", a.Schema, ExhaustBenchSchema)
+	}
+	if len(a.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(a.Rows))
+	}
+	for i, r := range a.Rows {
+		w := smallExhaustOpts().Widths[i]
+		if r.Verdict != "proved-secure" || !r.Total {
+			t.Errorf("width %d: verdict %q total=%v, want a total proved-secure proof", w, r.Verdict, r.Total)
+		}
+		// bit<w> secret + the bool guard, times the 2-bit public field.
+		want := uint64(1) << (w + 3)
+		if r.Assignments != want {
+			t.Errorf("width %d: %d assignments, want %d", w, r.Assignments, want)
+		}
+		if r.Assignments != b.Rows[i].Assignments || r.Verdict != b.Rows[i].Verdict {
+			t.Errorf("width %d: two same-seed runs disagree on enumeration identity", w)
+		}
+	}
+	if c := CompareExhaust(a, b); !c.OK() {
+		t.Fatalf("self-comparison failed: %v", c.Failures)
+	}
+}
+
+func TestCompareExhaustCatchesDrift(t *testing.T) {
+	base, err := ExhaustBench(smallExhaustOpts())
+	if err != nil {
+		t.Fatalf("ExhaustBench: %v", err)
+	}
+	cur := *base
+	cur.Rows = append([]ExhaustBenchRow(nil), base.Rows...)
+	cur.Rows[0].Assignments++
+	cur.Rows[1].Verdict = "inconclusive"
+	c := CompareExhaust(base, &cur)
+	if c.OK() || len(c.Failures) != 2 {
+		t.Fatalf("drifted comparison: OK=%v failures=%v", c.OK(), c.Failures)
+	}
+	if !strings.Contains(c.Failures[0], "assignments") || !strings.Contains(c.Failures[1], "verdict drift") {
+		t.Fatalf("unexpected failure texts: %v", c.Failures)
+	}
+
+	schema := *base
+	schema.Schema = "p4bench/exhaust/v0"
+	if c := CompareExhaust(base, &schema); c.OK() {
+		t.Fatal("schema drift must fail the gate")
+	}
+}

@@ -76,6 +76,17 @@ const (
 	// baseline-accepted, and no interference witness over an escalated
 	// trial budget — each entry is a candidate conservative rejection.
 	ClassRejectedClean Class = "rejected-clean"
+	// ClassProvedImprecise is the precision class with proof, produced
+	// only under the exhaustive NI oracle: IFC-rejected, but enumeration
+	// certified the program non-interfering at every observer, so the
+	// rejection is definitely conservative — the checker's true
+	// imprecision frontier.
+	ClassProvedImprecise Class = "proved-imprecise"
+	// ClassUnderTested is the residue of the split: IFC-rejected, no
+	// witness, and the exhaustive oracle could not enumerate (width
+	// budget, int-typed secrets, ...) — still ambiguous between
+	// imprecision and a missed leak.
+	ClassUnderTested Class = "under-tested"
 	// ClassParserDisagreement marks programs whose parse → print →
 	// reparse roundtrip is not a fixed point.
 	ClassParserDisagreement Class = "parser-disagreement"
@@ -108,6 +119,10 @@ func classOf(v difftest.Verdict) (Class, bool) {
 		return ClassRuntimeError, true
 	case difftest.RejectedClean:
 		return ClassRejectedClean, true
+	case difftest.ProvedImprecise:
+		return ClassProvedImprecise, true
+	case difftest.UnderTested:
+		return ClassUnderTested, true
 	}
 	return "", false
 }
@@ -146,6 +161,16 @@ type Config struct {
 	NITrialsMax int
 	// Workers bounds the pipeline worker pool (<= 0 = GOMAXPROCS).
 	Workers int
+	// NIOracle selects the NI backend (see pipeline.Options.Oracle; "" is
+	// the historical adaptive default). "exhaustive" splits the
+	// rejected-clean precision class into proved-imprecise/under-tested
+	// and is recorded in each finding's Meta so replay re-checks under
+	// the same oracle.
+	NIOracle string
+	// ExhaustBudget and ExhaustProbes configure the exhaustive oracle
+	// (0 = defaults: exhaust.DefaultBudget runs, derived probes).
+	ExhaustBudget uint64
+	ExhaustProbes int
 	// Shard and NumShards select this process's slice of the campaign:
 	// global indices ≡ Shard (mod NumShards). NumShards <= 1 means
 	// unsharded; Shard must then be 0.
@@ -429,7 +454,8 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		e.mVerdicts[v] = e.met.Counter("campaign_verdicts_total", "class", v.String())
 	}
 	for _, c := range []Class{ClassSoundnessViolation, ClassGeneratorBug,
-		ClassRuntimeError, ClassRejectedClean, ClassParserDisagreement} {
+		ClassRuntimeError, ClassRejectedClean, ClassProvedImprecise,
+		ClassUnderTested, ClassParserDisagreement} {
 		e.met.Counter("campaign_findings_total", "class", string(c))
 	}
 	e.mDedup = e.met.Counter("campaign_dedup_hits_total")
@@ -555,12 +581,15 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}()
 
 	results := pipeline.RunStream(ctx, jobs, pipeline.Options{
-		Workers:     workers,
-		NI:          pipeline.NIAll,
-		NITrials:    e.trials,
-		NITrialsMax: e.max,
-		NISeed:      cfg.Seed,
-		Metrics:     cfg.Metrics,
+		Workers:       workers,
+		NI:            pipeline.NIAll,
+		NITrials:      e.trials,
+		NITrialsMax:   e.max,
+		NISeed:        cfg.Seed,
+		Oracle:        cfg.NIOracle,
+		ExhaustBudget: cfg.ExhaustBudget,
+		ExhaustProbes: cfg.ExhaustProbes,
+		Metrics:       cfg.Metrics,
 	})
 	for r := range results {
 		e.consume(&r)
@@ -842,6 +871,9 @@ func (e *engine) finalize(p pendingFinding, minimize bool) {
 			NISeed:        f.NISeed,
 			NITrials:      e.trials,
 			NITrialsMax:   e.max,
+			NIOracle:      e.cfg.NIOracle,
+			ExhaustBudget: e.cfg.ExhaustBudget,
+			ExhaustProbes: e.cfg.ExhaustProbes,
 			Gen:           e.gcfg,
 			Origin:        p.origin,
 			ParentKey:     p.parent,
@@ -905,12 +937,15 @@ func (e *engine) keepClass(class Class, v difftest.Verdict, idx int64) shrink.Ke
 	}
 	return func(cand string) bool {
 		sum, err := pipeline.Run(e.ctx, []pipeline.Job{{Name: "cand.p4", Source: cand, Lat: e.lat}}, pipeline.Options{
-			Workers:     1,
-			NI:          pipeline.NIAll,
-			NITrials:    e.trials,
-			NITrialsMax: e.max,
-			NISeed:      e.cfg.Seed + idx, // same NI randomness as the original job
-			Metrics:     e.met,            // shrink replays are real pipeline work
+			Workers:       1,
+			NI:            pipeline.NIAll,
+			NITrials:      e.trials,
+			NITrialsMax:   e.max,
+			NISeed:        e.cfg.Seed + idx, // same NI randomness as the original job
+			Oracle:        e.cfg.NIOracle,   // class must be judged under the same oracle
+			ExhaustBudget: e.cfg.ExhaustBudget,
+			ExhaustProbes: e.cfg.ExhaustProbes,
+			Metrics:       e.met, // shrink replays are real pipeline work
 		})
 		if err != nil || len(sum.Results) != 1 {
 			return false

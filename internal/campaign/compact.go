@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/corpus"
 	"repro/internal/events"
+	"repro/internal/metrics"
 	"repro/internal/shrink"
 )
 
@@ -51,6 +52,13 @@ type CompactConfig struct {
 	// Events receives job-done events per entry and a final progress
 	// tick; nil discards.
 	Events events.Sink
+	// Metrics, when non-nil, receives the pass's collapse statistics
+	// (compact_entries_total, compact_minimized_total,
+	// compact_collapsed_total, compact_bytes_saved_total,
+	// compact_skipped_total). The Session persists them into the corpus's
+	// metrics.json, where triage.DiffReports picks them up so nightly
+	// summaries show corpus convergence, not just growth.
+	Metrics *metrics.Registry
 }
 
 // CompactReport is a compaction's outcome.
@@ -97,6 +105,23 @@ func Compact(ctx context.Context, cfg CompactConfig) (*CompactReport, error) {
 	rep := &CompactReport{CorpusDir: cfg.CorpusDir}
 	start := time.Now()
 	defer func() { rep.Elapsed = time.Since(start) }()
+	// Pre-register the collapse series so a no-op pass still leaves them
+	// (at zero) in the persisted snapshot, then add the final tallies on
+	// the way out — the report is built incrementally, so one deferred
+	// add covers every exit path.
+	met := cfg.Metrics
+	met.Counter("compact_entries_total")
+	met.Counter("compact_minimized_total")
+	met.Counter("compact_collapsed_total")
+	met.Counter("compact_bytes_saved_total")
+	met.Counter("compact_skipped_total")
+	defer func() {
+		met.Counter("compact_entries_total").Add(int64(rep.Total))
+		met.Counter("compact_minimized_total").Add(int64(rep.Minimized))
+		met.Counter("compact_collapsed_total").Add(int64(rep.Collapsed))
+		met.Counter("compact_bytes_saved_total").Add(int64(rep.BytesSaved))
+		met.Counter("compact_skipped_total").Add(int64(rep.Skipped))
+	}()
 
 	corp := cfg.Corpus
 	if corp == nil {

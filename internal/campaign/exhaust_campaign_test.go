@@ -1,0 +1,71 @@
+package campaign
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+// TestExhaustiveCampaignSplitsAndReplays runs a small campaign under the
+// exhaustive oracle and locks the whole provenance chain: the old
+// rejected-clean pool splits into proved-imprecise / under-tested corpus
+// classes, each finding records the oracle it was judged with, and
+// Replay — which re-judges under the recorded oracle — reproduces every
+// class.
+func TestExhaustiveCampaignSplitsAndReplays(t *testing.T) {
+	dir := t.TempDir()
+	// One bit<8> + one bool secret field = 9 secret bits: inside the
+	// default budget, so the enumerator actually proves things. (Two
+	// fields put 17 secret bits per program, just over the 2^16 default:
+	// every finding would be under-tested.)
+	g := smallGen()
+	g.NumFields = 1
+	rep, err := Run(context.Background(), Config{
+		N:           120,
+		Seed:        42,
+		Gen:         g,
+		NITrials:    2,
+		NITrialsMax: 8,
+		NIOracle:    "exhaustive",
+		Workers:     2,
+		CorpusDir:   dir,
+	})
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	if rep.NewFindings == 0 {
+		t.Fatal("campaign persisted no findings")
+	}
+
+	c, err := corpus.Open(dir)
+	if err != nil {
+		t.Fatalf("open corpus: %v", err)
+	}
+	byClass := map[Class]int{}
+	for e, err := range c.Entries() {
+		if err != nil {
+			t.Fatalf("entry: %v", err)
+		}
+		byClass[e.Meta.Class]++
+		switch e.Meta.Class {
+		case ClassProvedImprecise, ClassUnderTested:
+			if e.Meta.NIOracle != "exhaustive" {
+				t.Errorf("%s: class %s recorded oracle %q, want exhaustive", e.Path, e.Meta.Class, e.Meta.NIOracle)
+			}
+		case ClassRejectedClean:
+			t.Errorf("%s: rejected-clean persisted under the exhaustive oracle — the split must be total", e.Path)
+		}
+	}
+	if byClass[ClassProvedImprecise] == 0 {
+		t.Fatalf("no proved-imprecise findings in %v — the enumerator never certified a rejection", byClass)
+	}
+
+	rr, err := Replay(context.Background(), ReplayConfig{CorpusDir: dir})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if !rr.OK() {
+		t.Fatalf("exhaustive-oracle corpus does not replay clean:\n%s", FormatReplayReport(rr))
+	}
+}

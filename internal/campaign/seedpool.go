@@ -65,7 +65,10 @@ func classWeight(c Class) float64 {
 		return 4
 	case ClassParserDisagreement, ClassRuntimeError:
 		return 3
-	case ClassRejectedClean:
+	case ClassRejectedClean, ClassProvedImprecise, ClassUnderTested:
+		// The split halves of rejected-clean stay on the precision
+		// frontier: proved-imprecise neighborhoods map the checker's
+		// conservatism, under-tested ones may hide real leaks.
 		return 2
 	default:
 		return 1

@@ -95,6 +95,15 @@ type Meta struct {
 	// in pre-mutation corpora; replay then uses its own defaults).
 	NITrials    int `json:"ni_trials,omitempty"`
 	NITrialsMax int `json:"ni_trials_max,omitempty"`
+	// NIOracle records the NI backend the finding was classified under
+	// ("" = the historical adaptive default); ExhaustBudget and
+	// ExhaustProbes pin the exhaustive oracle's enumeration parameters so
+	// replay reproduces the same eligibility and probe count. Proof
+	// provenance: a proved-imprecise entry is only meaningful together
+	// with the oracle that proved it.
+	NIOracle      string `json:"ni_oracle,omitempty"`
+	ExhaustBudget uint64 `json:"exhaust_budget,omitempty"`
+	ExhaustProbes int    `json:"exhaust_probes,omitempty"`
 	// Gen echoes the generator configuration the seeds assume, including
 	// the campaign lattice spec.
 	Gen gen.Config `json:"gen"`

@@ -34,10 +34,38 @@ func TestClassify(t *testing.T) {
 		{"witness outranks trial error", pipeline.JobResult{Base: okBase, IFC: okIFC, NIViolations: witness, NIErr: errors.New("x")}, SoundnessViolation},
 		{"rejected witnessed", pipeline.JobResult{Base: okBase, IFC: badIFC, NIViolations: witness}, RejectedWitnessed},
 		{"rejected clean", pipeline.JobResult{Base: okBase, IFC: badIFC}, RejectedClean},
+		{"rejected, proved secure", pipeline.JobResult{Base: okBase, IFC: badIFC, NIOutcome: ni.ProvedSecure, NIAssignments: 512}, ProvedImprecise},
+		{"rejected, enumeration inconclusive", pipeline.JobResult{Base: okBase, IFC: badIFC, NIOutcome: ni.Inconclusive, NIReason: "width-budget-exceeded"}, UnderTested},
+		{"witness outranks proof outcome", pipeline.JobResult{Base: okBase, IFC: badIFC, NIViolations: witness, NIOutcome: ni.ProvedInsecure}, RejectedWitnessed},
+		{"accepted ignores proof outcome", pipeline.JobResult{Base: okBase, IFC: okIFC, NIOutcome: ni.ProvedSecure}, Sound},
 	} {
 		got, _ := Classify(&tc.r)
 		if got != tc.want {
 			t.Errorf("%s: classified %v, want %v", tc.name, got, tc.want)
 		}
+	}
+}
+
+// TestReportCount locks the bounds-checked accessor: in-range verdicts
+// read the counts array, out-of-range ones (older or newer binaries'
+// enum values) read zero instead of panicking.
+func TestReportCount(t *testing.T) {
+	var r Report
+	r.Counts[ProvedImprecise] = 3
+	r.Counts[UnderTested] = 2
+	if got := r.Count(ProvedImprecise); got != 3 {
+		t.Errorf("Count(ProvedImprecise) = %d, want 3", got)
+	}
+	if got := r.Count(UnderTested); got != 2 {
+		t.Errorf("Count(UnderTested) = %d, want 2", got)
+	}
+	if got := r.Count(Verdict(-1)); got != 0 {
+		t.Errorf("Count(-1) = %d, want 0", got)
+	}
+	if got := r.Count(NumVerdicts); got != 0 {
+		t.Errorf("Count(NumVerdicts) = %d, want 0", got)
+	}
+	if got := r.Count(Verdict(1000)); got != 0 {
+		t.Errorf("Count(1000) = %d, want 0", got)
 	}
 }

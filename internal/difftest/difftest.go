@@ -21,7 +21,10 @@
 //     the trial budget. Precision data: the rejection may be conservative
 //     (flow-insensitivity, label creep) or the trials may simply have
 //     missed the leak; the ratio against RejectedWitnessed tracks the
-//     checker's observed precision.
+//     checker's observed precision. Under the exhaustive oracle this
+//     class splits into ProvedImprecise (enumeration certified the
+//     program non-interfering: the rejection is definitely conservative)
+//     and UnderTested (enumeration was inconclusive: still ambiguous).
 //   - GeneratorBug: the program failed to parse, resolve, or base-check.
 //     gen.Random promises syntactically and structurally valid output, so
 //     anything here is a generator (or frontend) defect.
@@ -39,6 +42,7 @@ import (
 
 	"repro/internal/events"
 	"repro/internal/gen"
+	"repro/internal/ni"
 	"repro/internal/pipeline"
 )
 
@@ -51,6 +55,16 @@ const (
 	Sound Verdict = iota
 	RejectedWitnessed
 	RejectedClean
+	// ProvedImprecise splits the precision class with proof: the
+	// exhaustive oracle enumerated the secret space at every observer and
+	// certified the rejected program non-interfering — the rejection is
+	// definitely conservative, not under-tested.
+	ProvedImprecise
+	// UnderTested is the other half of the split: the program was
+	// rejected, no witness was found, and the exhaustive oracle could not
+	// enumerate (width budget, int-typed secrets, ...), so the rejection
+	// remains unclassified between imprecision and a missed leak.
+	UnderTested
 	GeneratorBug
 	RuntimeError
 	SoundnessViolation
@@ -67,6 +81,10 @@ func (v Verdict) String() string {
 		return "rejected, interference witnessed"
 	case RejectedClean:
 		return "rejected, NI-clean (conservative?)"
+	case ProvedImprecise:
+		return "rejected, proved non-interfering (imprecise)"
+	case UnderTested:
+		return "rejected, enumeration inconclusive (under-tested)"
 	case GeneratorBug:
 		return "generator bug (parse/base failure)"
 	case RuntimeError:
@@ -96,6 +114,14 @@ type Config struct {
 	NITrialsMax int
 	// Workers bounds the pipeline worker pool (<= 0 = GOMAXPROCS).
 	Workers int
+	// Oracle selects the NI backend (see pipeline.Options.Oracle; "" is
+	// the adaptive default). With pipeline.OracleExhaustive the
+	// RejectedClean class splits into ProvedImprecise and UnderTested.
+	Oracle string
+	// ExhaustBudget and ExhaustProbes configure the exhaustive oracle
+	// (0 = defaults).
+	ExhaustBudget uint64
+	ExhaustProbes int
 	// Events receives the run's structured event stream: one job-done per
 	// classified program (Op "fuzz", Class the verdict), one finding event
 	// per reported finding, and a final progress tick. The batch pipeline
@@ -182,11 +208,14 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 
 	sum, err := pipeline.Run(ctx, jobs, pipeline.Options{
-		Workers:     cfg.Workers,
-		NI:          pipeline.NIAll,
-		NITrials:    cfg.NITrials,
-		NITrialsMax: cfg.NITrialsMax,
-		NISeed:      cfg.Seed,
+		Workers:       cfg.Workers,
+		NI:            pipeline.NIAll,
+		NITrials:      cfg.NITrials,
+		NITrialsMax:   cfg.NITrialsMax,
+		NISeed:        cfg.Seed,
+		Oracle:        cfg.Oracle,
+		ExhaustBudget: cfg.ExhaustBudget,
+		ExhaustProbes: cfg.ExhaustProbes,
 	})
 	rep := &Report{
 		RulesCited: map[string]int{},
@@ -268,8 +297,30 @@ func Classify(r *pipeline.JobResult) (Verdict, string) {
 		if r.NIErr != nil {
 			return RuntimeError, r.NIErr.Error()
 		}
+		// A clean rejection under the exhaustive oracle carries proof
+		// provenance: either enumeration certified the program secure
+		// (the rejection is imprecision, definitely) or it couldn't run
+		// and the program stays in the untested gap.
+		switch r.NIOutcome {
+		case ni.ProvedSecure:
+			return ProvedImprecise, "exhaustive: non-interfering at every observer (" +
+				fmt.Sprintf("%d assignments", r.NIAssignments) + ")"
+		case ni.Inconclusive:
+			return UnderTested, "exhaustive: " + r.NIReason
+		}
 		return RejectedClean, ""
 	}
+}
+
+// Count is the bounds-checked read of Report.Counts: out-of-range
+// verdicts (which String renders as "Verdict(%d)") count zero instead of
+// panicking, so callers indexing by verdicts from newer (or older)
+// binaries stay safe as the enum grows.
+func (r *Report) Count(v Verdict) int {
+	if v < 0 || v >= NumVerdicts {
+		return 0
+	}
+	return r.Counts[v]
 }
 
 // FormatReport renders the verdict table and any findings.

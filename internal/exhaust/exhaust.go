@@ -1,0 +1,313 @@
+// Package exhaust is the exhaustive non-interference oracle: the third
+// NI backend behind the ni.Oracle interface, alongside the randomized
+// and adaptive samplers.
+//
+// Where the randomized backends draw below-observer-equivalent input
+// pairs, this one enumerates. For a fixed public (observable) input
+// state, non-interference at observer l demands that every secret
+// assignment produce identical observable outputs — so the oracle walks
+// the whole secret space with an odometer over the control's
+// secret-labeled scalar leaves, runs the compiled engine once per
+// assignment, and compares each run's observable outputs against the
+// first assignment's. Any mismatch is a constructive proof of
+// interference (ProvedInsecure); covering the entire public × secret
+// space with no mismatch is a proof of security (ProvedSecure).
+//
+// Enumeration is bounded by a run budget:
+//
+//   - total mode: |public| × |secret| ≤ Budget — the full input space is
+//     enumerated; a clean sweep proves security over the whole space
+//     (Result.Total set).
+//   - probe mode: |secret| ≤ Budget but the public side is too wide
+//     (every generated control carries 47 bits of low-labeled
+//     standard_metadata alone) — every secret assignment is enumerated
+//     at each randomly drawn public probe. ProvedSecure then asserts
+//     that no secret can influence the observables at any tested public
+//     state; ProvedInsecure witnesses remain outright proofs.
+//   - ineligible: the secret space itself exceeds the budget, a secret
+//     is int-typed (unbounded), or the experiment shape rules out
+//     positional enumeration — Inconclusive, optionally delegating to a
+//     sampling Fallback so witnesses can still be found.
+package exhaust
+
+import (
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/metrics"
+	"repro/internal/ni"
+)
+
+// DefaultBudget bounds machine runs per observer check when
+// Oracle.Budget is zero. 2^16 keeps a campaign job under ~a tenth of a
+// second; raise it (ISSUE 10 suggests up to 2^24) for proof-grade
+// sweeps of a regression corpus.
+const DefaultBudget = 1 << 16
+
+// maxDerivedProbes caps the public probes derived from leftover budget
+// in probe mode when Oracle.Probes is zero.
+const maxDerivedProbes = 16
+
+// Inconclusive reasons (ni.Result.Reason).
+const (
+	// ReasonSecretBudget: the secret space alone exceeds the run budget.
+	ReasonSecretBudget = "width-budget-exceeded"
+	// ReasonIntTyped: an int-typed secret input has no finite domain.
+	ReasonIntTyped = "int-typed-secret"
+	// ReasonOpaque: a parameter type has no enumerable value domain.
+	ReasonOpaque = "opaque-typed-input"
+	// ReasonMultiPacket: the multi-packet adversary needs sequence
+	// enumeration, which the oracle does not attempt.
+	ReasonMultiPacket = "multi-packet"
+	// ReasonFixedInputs: FixInputs steers trials through a map-shaped
+	// path the positional enumerator cannot reproduce.
+	ReasonFixedInputs = "fixed-inputs"
+	// ReasonDuplicateParams: duplicate parameter names force map-keyed
+	// semantics.
+	ReasonDuplicateParams = "duplicate-params"
+	// ReasonNoCompile: the program only runs on the tree-walking
+	// interpreter; enumeration requires the compiled engine.
+	ReasonNoCompile = "compile-failed"
+)
+
+// Oracle is the exhaustive backend. The zero value enumerates with
+// DefaultBudget and no fallback.
+type Oracle struct {
+	// Budget is the maximum machine runs one Check may spend
+	// (0 = DefaultBudget). Eligibility and total-vs-probe mode are
+	// decided against it before any run happens.
+	Budget uint64
+	// Probes fixes the number of public probes in probe mode
+	// (0 = derived from the budget left after the secret space, capped
+	// at 16).
+	Probes int
+	// Fallback, when non-nil, is consulted for experiments the
+	// enumerator cannot touch at all (ineligible shapes, secret space
+	// over budget) so sampled witnesses are still found; the combined
+	// result keeps Outcome Inconclusive and the enumerator's Reason.
+	Fallback ni.Oracle
+}
+
+// Name implements ni.Oracle.
+func (o Oracle) Name() string { return "exhaustive" }
+
+// Check implements ni.Oracle.
+func (o Oracle) Check(e *ni.Experiment, seed int64) (ni.Result, error) {
+	budget := o.Budget
+	if budget == 0 {
+		budget = DefaultBudget
+	}
+	start := time.Now()
+	res, ran, err := o.enumerate(e, seed, budget)
+	reg := e.Metrics
+	reg.Histogram("exhaust_enumeration_seconds", metrics.DurationBuckets).Observe(time.Since(start).Seconds())
+	reg.Counter("exhaust_assignments_total").Add(int64(res.Assignments))
+	if err != nil {
+		return res, err
+	}
+	switch res.Outcome {
+	case ni.ProvedSecure:
+		reg.Counter("exhaust_proofs_total", "verdict", "secure").Inc()
+	case ni.ProvedInsecure:
+		reg.Counter("exhaust_proofs_total", "verdict", "insecure").Inc()
+	case ni.Inconclusive:
+		reg.Counter("exhaust_inconclusive_total", "reason", res.Reason).Inc()
+	}
+	if !ran && o.Fallback != nil {
+		// Nothing was enumerated; sample instead, but the verdict's
+		// strength stays Inconclusive with the enumerator's reason.
+		fres, ferr := o.Fallback.Check(e, seed)
+		fres.Outcome = ni.Inconclusive
+		fres.Reason = res.Reason
+		return fres, ferr
+	}
+	return res, nil
+}
+
+// enumerate plans and runs the sweep; ran reports whether any
+// enumeration happened (false for ineligible experiments, which makes
+// the fallback worthwhile).
+func (o Oracle) enumerate(e *ni.Experiment, seed int64, budget uint64) (ni.Result, bool, error) {
+	inconclusive := func(reason string) (ni.Result, bool, error) {
+		return ni.Result{Outcome: ni.Inconclusive, Reason: reason}, false, nil
+	}
+	if e.Packets > 1 {
+		return inconclusive(ReasonMultiPacket)
+	}
+	if e.FixInputs != nil {
+		return inconclusive(ReasonFixedInputs)
+	}
+	code := e.Engine()
+	if code == nil {
+		return inconclusive(ReasonNoCompile)
+	}
+	_, pts, err := e.ControlParams()
+	if err != nil {
+		return ni.Result{}, false, err
+	}
+	idx := code.ControlIndex(e.Control)
+	if idx < 0 {
+		return inconclusive(ReasonNoCompile)
+	}
+	names := code.ParamNames(idx)
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			return inconclusive(ReasonDuplicateParams)
+		}
+		seen[n] = true
+	}
+	obs := e.Observer
+	if obs.IsZero() {
+		obs = e.Lat.Bottom()
+	}
+
+	p := &plan{lat: e.Lat, obs: obs}
+	for _, n := range names {
+		st := pts[n]
+		root, reason := p.walk(st)
+		if reason != "" {
+			return inconclusive(reason)
+		}
+		p.params = append(p.params, root)
+		p.ptypes = append(p.ptypes, st)
+	}
+	secretCount, pubCount := uint64(1), uint64(1)
+	for i, lf := range p.leaves {
+		switch {
+		case lf.radix == 0: // public int: no finite domain, drawn per probe
+			p.intLeaves = append(p.intLeaves, i)
+			pubCount = satInf
+		case lf.secret:
+			p.secretIdx = append(p.secretIdx, i)
+			secretCount = satMul(secretCount, lf.radix)
+		default:
+			p.publicIdx = append(p.publicIdx, i)
+			pubCount = satMul(pubCount, lf.radix)
+		}
+	}
+	if secretCount > budget {
+		return inconclusive(ReasonSecretBudget)
+	}
+
+	m, _ := e.Machines(code)
+	sweep := &sweeper{plan: p, m: m, idx: idx, names: names}
+
+	if satMul(secretCount, pubCount) <= budget {
+		// Total mode: enumerate the whole public × secret space.
+		pub := newOdometer(p, p.publicIdx)
+		sec := newOdometer(p, p.secretIdx)
+		for {
+			vio, err := sweep.secrets(sec)
+			if err != nil || vio != nil {
+				return sweep.result(vio, true), true, err
+			}
+			if !pub.advance(p) {
+				break
+			}
+		}
+		return sweep.result(nil, true), true, nil
+	}
+
+	// Probe mode: all secrets per randomly drawn public probe.
+	probes := o.Probes
+	if probes <= 0 {
+		probes = maxDerivedProbes
+	}
+	if secretCount > 0 {
+		if max := int(budget / secretCount); probes > max {
+			probes = max
+		}
+	}
+	if probes < 1 {
+		probes = 1
+	}
+	rng := eval.NewBatchRand(seed)
+	sec := newOdometer(p, p.secretIdx)
+	for pr := 0; pr < probes; pr++ {
+		for _, li := range p.publicIdx {
+			p.vals[li] = eval.RandomFrom(p.leaves[li].t, rng)
+		}
+		for _, lf := range p.intLeaves {
+			p.vals[lf] = eval.RandomFrom(p.leaves[lf].t, rng)
+		}
+		sec.reset(p)
+		vio, err := sweep.secrets(sec)
+		if err != nil || vio != nil {
+			return sweep.result(vio, false), true, err
+		}
+	}
+	return sweep.result(nil, false), true, nil
+}
+
+// sweeper runs one enumerated assignment at a time and compares outputs
+// against the current public state's baseline.
+type sweeper struct {
+	plan  *plan
+	m     *eval.Machine
+	idx   int
+	names []string
+
+	runs    uint64
+	base    []eval.Value
+	baseSig eval.Signal
+}
+
+// secrets enumerates the secret odometer for the current public state.
+// The first assignment establishes the baseline observable outputs; any
+// later assignment differing in an observable leaf (or signal form) is a
+// violation.
+func (s *sweeper) secrets(sec *odometer) (*ni.Violation, error) {
+	p := s.plan
+	first := true
+	for {
+		args := make([]eval.Value, len(p.params))
+		for i, root := range p.params {
+			args[i] = p.build(root)
+		}
+		s.m.Reset()
+		outs, sig, err := s.m.RunIndexed(s.idx, args)
+		s.runs++
+		if err != nil {
+			return nil, err
+		}
+		if first {
+			first = false
+			s.base = s.base[:0]
+			for _, v := range outs {
+				s.base = append(s.base, eval.Copy(v))
+			}
+			s.baseSig = sig
+		} else {
+			if sig.Kind != s.baseSig.Kind {
+				return &ni.Violation{Trial: int(s.runs), Where: "signal",
+					A: s.baseSig.String(), B: sig.String()}, nil
+			}
+			for i, v := range outs {
+				if vio, ok := ni.DiffObservable(s.names[i], s.base[i], v, p.ptypes[i], p.obs, p.lat); !ok {
+					vio.Trial = int(s.runs)
+					return &vio, nil
+				}
+			}
+		}
+		if !sec.advance(p) {
+			return nil, nil
+		}
+	}
+}
+
+// result assembles the uniform ni.Result for a finished (or
+// witness-interrupted) sweep.
+func (s *sweeper) result(vio *ni.Violation, total bool) ni.Result {
+	r := ni.Result{
+		Trials:      int(s.runs),
+		Assignments: s.runs,
+		Total:       total,
+		Outcome:     ni.ProvedSecure,
+	}
+	if vio != nil {
+		r.Violations = []ni.Violation{*vio}
+		r.Outcome = ni.ProvedInsecure
+	}
+	return r
+}

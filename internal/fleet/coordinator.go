@@ -41,6 +41,14 @@ type Config struct {
 	// NITrials and NITrialsMax set the per-program NI budget workers run.
 	NITrials    int
 	NITrialsMax int
+	// NIOracle selects the NI backend workers classify with ("" =
+	// adaptive); ExhaustBudget and ExhaustProbes configure the exhaustive
+	// oracle. Manifest-wide like the seed: every worker must judge an
+	// index under the same oracle or the merged corpus mixes verdict
+	// semantics.
+	NIOracle      string
+	ExhaustBudget uint64
+	ExhaustProbes int
 	// Mutate, MutateFrac, Minimize, and MaxPerClass are passed through to
 	// the workers' campaign runs via the manifest.
 	Mutate      bool
@@ -218,6 +226,12 @@ func openManifest(cfg Config, gcfg gen.Config) (*Manifest, error) {
 			return nil, fmt.Errorf("fleet: an open fleet run at %s was recorded for a different seed or generator config — finish it with matching flags or remove it",
 				manifestPath(cfg.CorpusDir))
 		}
+		// The oracle is part of the campaign identity too: the same window
+		// judged under a different NI backend can classify differently.
+		if man.NIOracle != cfg.NIOracle || man.ExhaustBudget != cfg.ExhaustBudget || man.ExhaustProbes != cfg.ExhaustProbes {
+			return nil, fmt.Errorf("fleet: an open fleet run at %s was recorded for a different NI oracle configuration — finish it with matching flags or remove it",
+				manifestPath(cfg.CorpusDir))
+		}
 		return man, nil
 	}
 	if !os.IsNotExist(err) {
@@ -247,6 +261,7 @@ func openManifest(cfg Config, gcfg gen.Config) (*Manifest, error) {
 		Lo: lo, Hi: lo + cfg.N, Window: win,
 		Seed: cfg.Seed, Gen: gcfg,
 		NITrials: cfg.NITrials, NITrialsMax: cfg.NITrialsMax,
+		NIOracle: cfg.NIOracle, ExhaustBudget: cfg.ExhaustBudget, ExhaustProbes: cfg.ExhaustProbes,
 		Mutate: cfg.Mutate, MutateFrac: cfg.MutateFrac,
 		Minimize: cfg.Minimize, MaxPerClass: cfg.MaxPerClass,
 		LeaseTTL:  cfg.LeaseTTL,

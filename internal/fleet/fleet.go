@@ -77,6 +77,12 @@ type Manifest struct {
 	// NITrials and NITrialsMax are the per-program NI budget.
 	NITrials    int `json:"ni_trials,omitempty"`
 	NITrialsMax int `json:"ni_trials_max,omitempty"`
+	// NIOracle, ExhaustBudget, and ExhaustProbes fix the NI backend
+	// fleet-wide ("" = adaptive): verdict classes depend on the oracle, so
+	// it is part of the campaign identity the same way the seed is.
+	NIOracle      string `json:"ni_oracle,omitempty"`
+	ExhaustBudget uint64 `json:"exhaust_budget,omitempty"`
+	ExhaustProbes int    `json:"exhaust_probes,omitempty"`
 	// Mutate, MutateFrac, Minimize, and MaxPerClass mirror the campaign
 	// config fields of the same names. Note that under Mutate, workers
 	// draw seeds from their own staging corpora, so — exactly like the

@@ -30,6 +30,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/diag"
 	"repro/internal/eval"
+	"repro/internal/exhaust"
 	"repro/internal/lattice"
 	"repro/internal/metrics"
 	"repro/internal/ni"
@@ -124,11 +125,41 @@ type Options struct {
 	NISeed int64
 	// Observer overrides the NI observer label (zero = lattice bottom).
 	Observer lattice.Label
+	// Oracle selects the NI backend: OracleAdaptive (the default, also
+	// chosen by ""), OracleRandomized (flat budget, no escalation), or
+	// OracleExhaustive (internal/exhaust enumeration with the adaptive
+	// sampler as fallback for enumeration-ineligible jobs). The adaptive
+	// default degrades to a flat randomized budget when NITrialsMax
+	// doesn't exceed NITrials, exactly as before the oracle split.
+	Oracle string
+	// ExhaustBudget bounds machine runs per exhaustive observer check
+	// (0 = exhaust.DefaultBudget). Only read by OracleExhaustive.
+	ExhaustBudget uint64
+	// ExhaustProbes fixes the exhaustive oracle's public probes per
+	// observer (0 = derived from the budget).
+	ExhaustProbes int
 	// Metrics, when non-nil, receives per-stage duration histograms
 	// (pipeline_stage_seconds{stage=...}), a pipeline_jobs_total counter,
 	// and the NI stage's trial/witness counters. Nil costs one no-op call
 	// per stage.
 	Metrics *metrics.Registry
+}
+
+// Oracle names for Options.Oracle.
+const (
+	OracleAdaptive   = "adaptive"
+	OracleRandomized = "randomized"
+	OracleExhaustive = "exhaustive"
+)
+
+// ValidOracle reports whether name selects a known NI backend ("" is the
+// adaptive default).
+func ValidOracle(name string) bool {
+	switch name {
+	case "", OracleAdaptive, OracleRandomized, OracleExhaustive:
+		return true
+	}
+	return false
 }
 
 // instruments caches the metric handles a run's hot path touches, so
@@ -137,13 +168,34 @@ type Options struct {
 type instruments struct {
 	jobs   *metrics.Counter
 	stages [NumStages]*metrics.Histogram
+	// Exhaustive-oracle job accounting, pre-registered when the oracle is
+	// selected so the series are present even before the first job (and
+	// the CI identity sum(exhaust_job_verdicts_total) ==
+	// exhaust_jobs_total holds from the first snapshot).
+	exJobs     *metrics.Counter
+	exVerdicts map[ni.Outcome]*metrics.Counter
 }
 
-func newInstruments(r *metrics.Registry) instruments {
+func newInstruments(opts Options) instruments {
+	r := opts.Metrics
 	var ins instruments
 	ins.jobs = r.Counter("pipeline_jobs_total")
 	for s := Stage(0); s < NumStages; s++ {
 		ins.stages[s] = r.Histogram("pipeline_stage_seconds", metrics.DurationBuckets, "stage", s.String())
+	}
+	if opts.Oracle == OracleExhaustive {
+		ins.exJobs = r.Counter("exhaust_jobs_total")
+		ins.exVerdicts = map[ni.Outcome]*metrics.Counter{
+			ni.ProvedSecure:   r.Counter("exhaust_job_verdicts_total", "outcome", ni.ProvedSecure.String()),
+			ni.ProvedInsecure: r.Counter("exhaust_job_verdicts_total", "outcome", ni.ProvedInsecure.String()),
+			ni.Inconclusive:   r.Counter("exhaust_job_verdicts_total", "outcome", ni.Inconclusive.String()),
+		}
+		// The per-enumeration series internal/exhaust records, registered
+		// up front for deterministic presence in snapshots.
+		r.Counter("exhaust_assignments_total")
+		r.Counter("exhaust_proofs_total", "verdict", "secure")
+		r.Counter("exhaust_proofs_total", "verdict", "insecure")
+		r.Histogram("exhaust_enumeration_seconds", metrics.DurationBuckets)
 	}
 	return ins
 }
@@ -181,8 +233,21 @@ type JobResult struct {
 	NIRan bool
 	// NITrialsRun is the number of NI trials actually executed — less than
 	// the configured budget when an adaptive run stopped at a witness,
-	// more than NITrials when a rejected program escalated.
+	// more than NITrials when a rejected program escalated. For the
+	// exhaustive oracle each enumerated assignment run counts as one
+	// trial.
 	NITrialsRun int
+	// NIOracle is the backend family the NI stage ran under ("" when the
+	// stage was skipped): "randomized", "adaptive", or "exhaustive".
+	NIOracle string
+	// NIOutcome aggregates the per-observer oracle outcomes for the job
+	// (ProvedInsecure > Inconclusive > ProvedSecure; Sampled for the
+	// randomized backends). NIReason explains an Inconclusive outcome.
+	NIOutcome ni.Outcome
+	NIReason  string
+	// NIAssignments counts input assignments the exhaustive oracle
+	// enumerated across the observer sweep.
+	NIAssignments uint64
 	// StageDur records wall-clock time spent per stage.
 	StageDur [NumStages]time.Duration
 }
@@ -265,7 +330,7 @@ func Run(ctx context.Context, jobs []Job, opts Options) (*Summary, error) {
 	}
 
 	start := time.Now()
-	ins := newInstruments(opts.Metrics)
+	ins := newInstruments(opts)
 	results := make([]JobResult, len(jobs))
 	done := make([]bool, len(jobs))
 	idx := make(chan int)
@@ -352,7 +417,7 @@ func RunStream(ctx context.Context, jobs <-chan Job, opts Options) <-chan JobRes
 	if trials <= 0 {
 		trials = 8
 	}
-	ins := newInstruments(opts.Metrics)
+	ins := newInstruments(opts)
 	out := make(chan JobResult)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -454,32 +519,76 @@ func runJob(job Job, opts Options, trials int, ins instruments) JobResult {
 	// sweep to the tree-walking interpreter rather than retrying the
 	// compilation per observer.
 	code, compileErr := eval.Compile(prog)
+	orc := selectOracle(opts, baseT, maxT, r.IFC.OK)
+	r.NIOracle = orc.Name()
 	for _, obs := range observers {
 		exp := &ni.Experiment{Prog: prog, Lat: lat, Observer: obs,
 			Code: code, Interp: compileErr != nil, Metrics: opts.Metrics}
-		var vio []ni.Violation
-		var ran int
-		var err error
-		if maxT > baseT && !r.IFC.OK {
-			// Adaptive budget: a rejected program is where an interference
-			// witness is likely, so escalate toward the ceiling, stopping
-			// at the first witness.
-			vio, ran, err = exp.RunAdaptive(baseT, maxT, niSeed)
-		} else {
-			vio, ran, err = exp.RunN(baseT, niSeed)
+		res, err := orc.Check(exp, niSeed)
+		r.NIViolations = append(r.NIViolations, res.Violations...)
+		r.NITrialsRun += res.Trials
+		r.NIAssignments += res.Assignments
+		if outcomeRank(res.Outcome) > outcomeRank(r.NIOutcome) {
+			r.NIOutcome = res.Outcome
+			r.NIReason = res.Reason
 		}
-		r.NIViolations = append(r.NIViolations, vio...)
-		r.NITrialsRun += ran
 		if err != nil && r.NIErr == nil {
 			r.NIErr = err
 		}
-		if len(vio) > 0 {
+		if len(res.Violations) > 0 {
 			break
 		}
 	}
 	r.NIRan = true
+	if ins.exJobs != nil {
+		ins.exJobs.Inc()
+		if c := ins.exVerdicts[r.NIOutcome]; c != nil {
+			c.Inc()
+		}
+	}
 	r.StageDur[StageNI] = time.Since(t0)
 	return r
+}
+
+// selectOracle builds the per-observer NI backend a job runs under. The
+// default (and "adaptive") reproduces the historical dispatch exactly —
+// escalating rounds only for IFC-rejected jobs with headroom, otherwise
+// a flat budget with the identical rng stream — so oracle selection
+// never perturbs recorded corpora. The exhaustive oracle wraps that
+// default as its sampling fallback for enumeration-ineligible jobs.
+func selectOracle(opts Options, baseT, maxT int, ifcOK bool) ni.Oracle {
+	sampler := ni.Oracle(ni.Randomized{Trials: baseT})
+	if maxT > baseT && !ifcOK {
+		// Adaptive budget: a rejected program is where an interference
+		// witness is likely, so escalate toward the ceiling, stopping
+		// at the first witness.
+		sampler = ni.Adaptive{Min: baseT, Max: maxT}
+	}
+	switch opts.Oracle {
+	case OracleRandomized:
+		return ni.Randomized{Trials: baseT}
+	case OracleExhaustive:
+		return exhaust.Oracle{Budget: opts.ExhaustBudget, Probes: opts.ExhaustProbes, Fallback: sampler}
+	default:
+		return sampler
+	}
+}
+
+// outcomeRank orders oracle outcomes for per-job aggregation across the
+// observer sweep: one proved-insecure observer settles the job; any
+// inconclusive observer taints a would-be proof of security; all-secure
+// means secure.
+func outcomeRank(o ni.Outcome) int {
+	switch o {
+	case ni.ProvedInsecure:
+		return 3
+	case ni.Inconclusive:
+		return 2
+	case ni.ProvedSecure:
+		return 1
+	default:
+		return 0
+	}
 }
 
 // observersFor returns the observer labels worth sweeping: every element

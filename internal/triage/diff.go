@@ -46,6 +46,12 @@ type DiffReport struct {
 	// finding counts. Empty when the corpus has no telemetry snapshot
 	// (single-process campaigns, pre-telemetry corpora).
 	Fleet string `json:"fleet,omitempty"`
+	// Compaction is a one-line summary of corpus convergence, read from
+	// the same snapshot: how many entries Session.Compact examined,
+	// rewrote smaller, or collapsed onto existing findings, and the bytes
+	// freed. Empty when no compaction has recorded statistics — nightly
+	// summaries then show growth only.
+	Compaction string `json:"compaction,omitempty"`
 }
 
 // Changed reports whether the diff found any cluster-level movement.
@@ -85,7 +91,30 @@ func DiffReports(old, new *Report) *DiffReport {
 		}
 	}
 	d.Fleet = fleetSummary(new.CorpusDir)
+	d.Compaction = compactionSummary(new.CorpusDir)
 	return d
+}
+
+// compactionSummary condenses the compact_* counters Session.Compact
+// persists into the corpus's metrics.json into one line of convergence
+// context. Returns "" when no compaction statistics are recorded.
+func compactionSummary(corpusDir string) string {
+	if corpusDir == "" {
+		return ""
+	}
+	snap, err := metrics.ReadFile(filepath.Join(corpusDir, "metrics.json"))
+	if err != nil {
+		return ""
+	}
+	entries := int(snap.Counter("compact_entries_total"))
+	minimized := int(snap.Counter("compact_minimized_total"))
+	collapsed := int(snap.Counter("compact_collapsed_total"))
+	saved := int(snap.Counter("compact_bytes_saved_total"))
+	if entries == 0 && minimized == 0 && collapsed == 0 {
+		return ""
+	}
+	return fmt.Sprintf("compaction: %d entries examined, %d minimized, %d collapsed, %d bytes freed",
+		entries, minimized, collapsed, saved)
 }
 
 // fleetSummary condenses the corpus's persisted metrics snapshot into one
@@ -146,6 +175,9 @@ func FormatDiff(d *DiffReport) string {
 	if d.Fleet != "" {
 		fmt.Fprintf(&b, "  %s\n", d.Fleet)
 	}
+	if d.Compaction != "" {
+		fmt.Fprintf(&b, "  %s\n", d.Compaction)
+	}
 	for _, c := range d.New {
 		fmt.Fprintf(&b, "\nNEW CLUSTER %s/%s/%s (%d findings)\n  exemplar %s\n  %s\n",
 			c.Class, c.Rule, c.Fingerprint, c.Size, c.ExemplarPath, c.ExemplarDetail)
@@ -174,6 +206,9 @@ func MarkdownDiff(d *DiffReport) string {
 		len(d.New), len(d.Grown), len(d.Shrunk), len(d.Gone), d.Unchanged)
 	if d.Fleet != "" {
 		fmt.Fprintf(&b, "_%s_\n\n", d.Fleet)
+	}
+	if d.Compaction != "" {
+		fmt.Fprintf(&b, "_%s_\n\n", d.Compaction)
 	}
 	if !d.Changed() {
 		b.WriteString("No cluster-level changes since the previous report.\n")

@@ -1,10 +1,12 @@
 package triage
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/campaign"
+	"repro/internal/metrics"
 )
 
 // mkReport builds a minimal ranked report from (class, rule, fp, size)
@@ -93,5 +95,41 @@ func TestDiffRoundTripsThroughJSON(t *testing.T) {
 	}
 	if d.Unchanged != len(rep.Clusters) {
 		t.Errorf("unchanged %d, want %d", d.Unchanged, len(rep.Clusters))
+	}
+}
+
+// TestDiffCompactionSummary: when Session.Compact has persisted its
+// collapse counters into the corpus's metrics.json, the diff carries a
+// one-line convergence summary and both renderers show it; a corpus with
+// no (or all-zero) compaction series stays silent.
+func TestDiffCompactionSummary(t *testing.T) {
+	dir := t.TempDir()
+	reg := metrics.NewRegistry()
+	reg.Counter("compact_entries_total").Add(12)
+	reg.Counter("compact_minimized_total").Add(4)
+	reg.Counter("compact_collapsed_total").Add(2)
+	reg.Counter("compact_bytes_saved_total").Add(900)
+	if err := metrics.WriteFile(filepath.Join(dir, "metrics.json"), reg.Snapshot()); err != nil {
+		t.Fatalf("write metrics: %v", err)
+	}
+
+	old := mkReport(dir, [4]string{"rejected-clean", "T-Assign", "aaaa", "3"})
+	cur := mkReport(dir, [4]string{"rejected-clean", "T-Assign", "aaaa", "3"})
+	d := DiffReports(old, cur)
+	want := "compaction: 12 entries examined, 4 minimized, 2 collapsed, 900 bytes freed"
+	if d.Compaction != want {
+		t.Fatalf("Compaction = %q, want %q", d.Compaction, want)
+	}
+	if txt := FormatDiff(d); !strings.Contains(txt, want) {
+		t.Errorf("text diff missing the compaction line:\n%s", txt)
+	}
+	if md := MarkdownDiff(d); !strings.Contains(md, "_"+want+"_") {
+		t.Errorf("markdown diff missing the compaction line:\n%s", md)
+	}
+
+	// No snapshot (or a zero one) → no line.
+	bare := DiffReports(mkReport("nowhere"), mkReport("nowhere"))
+	if bare.Compaction != "" {
+		t.Errorf("Compaction = %q for a corpus with no telemetry", bare.Compaction)
 	}
 }

@@ -45,6 +45,28 @@
 //	fr, err := s.DiffFuzz(ctx, 2000)   // one-shot fuzz, no corpus needed
 //	bs, err := s.CheckAll(ctx, jobs)   // batch-analyze caller-supplied jobs
 //
+// # Quick start: selecting the noninterference oracle
+//
+// By default NI verdicts are sampled: randomized trials with adaptive
+// escalation on IFC-rejected programs. WithNIOracle switches the backend;
+// "exhaustive" enumerates every secret assignment (within a budget) on
+// the compiled engine and upgrades clean results to proofs:
+//
+//	s, err := repro.NewSession(
+//	    repro.WithCorpus("fuzz-corpus"),
+//	    repro.WithNIOracle("exhaustive"),        // or "adaptive", "randomized"
+//	    repro.WithExhaustBudget(1<<20, 16),      // 2^20 assignments, 16 probes
+//	)
+//
+// Under the exhaustive oracle an IFC-rejected, violation-free program is
+// split by proof status instead of pooling into rejected-clean: class
+// "proved-imprecise" (every secret assignment enumerated, no observable
+// difference — the rejection is conservatism, a proved false positive)
+// vs "under-tested" (the secret space exceeded the budget, so only the
+// sampling fallback ran). Programs with a witnessed violation are exact
+// counterexamples either way. The oracle and budget are recorded in each
+// finding's metadata, so Replay re-judges under the same oracle.
+//
 // Every operation frames its events with op-start/op-end (op-end carries
 // a one-line outcome), so one consumer can interleave many operations'
 // events; if a slow consumer forces the stream to shed events, the

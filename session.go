@@ -136,6 +136,13 @@ type Session struct {
 	maxNovelty  int
 	log         io.Writer
 
+	// niOracle selects the NI backend every operation checks programs
+	// with ("" = the adaptive default); exhaustBudget and exhaustProbes
+	// configure the exhaustive oracle's enumeration.
+	niOracle      string
+	exhaustBudget uint64
+	exhaustProbes int
+
 	eventBuf int
 	mu       sync.Mutex
 	events   chan Event
@@ -190,6 +197,23 @@ func WithWorkers(n int) SessionOption { return func(s *Session) { s.workers = n 
 // defaults, 4 and 8x; max < trials disables adaptation).
 func WithNIBudget(trials, max int) SessionOption {
 	return func(s *Session) { s.trials, s.trialsMax = trials, max }
+}
+
+// WithNIOracle selects the noninterference backend for every operation:
+// "adaptive" (the default — randomized sampling with escalation on
+// IFC-rejected programs), "randomized" (flat sampling, no escalation), or
+// "exhaustive" (internal/exhaust: enumerate every secret assignment and
+// return proof-grade proved-secure / proved-insecure verdicts, falling
+// back to sampling when the secret space exceeds the budget). "" keeps
+// the default. NewSession rejects unknown names eagerly.
+func WithNIOracle(name string) SessionOption { return func(s *Session) { s.niOracle = name } }
+
+// WithExhaustBudget bounds the exhaustive oracle's enumeration: budget is
+// the assignment ceiling per observer (0 = the default 2^16), probes the
+// number of public-input probes when only the secret space fits (0 =
+// derived from the budget). No effect under the sampling oracles.
+func WithExhaustBudget(budget uint64, probes int) SessionOption {
+	return func(s *Session) { s.exhaustBudget, s.exhaustProbes = budget, probes }
 }
 
 // WithMutation enables the coverage-guided loop: frac of the campaign's
@@ -264,6 +288,10 @@ func NewSession(opts ...SessionOption) (*Session, error) {
 	}
 	if s.resume && s.corpusDir == "" {
 		return nil, fmt.Errorf("session: WithResume requires WithCorpus — without a corpus there is no cursor")
+	}
+	if !pipeline.ValidOracle(s.niOracle) {
+		return nil, fmt.Errorf("session: unknown NI oracle %q (want %q, %q, or %q)",
+			s.niOracle, pipeline.OracleAdaptive, pipeline.OracleRandomized, pipeline.OracleExhaustive)
 	}
 	return s, nil
 }
@@ -435,24 +463,27 @@ func (s *Session) Campaign(ctx context.Context, n int) (*CampaignReport, error) 
 	}
 	finish := s.startOp("campaign")
 	rep, err := campaign.Run(ctx, campaign.Config{
-		N:           n,
-		Seed:        s.seed,
-		Gen:         s.gcfg,
-		NITrials:    s.trials,
-		NITrialsMax: s.trialsMax,
-		Workers:     s.workers,
-		Shard:       s.shard,
-		NumShards:   s.numShards,
-		Mutate:      s.mutate,
-		MutateFrac:  s.mutateFrac,
-		CorpusDir:   s.corpusDir,
-		Corpus:      corp,
-		Resume:      s.resume,
-		Minimize:    s.minimize,
-		MaxPerClass: s.maxPerClass,
-		Log:         s.log,
-		Events:      s.sink(),
-		Metrics:     s.metrics,
+		N:             n,
+		Seed:          s.seed,
+		Gen:           s.gcfg,
+		NITrials:      s.trials,
+		NITrialsMax:   s.trialsMax,
+		NIOracle:      s.niOracle,
+		ExhaustBudget: s.exhaustBudget,
+		ExhaustProbes: s.exhaustProbes,
+		Workers:       s.workers,
+		Shard:         s.shard,
+		NumShards:     s.numShards,
+		Mutate:        s.mutate,
+		MutateFrac:    s.mutateFrac,
+		CorpusDir:     s.corpusDir,
+		Corpus:        corp,
+		Resume:        s.resume,
+		Minimize:      s.minimize,
+		MaxPerClass:   s.maxPerClass,
+		Log:           s.log,
+		Events:        s.sink(),
+		Metrics:       s.metrics,
 	})
 	summary := ""
 	if rep != nil {
@@ -477,21 +508,24 @@ func (s *Session) CampaignWindow(ctx context.Context, lo, hi int64) (*CampaignRe
 	}
 	finish := s.startOp("campaign")
 	rep, err := campaign.Run(ctx, campaign.Config{
-		Window:      &campaign.Window{Lo: lo, Hi: hi},
-		Seed:        s.seed,
-		Gen:         s.gcfg,
-		NITrials:    s.trials,
-		NITrialsMax: s.trialsMax,
-		Workers:     s.workers,
-		Mutate:      s.mutate,
-		MutateFrac:  s.mutateFrac,
-		CorpusDir:   s.corpusDir,
-		Corpus:      corp,
-		Minimize:    s.minimize,
-		MaxPerClass: s.maxPerClass,
-		Log:         s.log,
-		Events:      s.sink(),
-		Metrics:     s.metrics,
+		Window:        &campaign.Window{Lo: lo, Hi: hi},
+		Seed:          s.seed,
+		Gen:           s.gcfg,
+		NITrials:      s.trials,
+		NITrialsMax:   s.trialsMax,
+		NIOracle:      s.niOracle,
+		ExhaustBudget: s.exhaustBudget,
+		ExhaustProbes: s.exhaustProbes,
+		Workers:       s.workers,
+		Mutate:        s.mutate,
+		MutateFrac:    s.mutateFrac,
+		CorpusDir:     s.corpusDir,
+		Corpus:        corp,
+		Minimize:      s.minimize,
+		MaxPerClass:   s.maxPerClass,
+		Log:           s.log,
+		Events:        s.sink(),
+		Metrics:       s.metrics,
 	})
 	summary := ""
 	if rep != nil {
@@ -619,6 +653,7 @@ func (s *Session) Compact(ctx context.Context) (*CompactReport, error) {
 		NITrialsMax: s.trialsMax,
 		Log:         s.log,
 		Events:      s.sink(),
+		Metrics:     s.metrics,
 	})
 	summary := ""
 	if rep != nil {
@@ -632,12 +667,15 @@ func (s *Session) Compact(ctx context.Context) (*CompactReport, error) {
 // methods share: full NI, the session's budgets, seed, and worker pool.
 func (s *Session) batchOptions() pipeline.Options {
 	return pipeline.Options{
-		Workers:     s.workers,
-		NI:          pipeline.NIAll,
-		NITrials:    s.trials,
-		NITrialsMax: s.trialsMax,
-		NISeed:      s.seed,
-		Metrics:     s.metrics,
+		Workers:       s.workers,
+		NI:            pipeline.NIAll,
+		NITrials:      s.trials,
+		NITrialsMax:   s.trialsMax,
+		NISeed:        s.seed,
+		Oracle:        s.niOracle,
+		ExhaustBudget: s.exhaustBudget,
+		ExhaustProbes: s.exhaustProbes,
+		Metrics:       s.metrics,
 	}
 }
 
@@ -715,13 +753,16 @@ func (s *Session) CheckStream(ctx context.Context, jobs <-chan BatchJob) <-chan 
 func (s *Session) DiffFuzz(ctx context.Context, n int) (*FuzzReport, error) {
 	finish := s.startOp("fuzz")
 	rep, err := difftest.Run(ctx, difftest.Config{
-		N:           n,
-		Seed:        s.seed,
-		Gen:         s.gcfg,
-		NITrials:    s.trials,
-		NITrialsMax: s.trialsMax,
-		Workers:     s.workers,
-		Events:      s.sink(),
+		N:             n,
+		Seed:          s.seed,
+		Gen:           s.gcfg,
+		NITrials:      s.trials,
+		NITrialsMax:   s.trialsMax,
+		Oracle:        s.niOracle,
+		ExhaustBudget: s.exhaustBudget,
+		ExhaustProbes: s.exhaustProbes,
+		Workers:       s.workers,
+		Events:        s.sink(),
 	})
 	summary := ""
 	if rep != nil {

@@ -5,11 +5,13 @@ package repro_test
 
 import (
 	"context"
+	"path/filepath"
 	"testing"
 
 	"repro"
 	"repro/internal/ast"
 	"repro/internal/corpus"
+	"repro/internal/metrics"
 )
 
 // TestSessionSharesOneCorpusHandle: a full Campaign → Triage → Retire →
@@ -211,6 +213,20 @@ control C(inout headers hdr, inout standard_metadata_t standard_metadata) {
 	}
 	if rr, err := s.Replay(context.Background()); err != nil || !rr.OK() {
 		t.Fatalf("corpus does not replay clean after compaction: %v\n%s", err, repro.FormatReplayReport(rr))
+	}
+
+	// The pass's collapse statistics land in the persisted telemetry
+	// snapshot — where triage.DiffReports reads them so nightly summaries
+	// show corpus convergence.
+	snap, err := metrics.ReadFile(filepath.Join(dir, "metrics.json"))
+	if err != nil {
+		t.Fatalf("read persisted metrics: %v", err)
+	}
+	if got := snap.Counter("compact_entries_total"); got != float64(rep.Total) {
+		t.Errorf("compact_entries_total = %v, want %d", got, rep.Total)
+	}
+	if got := snap.Counter("compact_collapsed_total"); got != float64(rep.Collapsed) {
+		t.Errorf("compact_collapsed_total = %v, want %d", got, rep.Collapsed)
 	}
 }
 
