@@ -78,10 +78,17 @@ const (
 	ClassRejectedClean Class = "rejected-clean"
 	// ClassProvedImprecise is the precision class with proof, produced
 	// only under the exhaustive NI oracle: IFC-rejected, but enumeration
-	// certified the program non-interfering at every observer, so the
-	// rejection is definitely conservative — the checker's true
-	// imprecision frontier.
+	// covered the entire public × secret input space at every observer
+	// and certified the program non-interfering, so the rejection is
+	// definitely conservative — the checker's true imprecision frontier.
 	ClassProvedImprecise Class = "proved-imprecise"
+	// ClassSecretExhausted is the probe-mode certification: every secret
+	// assignment enumerated clean, but only at sampled public probes
+	// (the public side exceeded the budget — the common case for
+	// generated programs). Strong evidence of conservatism, weaker than
+	// proved-imprecise: a leak at an unprobed public state is not
+	// excluded.
+	ClassSecretExhausted Class = "secret-exhaustive"
 	// ClassUnderTested is the residue of the split: IFC-rejected, no
 	// witness, and the exhaustive oracle could not enumerate (width
 	// budget, int-typed secrets, ...) — still ambiguous between
@@ -121,6 +128,8 @@ func classOf(v difftest.Verdict) (Class, bool) {
 		return ClassRejectedClean, true
 	case difftest.ProvedImprecise:
 		return ClassProvedImprecise, true
+	case difftest.SecretExhausted:
+		return ClassSecretExhausted, true
 	case difftest.UnderTested:
 		return ClassUnderTested, true
 	}
@@ -163,7 +172,8 @@ type Config struct {
 	Workers int
 	// NIOracle selects the NI backend (see pipeline.Options.Oracle; "" is
 	// the historical adaptive default). "exhaustive" splits the
-	// rejected-clean precision class into proved-imprecise/under-tested
+	// rejected-clean precision class into
+	// proved-imprecise/secret-exhaustive/under-tested
 	// and is recorded in each finding's Meta so replay re-checks under
 	// the same oracle.
 	NIOracle string
@@ -455,7 +465,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	for _, c := range []Class{ClassSoundnessViolation, ClassGeneratorBug,
 		ClassRuntimeError, ClassRejectedClean, ClassProvedImprecise,
-		ClassUnderTested, ClassParserDisagreement} {
+		ClassSecretExhausted, ClassUnderTested, ClassParserDisagreement} {
 		e.met.Counter("campaign_findings_total", "class", string(c))
 	}
 	e.mDedup = e.met.Counter("campaign_dedup_hits_total")

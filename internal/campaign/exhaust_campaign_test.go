@@ -9,10 +9,12 @@ import (
 
 // TestExhaustiveCampaignSplitsAndReplays runs a small campaign under the
 // exhaustive oracle and locks the whole provenance chain: the old
-// rejected-clean pool splits into proved-imprecise / under-tested corpus
-// classes, each finding records the oracle it was judged with, and
-// Replay — which re-judges under the recorded oracle — reproduces every
-// class.
+// rejected-clean pool splits into proved-imprecise / secret-exhaustive /
+// under-tested corpus classes, each finding records the oracle it was
+// judged with, and Replay — which re-judges under the recorded oracle —
+// reproduces every class. Generated programs carry ~47 bits of public
+// standard_metadata, so their clean sweeps run in probe mode and land in
+// secret-exhaustive, not proved-imprecise (which demands a total sweep).
 func TestExhaustiveCampaignSplitsAndReplays(t *testing.T) {
 	dir := t.TempDir()
 	// One bit<8> + one bool secret field = 9 secret bits: inside the
@@ -49,7 +51,7 @@ func TestExhaustiveCampaignSplitsAndReplays(t *testing.T) {
 		}
 		byClass[e.Meta.Class]++
 		switch e.Meta.Class {
-		case ClassProvedImprecise, ClassUnderTested:
+		case ClassProvedImprecise, ClassSecretExhausted, ClassUnderTested:
 			if e.Meta.NIOracle != "exhaustive" {
 				t.Errorf("%s: class %s recorded oracle %q, want exhaustive", e.Path, e.Meta.Class, e.Meta.NIOracle)
 			}
@@ -57,8 +59,11 @@ func TestExhaustiveCampaignSplitsAndReplays(t *testing.T) {
 			t.Errorf("%s: rejected-clean persisted under the exhaustive oracle — the split must be total", e.Path)
 		}
 	}
-	if byClass[ClassProvedImprecise] == 0 {
-		t.Fatalf("no proved-imprecise findings in %v — the enumerator never certified a rejection", byClass)
+	if byClass[ClassSecretExhausted] == 0 {
+		t.Fatalf("no secret-exhaustive findings in %v — the enumerator never certified a rejection", byClass)
+	}
+	if byClass[ClassProvedImprecise] != 0 {
+		t.Fatalf("%d proved-imprecise findings in %v — generated publics exceed the budget, so no sweep can be total", byClass[ClassProvedImprecise], byClass)
 	}
 
 	rr, err := Replay(context.Background(), ReplayConfig{CorpusDir: dir})

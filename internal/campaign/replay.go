@@ -195,10 +195,11 @@ func replayOne(ctx context.Context, m Meta, src string, trials, max int) (string
 		NITrials:    trials,
 		NITrialsMax: max,
 		NISeed:      m.NISeed,
-		// Replay under the oracle the finding was classified with:
-		// proved-imprecise/under-tested classes only reproduce under the
-		// exhaustive oracle at the recorded budget. Entries predating the
-		// oracle split record "" and replay under the default, unchanged.
+		// Replay under the oracle the finding was classified with: the
+		// proved-imprecise/secret-exhaustive/under-tested classes only
+		// reproduce under the exhaustive oracle at the recorded budget.
+		// Entries predating the oracle split record "" and replay under
+		// the default, unchanged.
 		Oracle:        m.NIOracle,
 		ExhaustBudget: m.ExhaustBudget,
 		ExhaustProbes: m.ExhaustProbes,

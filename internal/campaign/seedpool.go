@@ -65,10 +65,11 @@ func classWeight(c Class) float64 {
 		return 4
 	case ClassParserDisagreement, ClassRuntimeError:
 		return 3
-	case ClassRejectedClean, ClassProvedImprecise, ClassUnderTested:
-		// The split halves of rejected-clean stay on the precision
-		// frontier: proved-imprecise neighborhoods map the checker's
-		// conservatism, under-tested ones may hide real leaks.
+	case ClassRejectedClean, ClassProvedImprecise, ClassSecretExhausted,
+		ClassUnderTested:
+		// The split of rejected-clean stays on the precision frontier:
+		// proved-imprecise and secret-exhaustive neighborhoods map the
+		// checker's conservatism, under-tested ones may hide real leaks.
 		return 2
 	default:
 		return 1

@@ -99,8 +99,9 @@ type Meta struct {
 	// ("" = the historical adaptive default); ExhaustBudget and
 	// ExhaustProbes pin the exhaustive oracle's enumeration parameters so
 	// replay reproduces the same eligibility and probe count. Proof
-	// provenance: a proved-imprecise entry is only meaningful together
-	// with the oracle that proved it.
+	// provenance: a proved-imprecise or secret-exhaustive entry is only
+	// meaningful together with the oracle (and coverage) that certified
+	// it.
 	NIOracle      string `json:"ni_oracle,omitempty"`
 	ExhaustBudget uint64 `json:"exhaust_budget,omitempty"`
 	ExhaustProbes int    `json:"exhaust_probes,omitempty"`

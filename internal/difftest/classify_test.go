@@ -34,10 +34,11 @@ func TestClassify(t *testing.T) {
 		{"witness outranks trial error", pipeline.JobResult{Base: okBase, IFC: okIFC, NIViolations: witness, NIErr: errors.New("x")}, SoundnessViolation},
 		{"rejected witnessed", pipeline.JobResult{Base: okBase, IFC: badIFC, NIViolations: witness}, RejectedWitnessed},
 		{"rejected clean", pipeline.JobResult{Base: okBase, IFC: badIFC}, RejectedClean},
-		{"rejected, proved secure", pipeline.JobResult{Base: okBase, IFC: badIFC, NIOutcome: ni.ProvedSecure, NIAssignments: 512}, ProvedImprecise},
+		{"rejected, proved secure over the full space", pipeline.JobResult{Base: okBase, IFC: badIFC, NIOutcome: ni.ProvedSecure, NITotal: true, NIAssignments: 512}, ProvedImprecise},
+		{"rejected, clean probe-mode sweep is not a proof", pipeline.JobResult{Base: okBase, IFC: badIFC, NIOutcome: ni.ProvedSecure, NIAssignments: 512}, SecretExhausted},
 		{"rejected, enumeration inconclusive", pipeline.JobResult{Base: okBase, IFC: badIFC, NIOutcome: ni.Inconclusive, NIReason: "width-budget-exceeded"}, UnderTested},
 		{"witness outranks proof outcome", pipeline.JobResult{Base: okBase, IFC: badIFC, NIViolations: witness, NIOutcome: ni.ProvedInsecure}, RejectedWitnessed},
-		{"accepted ignores proof outcome", pipeline.JobResult{Base: okBase, IFC: okIFC, NIOutcome: ni.ProvedSecure}, Sound},
+		{"accepted ignores proof outcome", pipeline.JobResult{Base: okBase, IFC: okIFC, NIOutcome: ni.ProvedSecure, NITotal: true}, Sound},
 	} {
 		got, _ := Classify(&tc.r)
 		if got != tc.want {

@@ -22,9 +22,13 @@
 //     (flow-insensitivity, label creep) or the trials may simply have
 //     missed the leak; the ratio against RejectedWitnessed tracks the
 //     checker's observed precision. Under the exhaustive oracle this
-//     class splits into ProvedImprecise (enumeration certified the
-//     program non-interfering: the rejection is definitely conservative)
-//     and UnderTested (enumeration was inconclusive: still ambiguous).
+//     class splits by how much the enumeration covered: ProvedImprecise
+//     (the full public × secret space was enumerated clean: the
+//     rejection is definitely conservative), SecretExhausted (every
+//     secret assignment was clean at each sampled public probe — strong
+//     evidence of imprecision, but a leak at an unprobed public state is
+//     not excluded), and UnderTested (enumeration was inconclusive:
+//     still ambiguous).
 //   - GeneratorBug: the program failed to parse, resolve, or base-check.
 //     gen.Random promises syntactically and structurally valid output, so
 //     anything here is a generator (or frontend) defect.
@@ -56,11 +60,19 @@ const (
 	RejectedWitnessed
 	RejectedClean
 	// ProvedImprecise splits the precision class with proof: the
-	// exhaustive oracle enumerated the secret space at every observer and
-	// certified the rejected program non-interfering — the rejection is
-	// definitely conservative, not under-tested.
+	// exhaustive oracle enumerated the entire public × secret input
+	// space at every observer (pipeline.JobResult.NITotal) and certified
+	// the rejected program non-interfering — the rejection is definitely
+	// conservative, not under-tested.
 	ProvedImprecise
-	// UnderTested is the other half of the split: the program was
+	// SecretExhausted is the probe-mode certification: every secret
+	// assignment was enumerated clean, but only at sampled public
+	// probes, because the public side exceeded the budget. No secret
+	// influences the observables at any probed state — strong evidence
+	// the rejection is conservative, but not a proof over the whole
+	// input space, so it must never be conflated with ProvedImprecise.
+	SecretExhausted
+	// UnderTested is the residue of the split: the program was
 	// rejected, no witness was found, and the exhaustive oracle could not
 	// enumerate (width budget, int-typed secrets, ...), so the rejection
 	// remains unclassified between imprecision and a missed leak.
@@ -83,6 +95,8 @@ func (v Verdict) String() string {
 		return "rejected, NI-clean (conservative?)"
 	case ProvedImprecise:
 		return "rejected, proved non-interfering (imprecise)"
+	case SecretExhausted:
+		return "rejected, secret-exhaustive (clean at sampled publics)"
 	case UnderTested:
 		return "rejected, enumeration inconclusive (under-tested)"
 	case GeneratorBug:
@@ -116,7 +130,8 @@ type Config struct {
 	Workers int
 	// Oracle selects the NI backend (see pipeline.Options.Oracle; "" is
 	// the adaptive default). With pipeline.OracleExhaustive the
-	// RejectedClean class splits into ProvedImprecise and UnderTested.
+	// RejectedClean class splits into ProvedImprecise, SecretExhausted,
+	// and UnderTested.
 	Oracle string
 	// ExhaustBudget and ExhaustProbes configure the exhaustive oracle
 	// (0 = defaults).
@@ -298,13 +313,20 @@ func Classify(r *pipeline.JobResult) (Verdict, string) {
 			return RuntimeError, r.NIErr.Error()
 		}
 		// A clean rejection under the exhaustive oracle carries proof
-		// provenance: either enumeration certified the program secure
-		// (the rejection is imprecision, definitely) or it couldn't run
-		// and the program stays in the untested gap.
+		// provenance, graded by coverage: a total enumeration certifies
+		// the rejection as imprecision; a probe-mode clean sweep (all
+		// secrets, sampled publics — NITotal false) only certifies the
+		// probed states, so it gets its own class rather than passing as
+		// a proof; an inconclusive one leaves the program in the untested
+		// gap.
 		switch r.NIOutcome {
 		case ni.ProvedSecure:
-			return ProvedImprecise, "exhaustive: non-interfering at every observer (" +
-				fmt.Sprintf("%d assignments", r.NIAssignments) + ")"
+			if r.NITotal {
+				return ProvedImprecise, fmt.Sprintf(
+					"exhaustive: non-interfering over the full input space (%d assignments)", r.NIAssignments)
+			}
+			return SecretExhausted, fmt.Sprintf(
+				"exhaustive: no secret influence at sampled public probes (%d assignments)", r.NIAssignments)
 		case ni.Inconclusive:
 			return UnderTested, "exhaustive: " + r.NIReason
 		}

@@ -64,6 +64,12 @@ func TestAgreementProvedSecure(t *testing.T) {
 	if res.Outcome != ni.ProvedSecure {
 		t.Fatalf("outcome = %v (reason %q), want proved-secure", res.Outcome, res.Reason)
 	}
+	// The zero-witness claim below is only sound against a total proof:
+	// a probe-mode sweep leaves public states a randomized seed could
+	// legitimately find a leak at.
+	if !res.Total {
+		t.Fatalf("secureSrc swept in probe mode — the agreement property needs a total proof")
+	}
 
 	prog := parser.MustParse("agreement.p4", secureSrc)
 	e := &ni.Experiment{Prog: prog, Lat: lattice.TwoPoint()}

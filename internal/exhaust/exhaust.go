@@ -22,8 +22,11 @@
 //     (every generated control carries 47 bits of low-labeled
 //     standard_metadata alone) — every secret assignment is enumerated
 //     at each randomly drawn public probe. ProvedSecure then asserts
-//     that no secret can influence the observables at any tested public
-//     state; ProvedInsecure witnesses remain outright proofs.
+//     only that no secret can influence the observables at the tested
+//     public states (Result.Total stays false — a leak reachable only
+//     at an unvisited public state is not excluded); ProvedInsecure
+//     witnesses remain outright proofs. Downstream classification keys
+//     on Total: only total-mode clean sweeps certify imprecision.
 //   - ineligible: the secret space itself exceeds the budget, a secret
 //     is int-typed (unbounded), or the experiment shape rules out
 //     positional enumeration — Inconclusive, optionally delegating to a
@@ -68,6 +71,9 @@ const (
 	// ReasonNoCompile: the program only runs on the tree-walking
 	// interpreter; enumeration requires the compiled engine.
 	ReasonNoCompile = "compile-failed"
+	// ReasonRunError: a machine run failed mid-sweep, so the sweep is
+	// partial — whatever it covered proves nothing either way.
+	ReasonRunError = "machine-run-error"
 )
 
 // Oracle is the exhaustive backend. The zero value enumerates with
@@ -102,9 +108,6 @@ func (o Oracle) Check(e *ni.Experiment, seed int64) (ni.Result, error) {
 	reg := e.Metrics
 	reg.Histogram("exhaust_enumeration_seconds", metrics.DurationBuckets).Observe(time.Since(start).Seconds())
 	reg.Counter("exhaust_assignments_total").Add(int64(res.Assignments))
-	if err != nil {
-		return res, err
-	}
 	switch res.Outcome {
 	case ni.ProvedSecure:
 		reg.Counter("exhaust_proofs_total", "verdict", "secure").Inc()
@@ -112,6 +115,9 @@ func (o Oracle) Check(e *ni.Experiment, seed int64) (ni.Result, error) {
 		reg.Counter("exhaust_proofs_total", "verdict", "insecure").Inc()
 	case ni.Inconclusive:
 		reg.Counter("exhaust_inconclusive_total", "reason", res.Reason).Inc()
+	}
+	if err != nil {
+		return res, err
 	}
 	if !ran && o.Fallback != nil {
 		// Nothing was enumerated; sample instead, but the verdict's
@@ -200,13 +206,13 @@ func (o Oracle) enumerate(e *ni.Experiment, seed int64, budget uint64) (ni.Resul
 		for {
 			vio, err := sweep.secrets(sec)
 			if err != nil || vio != nil {
-				return sweep.result(vio, true), true, err
+				return sweep.result(vio, true, err), true, err
 			}
 			if !pub.advance(p) {
 				break
 			}
 		}
-		return sweep.result(nil, true), true, nil
+		return sweep.result(nil, true, nil), true, nil
 	}
 
 	// Probe mode: all secrets per randomly drawn public probe.
@@ -234,10 +240,10 @@ func (o Oracle) enumerate(e *ni.Experiment, seed int64, budget uint64) (ni.Resul
 		sec.reset(p)
 		vio, err := sweep.secrets(sec)
 		if err != nil || vio != nil {
-			return sweep.result(vio, false), true, err
+			return sweep.result(vio, false, err), true, err
 		}
 	}
-	return sweep.result(nil, false), true, nil
+	return sweep.result(nil, false, nil), true, nil
 }
 
 // sweeper runs one enumerated assignment at a time and compares outputs
@@ -296,18 +302,27 @@ func (s *sweeper) secrets(sec *odometer) (*ni.Violation, error) {
 	}
 }
 
-// result assembles the uniform ni.Result for a finished (or
-// witness-interrupted) sweep.
-func (s *sweeper) result(vio *ni.Violation, total bool) ni.Result {
+// result assembles the uniform ni.Result for a finished,
+// witness-interrupted, or error-interrupted sweep. An error means the
+// sweep is partial, and a partial clean sweep proves nothing — the
+// outcome degrades to Inconclusive so no caller can mistake it for a
+// certificate. (A witness and an error never arrive together: secrets
+// stops at whichever comes first.)
+func (s *sweeper) result(vio *ni.Violation, total bool, err error) ni.Result {
 	r := ni.Result{
 		Trials:      int(s.runs),
 		Assignments: s.runs,
 		Total:       total,
 		Outcome:     ni.ProvedSecure,
 	}
-	if vio != nil {
+	switch {
+	case vio != nil:
 		r.Violations = []ni.Violation{*vio}
 		r.Outcome = ni.ProvedInsecure
+	case err != nil:
+		r.Outcome = ni.Inconclusive
+		r.Reason = ReasonRunError
+		r.Total = false
 	}
 	return r
 }

@@ -25,9 +25,16 @@ const (
 	// Sampled is randomized testing's ceiling: violations are real
 	// witnesses, but their absence is evidence, not proof.
 	Sampled Outcome = iota
-	// ProvedSecure asserts the oracle enumerated the entire relevant
-	// input space at every checked observer and found no violation —
-	// the program is non-interfering, full stop.
+	// ProvedSecure asserts the oracle enumerated every secret
+	// assignment at every public input state it visited and found no
+	// violation. How strong that is depends on Result.Total: with Total
+	// set the whole public × secret space was covered and the program
+	// is non-interfering, full stop; without it the public side was
+	// only sampled (probe mode), so the verdict certifies that no
+	// secret influences the observables at the probed public states —
+	// a leak manifesting only at an unvisited public state is not
+	// excluded. Consumers that need a proof over the whole input space
+	// must check Total, not just this outcome.
 	ProvedSecure
 	// ProvedInsecure asserts a violation was found by enumeration; the
 	// witness is a constructive proof of interference.

@@ -80,6 +80,12 @@ func TestOracleSelection(t *testing.T) {
 	if r.NIOutcome != ni.ProvedSecure {
 		t.Errorf("outcome %v (reason %q), want proved-secure", r.NIOutcome, r.NIReason)
 	}
+	// imprecisionSrc's whole input space (2^4 public × 2 secret) fits the
+	// default budget, so the sweep must be total — the grade difftest
+	// requires before calling the rejection proved-imprecise.
+	if !r.NITotal {
+		t.Error("full-space enumeration did not set NITotal")
+	}
 	if r.NIAssignments == 0 {
 		t.Error("proof recorded zero enumerated assignments")
 	}

@@ -248,6 +248,13 @@ type JobResult struct {
 	// NIAssignments counts input assignments the exhaustive oracle
 	// enumerated across the observer sweep.
 	NIAssignments uint64
+	// NITotal reports that every oracle check in the observer sweep
+	// enumerated the full public × secret input space (ni.Result.Total
+	// at each observer). Only then is a ProvedSecure aggregate a proof
+	// over the whole input space; without it the public side was merely
+	// probed and a clean sweep certifies nothing beyond the probed
+	// states. Always false for the sampling backends.
+	NITotal bool
 	// StageDur records wall-clock time spent per stage.
 	StageDur [NumStages]time.Duration
 }
@@ -521,6 +528,7 @@ func runJob(job Job, opts Options, trials int, ins instruments) JobResult {
 	code, compileErr := eval.Compile(prog)
 	orc := selectOracle(opts, baseT, maxT, r.IFC.OK)
 	r.NIOracle = orc.Name()
+	allTotal := true
 	for _, obs := range observers {
 		exp := &ni.Experiment{Prog: prog, Lat: lat, Observer: obs,
 			Code: code, Interp: compileErr != nil, Metrics: opts.Metrics}
@@ -528,6 +536,7 @@ func runJob(job Job, opts Options, trials int, ins instruments) JobResult {
 		r.NIViolations = append(r.NIViolations, res.Violations...)
 		r.NITrialsRun += res.Trials
 		r.NIAssignments += res.Assignments
+		allTotal = allTotal && res.Total
 		if outcomeRank(res.Outcome) > outcomeRank(r.NIOutcome) {
 			r.NIOutcome = res.Outcome
 			r.NIReason = res.Reason
@@ -539,6 +548,7 @@ func runJob(job Job, opts Options, trials int, ins instruments) JobResult {
 			break
 		}
 	}
+	r.NITotal = allTotal
 	r.NIRan = true
 	if ins.exJobs != nil {
 		ins.exJobs.Inc()

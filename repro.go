@@ -59,10 +59,13 @@
 //	)
 //
 // Under the exhaustive oracle an IFC-rejected, violation-free program is
-// split by proof status instead of pooling into rejected-clean: class
-// "proved-imprecise" (every secret assignment enumerated, no observable
-// difference — the rejection is conservatism, a proved false positive)
-// vs "under-tested" (the secret space exceeded the budget, so only the
+// split by enumeration coverage instead of pooling into rejected-clean:
+// class "proved-imprecise" (the whole public × secret input space
+// enumerated clean — the rejection is conservatism, a proved false
+// positive), "secret-exhaustive" (every secret assignment clean, but
+// only at sampled public probes because the public side exceeded the
+// budget — strong evidence of conservatism, not a full-space proof), or
+// "under-tested" (the secret space exceeded the budget, so only the
 // sampling fallback ran). Programs with a witnessed violation are exact
 // counterexamples either way. The oracle and budget are recorded in each
 // finding's metadata, so Replay re-judges under the same oracle.
